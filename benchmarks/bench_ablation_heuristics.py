@@ -1,0 +1,100 @@
+"""Ablation — the Section 4.2.2 heuristics and the dependency analysis
+itself: planner communication with each optimisation removed.
+
+Not a paper figure; DESIGN.md calls these out as the design choices worth
+isolating.  Four planner variants over the paper's applications:
+
+* full DMac (dependency analysis + Re-assignment + Pull-Up Broadcast),
+* no Pull-Up Broadcast,
+* no Re-assignment,
+* no heuristics at all (pure greedy over dependencies),
+* SystemML-S (no dependency analysis at all) as the ceiling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import bench_clock, density, fmt_bytes, report
+from repro import ClusterConfig, DMacSession
+from repro.datasets import netflix_like, sparse_random
+from repro.programs import build_gnmf_program, build_linreg_program
+
+CONFIG = dict(num_workers=4, threads_per_worker=2, block_size=16, clock=bench_clock())
+
+
+def workloads():
+    gnmf_data = netflix_like(scale=3e-3, seed=30)
+    gnmf = build_gnmf_program(
+        gnmf_data.shape, density(gnmf_data), factors=8, iterations=4
+    )
+    lr_design = sparse_random(2000, 80, 0.1, seed=31)
+    lr_target = sparse_random(2000, 1, 1.0, seed=32)
+    linreg = build_linreg_program(lr_design.shape, density(lr_design), iterations=4)
+    return [
+        ("GNMF", gnmf, {"V": gnmf_data}),
+        ("LinReg", linreg, {"V": lr_design, "y": lr_target}),
+    ]
+
+
+VARIANTS = [
+    ("full DMac", dict(pull_up_broadcast=True, re_assignment=True)),
+    ("no pull-up", dict(pull_up_broadcast=False, re_assignment=True)),
+    ("no re-assign", dict(pull_up_broadcast=True, re_assignment=False)),
+    ("no heuristics", dict(pull_up_broadcast=False, re_assignment=False)),
+]
+
+
+def run_variant(program, inputs, flags):
+    session = DMacSession(ClusterConfig(**CONFIG), **flags)
+    return session.run(program, inputs)
+
+
+def test_ablation_heuristics(benchmark):
+    loads = workloads()
+    benchmark.pedantic(
+        run_variant, args=(loads[0][1], loads[0][2], VARIANTS[0][1]), rounds=1, iterations=1
+    )
+    rows = []
+    measured: dict[tuple[str, str], int] = {}
+    for app, program, inputs in loads:
+        for label, flags in VARIANTS:
+            result = run_variant(program, inputs, flags)
+            measured[(app, label)] = result.comm_bytes
+            rows.append([app, label, fmt_bytes(result.comm_bytes)])
+        systemml = DMacSession(ClusterConfig(**CONFIG)).run_systemml(program, inputs)
+        measured[(app, "SystemML-S")] = systemml.comm_bytes
+        rows.append([app, "SystemML-S (no deps)", fmt_bytes(systemml.comm_bytes)])
+    report(
+        "ablation_heuristics",
+        "Ablation -- planner communication by optimisation level",
+        ["app", "planner", "communication"],
+        rows,
+        notes=(
+            "dependency analysis provides the bulk of the saving; the two "
+            "heuristics refine the greedy plan and never hurt"
+        ),
+    )
+    for app, __, ___ in loads:
+        full = measured[(app, "full DMac")]
+        bare = measured[(app, "no heuristics")]
+        ceiling = measured[(app, "SystemML-S")]
+        # heuristics never hurt, dependency analysis dominates
+        assert full <= bare, app
+        assert measured[(app, "no pull-up")] >= full, app
+        assert measured[(app, "no re-assign")] >= full, app
+        assert bare < ceiling, app
+
+
+def test_reassignment_matters_on_linreg(benchmark):
+    """Without Re-assignment the loads are frozen in Row scheme and the
+    planner pays for layouts the program never wanted."""
+    __, program, inputs = workloads()[1]
+
+    def run_pair():
+        with_h = run_variant(program, inputs, dict(re_assignment=True))
+        without_h = run_variant(program, inputs, dict(re_assignment=False))
+        return with_h.comm_bytes, without_h.comm_bytes
+
+    with_bytes, without_bytes = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert with_bytes <= without_bytes

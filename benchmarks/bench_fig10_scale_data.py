@@ -1,0 +1,91 @@
+"""Figure 10(a,b) — scalability with the input size: GNMF and Linear
+Regression per-iteration time as the number of non-zeros in V grows
+(columns fixed, rows scaled -- the paper's generator recipe, Section 6.5).
+
+Paper shapes: the DMac-vs-SystemML-S gap *widens* with the input size (in
+the plan SystemML-S repartitions W four times and V H^T / W H H^T once per
+GNMF iteration, and V twice per LR iteration -- all growing with V -- while
+DMac's per-iteration traffic is essentially size-independent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from harness import bench_clock, density, fmt_bytes, fmt_secs, report
+from repro import ClusterConfig, DMacSession
+from repro.datasets import sparse_random
+from repro.programs import build_gnmf_program, build_linreg_program
+
+COLS = 100  # fixed column count, like the paper's 100000
+SPARSITY = 0.1
+ROW_STEPS = (400, 800, 1600, 3200)
+ITERATIONS = 4
+CONFIG = dict(num_workers=4, threads_per_worker=2, block_size=64, clock=bench_clock())
+
+
+def gnmf_pair(rows: int):
+    data = sparse_random(rows, COLS, SPARSITY, seed=rows, ensure_coverage=True)
+    program = build_gnmf_program(
+        data.shape, density(data), factors=8, iterations=ITERATIONS
+    )
+    dmac = DMacSession(ClusterConfig(**CONFIG)).run(program, {"V": data})
+    systemml = DMacSession(ClusterConfig(**CONFIG)).run_systemml(program, {"V": data})
+    return int(np.count_nonzero(data)), dmac, systemml
+
+
+def linreg_pair(rows: int):
+    data = sparse_random(rows, COLS, SPARSITY, seed=rows + 1)
+    target = sparse_random(rows, 1, 1.0, seed=rows + 2)
+    program = build_linreg_program(data.shape, density(data), iterations=ITERATIONS)
+    inputs = {"V": data, "y": target}
+    dmac = DMacSession(ClusterConfig(**CONFIG)).run(program, inputs)
+    systemml = DMacSession(ClusterConfig(**CONFIG)).run_systemml(program, inputs)
+    return int(np.count_nonzero(data)), dmac, systemml
+
+
+@pytest.mark.parametrize(
+    "label,runner", [("GNMF", gnmf_pair), ("LinReg", linreg_pair)]
+)
+def test_fig10ab_gap_widens_with_nnz(benchmark, label, runner):
+    benchmark.pedantic(runner, args=(ROW_STEPS[0],), rounds=1, iterations=1)
+    rows_out = []
+    gaps = []
+    dmac_times = []
+    for rows in ROW_STEPS:
+        nnz, dmac, systemml = runner(rows)
+        per_iter = lambda r: r.simulated_seconds / ITERATIONS
+        gaps.append(systemml.comm_bytes - dmac.comm_bytes)
+        dmac_times.append(per_iter(dmac))
+        rows_out.append(
+            [
+                f"{nnz/1000:.1f}k",
+                fmt_secs(per_iter(dmac)),
+                fmt_secs(per_iter(systemml)),
+                fmt_bytes(dmac.comm_bytes),
+                fmt_bytes(systemml.comm_bytes),
+            ]
+        )
+    report(
+        f"fig10ab_{label.lower()}",
+        f"Figure 10 ({label}) -- per-iteration time vs #nonzeros in V",
+        ["nnz(V)", "DMac /iter", "SystemML-S /iter", "DMac comm", "SysML comm"],
+        rows_out,
+        notes="paper: the gap between the curves widens as V grows",
+    )
+    # The absolute communication gap must widen monotonically with nnz.
+    assert all(later > earlier for earlier, later in zip(gaps, gaps[1:]))
+
+
+def test_fig10_dmac_comm_nearly_size_independent(benchmark):
+    """DMac's LR traffic stays flat while V quadruples (V is partitioned
+    once; only vectors move per iteration)."""
+
+    def comm(rows: int) -> int:
+        __, dmac, __s = linreg_pair(rows)
+        return dmac.comm_bytes
+
+    small = benchmark.pedantic(comm, args=(ROW_STEPS[0],), rounds=1, iterations=1)
+    large = comm(ROW_STEPS[-1])
+    assert large < small * 3  # vs the 8x growth of the input

@@ -1,0 +1,104 @@
+"""Figure 9(b) — Linear Regression, Collaborative Filtering and SVD:
+execution time normalised to DMac's.
+
+Paper shapes: LR >7x (SystemML-S repartitions V twice per iteration, DMac
+partitions it once for the whole program); SVD ~3.3x (954 s vs 291 s); CF
+~1.7x (264 s vs 151 s -- both pick RMM, but SystemML-S re-broadcasts R and
+repartitions the dense R R^T intermediate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from harness import bench_clock, density, fmt_bytes, report
+from repro import ClusterConfig, DMacSession
+from repro.datasets import netflix_like, sparse_random
+from repro.programs import build_cf_program, build_linreg_program, build_svd_program
+
+CONFIG = dict(num_workers=4, threads_per_worker=2, block_size=64, clock=bench_clock())
+
+
+def run_linreg():
+    design = sparse_random(4000, 100, 0.1, seed=6)
+    target = sparse_random(4000, 1, 1.0, seed=7)
+    program = build_linreg_program(design.shape, density(design), iterations=10)
+    inputs = {"V": design, "y": target}
+    dmac = DMacSession(ClusterConfig(**CONFIG)).run(program, inputs)
+    systemml = DMacSession(ClusterConfig(**CONFIG)).run_systemml(program, inputs)
+    return dmac, systemml
+
+
+def run_cf():
+    ratings = netflix_like(scale=2.5e-3, seed=8).T  # items x users
+    program = build_cf_program(ratings.shape, density(ratings))
+    dmac = DMacSession(ClusterConfig(**CONFIG)).run(program, {"R": ratings})
+    systemml = DMacSession(ClusterConfig(**CONFIG)).run_systemml(program, {"R": ratings})
+    return dmac, systemml
+
+
+def run_svd():
+    data = netflix_like(scale=2.5e-3, seed=9)
+    program, __ = build_svd_program(data.shape, density(data), rank=10)
+    dmac = DMacSession(ClusterConfig(**CONFIG)).run(program, {"V": data})
+    systemml = DMacSession(ClusterConfig(**CONFIG)).run_systemml(program, {"V": data})
+    return dmac, systemml
+
+
+def test_fig9b_normalised_ratios(benchmark):
+    benchmark.pedantic(run_cf, rounds=1, iterations=1)
+    rows = []
+    ratios = {}
+    paper = {"LR": ">7x", "CF": "~1.7x", "SVD": "~3.3x"}
+    for label, runner in (("LR", run_linreg), ("CF", run_cf), ("SVD", run_svd)):
+        dmac, systemml = runner()
+        ratio = systemml.simulated_seconds / dmac.simulated_seconds
+        ratios[label] = ratio
+        rows.append(
+            [
+                label,
+                "1.0",
+                f"{ratio:.2f}",
+                fmt_bytes(dmac.comm_bytes),
+                fmt_bytes(systemml.comm_bytes),
+                paper[label],
+            ]
+        )
+    report(
+        "fig9b_apps",
+        "Figure 9(b) -- LR / CF / SVD time normalised to DMac",
+        ["app", "DMac", "SystemML-S", "DMac comm", "SysML comm", "paper ratio"],
+        rows,
+    )
+    # Paper shapes: DMac wins everywhere; LR shows the largest ratio.
+    assert all(ratio > 1.0 for ratio in ratios.values())
+    assert ratios["LR"] >= max(ratios["CF"], ratios["SVD"]) * 0.8
+
+
+def test_fig9b_linreg_v_partitioned_once(benchmark):
+    """The LR mechanism: V moves zero times after its initial load."""
+    from repro.core.plan import ExtendedStep
+
+    def plan():
+        program = build_linreg_program((4000, 100), 0.1, iterations=10)
+        return DMacSession(ClusterConfig(**CONFIG)).plan(program)
+
+    result = benchmark.pedantic(plan, rounds=1, iterations=1)
+    moves = [
+        s
+        for s in result.steps
+        if isinstance(s, ExtendedStep) and s.communicates and s.source.name == "V"
+    ]
+    assert moves == []
+
+
+def test_fig9b_results_agree(benchmark):
+    """Sanity: both systems produce identical numbers on each app."""
+
+    def run():
+        return run_linreg()
+
+    dmac, systemml = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name in dmac.matrices:
+        np.testing.assert_allclose(dmac.matrices[name], systemml.matrices[name], atol=1e-7)

@@ -1,0 +1,85 @@
+"""Ablation — how far is Algorithm 1's greedy plan from the communication
+optimum?
+
+DESIGN.md calls this out as a quality invariant: on small programs the
+greedy plan's cost (re-priced under the paper's model) is compared against
+the exhaustive search of ``repro.core.optimal``.  Not a paper figure -- the
+paper never quantifies the greedy gap -- but it bounds the claim that the
+dependency-oriented greedy is "communication efficient".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import fmt_bytes, report
+from repro.core.optimal import optimal_cost, paper_cost_of_plan
+from repro.core.planner import DMacPlanner
+from repro.lang.program import ProgramBuilder
+from repro.programs import build_cf_program, build_gnmf_program, build_pagerank_program
+
+WORKERS = 4
+
+
+def corpus():
+    """Small representative programs (exhaustive search stays feasible)."""
+    programs = []
+
+    pb = ProgramBuilder()
+    a = pb.load("A", (256, 256))
+    b = pb.load("B", (256, 16))
+    pb.output(pb.assign("C", a @ b))
+    programs.append(("matmul", pb.build()))
+
+    pb = ProgramBuilder()
+    a = pb.load("A", (512, 16), sparsity=0.2)
+    pb.output(pb.assign("G", a.T @ a))
+    programs.append(("gram", pb.build()))
+
+    programs.append(("CF (RR^T R)", build_cf_program((64, 512), 0.05)))
+    programs.append(
+        ("GNMF 1 iter", build_gnmf_program((512, 128), 0.05, factors=8, iterations=1))
+    )
+    programs.append(
+        ("PageRank 2 iter", build_pagerank_program(256, 0.02, iterations=2))
+    )
+
+    pb = ProgramBuilder()
+    a = pb.load("A", (64, 64))
+    b = pb.load("B", (64, 64))
+    c = pb.assign("C", a + b)
+    d = pb.assign("D", c + a)
+    e = pb.assign("E", a.T * d)
+    g = pb.load("G", (4096, 64))
+    pb.output(pb.assign("F", g @ a))
+    pb.output(e)
+    programs.append(("pull-up pattern", pb.build()))
+
+    return programs
+
+
+def test_greedy_gap(benchmark):
+    programs = corpus()
+
+    def run_all():
+        rows = []
+        gaps = []
+        for name, program in programs:
+            plan = DMacPlanner(program, WORKERS).plan()
+            greedy = paper_cost_of_plan(plan, WORKERS)
+            best = optimal_cost(program, WORKERS)
+            gap = greedy / best if best else (1.0 if greedy == 0 else float("inf"))
+            gaps.append((name, greedy, best, gap))
+            rows.append([name, fmt_bytes(greedy), fmt_bytes(best), f"{gap:.2f}x"])
+        return rows, gaps
+
+    rows, gaps = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "greedy_gap",
+        "Greedy (Algorithm 1) vs exhaustive-optimal communication",
+        ["program", "greedy", "optimal", "gap"],
+        rows,
+    )
+    for name, greedy, best, gap in gaps:
+        assert greedy >= best, name
+        assert gap <= 3.0, f"{name}: greedy {gap:.2f}x off optimal"

@@ -1,0 +1,117 @@
+"""Table 4 — one matrix multiplication across four systems:
+ScaLAPACK, SciDB, SystemML-S and DMac, on a sparse and a dense input.
+
+Paper setup: V1 (Netflix-shaped, s=0.01) x H (dense, 480189 x 200 ratio) for
+MM-Sparse; V2 (same dims, dense) x H for MM-Dense; 8 nodes x 8 processes.
+
+Paper shapes to reproduce:
+* MM-Sparse: DMac and SystemML-S (sparse-aware) beat ScaLAPACK by ~6x and
+  SciDB by ~40x; DMac edges out SystemML-S slightly (17s vs 18.5s).
+* MM-Dense: ScaLAPACK is roughly unchanged, DMac/SystemML-S slow down to
+  ScaLAPACK's neighbourhood (121s / 133s vs 116s); SciDB stays far behind.
+* ScaLAPACK and SciDB cost the same for sparse and dense (dense-only
+  libraries); DMac costs more on dense.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from harness import bench_clock, density, fmt_secs, report
+from repro import ClusterConfig, DMacSession
+from repro.baselines import run_scalapack_matmul, run_scidb_matmul
+from repro.datasets import dense_random, sparse_random
+from repro.lang.program import ProgramBuilder
+
+# Netflix aspect at 1/10 linear scale: large enough that the dense multiply
+# is compute-bound (like the paper's), small enough to run in seconds.
+ROWS, COLS, FACTORS = 48_000, 1_777, 16
+PROCESSES = 16  # paper: 8 nodes x 8 processes
+
+
+def table4_clock():
+    """1/10 linear data scale shrinks flops 1000x but traffic only 100x;
+    compensating with a 10x-slower relative network keeps the paper's
+    compute/communication proportions for this (bigger) workload."""
+    import dataclasses
+
+    return dataclasses.replace(bench_clock(), network_bytes_per_sec=2e7)
+
+
+CONFIG = dict(
+    num_workers=8, threads_per_worker=2, block_size=444, clock=table4_clock()
+)
+
+
+def mm_program(v: np.ndarray, h: np.ndarray):
+    pb = ProgramBuilder()
+    left = pb.load("V", v.shape, sparsity=density(v))
+    right = pb.load("H", h.shape, sparsity=1.0)
+    pb.output(pb.assign("P", left @ right))
+    return pb.build()
+
+
+def run_all(v: np.ndarray, h: np.ndarray) -> dict[str, float]:
+    program = mm_program(v, h)
+    inputs = {"V": v, "H": h}
+    dmac = DMacSession(ClusterConfig(**CONFIG)).run(program, inputs)
+    systemml = DMacSession(ClusterConfig(**CONFIG)).run_systemml(program, inputs)
+    scalapack = run_scalapack_matmul(v, h, PROCESSES, clock=table4_clock())
+    scidb = run_scidb_matmul(v, h, PROCESSES, clock=table4_clock())
+    # correctness first: all four must agree
+    expected = v @ h
+    np.testing.assert_allclose(dmac.matrices["P"], expected, atol=1e-7)
+    np.testing.assert_allclose(systemml.matrices["P"], expected, atol=1e-7)
+    np.testing.assert_allclose(scalapack.product, expected, atol=1e-7)
+    np.testing.assert_allclose(scidb.product, expected, atol=1e-7)
+    return {
+        "ScaLAPACK": scalapack.simulated_seconds,
+        "SciDB": scidb.simulated_seconds,
+        "SystemML-S": systemml.simulated_seconds,
+        "DMac": dmac.simulated_seconds,
+    }
+
+
+def test_table4_sparse_and_dense(benchmark):
+    h = dense_random(COLS, FACTORS, seed=21)
+    sparse_v = sparse_random(ROWS, COLS, 0.01, seed=20)  # the paper's V1 (s=0.01)
+    dense_v = dense_random(ROWS, COLS, seed=22)  # the paper's V2 (s=1)
+
+    def run_sparse():
+        return run_all(sparse_v, h)
+
+    sparse_times = benchmark.pedantic(run_sparse, rounds=1, iterations=1)
+    dense_times = run_all(dense_v, h)
+
+    systems = ["ScaLAPACK", "SciDB", "SystemML-S", "DMac"]
+    paper = {"MM-Sparse": ["107s", "11m35s", "18.5s", "17s"],
+             "MM-Dense": ["116s", "12m15s", "133s", "121s"]}
+    rows = []
+    for label, times in (("MM-Sparse", sparse_times), ("MM-Dense", dense_times)):
+        rows.append([label] + [fmt_secs(times[s]) for s in systems])
+        rows.append([f"  (paper)"] + paper[label])
+    report(
+        "table4_systems",
+        "Table 4 -- matrix multiplication across systems",
+        ["workload"] + systems,
+        rows,
+    )
+
+    # Paper shapes:
+    # 1. sparse: the sparse-aware systems beat the dense-only ones
+    assert sparse_times["DMac"] < sparse_times["ScaLAPACK"]
+    assert sparse_times["SystemML-S"] < sparse_times["ScaLAPACK"]
+    # 2. DMac at least matches SystemML-S (single multiply: same strategy)
+    assert sparse_times["DMac"] <= sparse_times["SystemML-S"] * 1.05
+    # 3. SciDB is the slowest system in both workloads
+    assert sparse_times["SciDB"] == max(sparse_times.values())
+    assert dense_times["SciDB"] == max(dense_times.values())
+    # 4. ScaLAPACK is sparsity-insensitive...
+    assert sparse_times["ScaLAPACK"] == pytest.approx(
+        dense_times["ScaLAPACK"], rel=0.05
+    )
+    # 5. ...while DMac pays real extra work on dense input
+    assert dense_times["DMac"] > sparse_times["DMac"] * 1.5
+    # 6. dense: DMac lands in ScaLAPACK's neighbourhood (paper: 121s vs 116s)
+    assert dense_times["DMac"] < dense_times["ScaLAPACK"] * 4

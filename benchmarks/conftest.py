@@ -1,0 +1,6 @@
+"""Make the benchmark harness importable when pytest runs benchmarks/."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

@@ -1,0 +1,82 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (see DESIGN.md, Substitutions).  Results are printed and also written
+to ``benchmarks/results/<name>.txt`` so the series survive pytest's output
+capture; EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def bench_clock():
+    """Simulated-hardware constants for the benchmarks.
+
+    The datasets are scaled down ~1000x from the paper's (DESIGN.md,
+    Substitutions); scaling the clock's bandwidth/flop constants by a
+    similar factor puts the benchmarks back in the paper's regime, where
+    communication -- not per-stage scheduling latency -- dominates the
+    runtime of the dependency-blind plans.  Ratios between systems depend
+    on measured bytes and flops either way; this only affects how visible
+    they are in the time series.
+    """
+    from repro.config import ClockConfig
+
+    return ClockConfig(
+        network_bytes_per_sec=2e6,
+        dense_flops_per_sec=5e7,
+        sparse_flops_per_sec=1.5e7,
+        disk_bytes_per_sec=2e6,
+        latency_per_stage_sec=0.01,
+    )
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count."""
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(value) < 1024 or unit == "GB":
+            return f"{value:.2f} {unit}"
+        value /= 1024
+    return f"{value:.2f} GB"  # pragma: no cover
+
+
+def fmt_secs(seconds: float) -> str:
+    return f"{seconds:.3f} s"
+
+
+def report(
+    name: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: str = "",
+) -> str:
+    """Render an aligned table, print it, and persist it under results/."""
+    table = [list(map(str, headers))] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[col]) for row in table) for col in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    if notes:
+        lines.append("")
+        lines.append(notes)
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text
+
+
+def density(array) -> float:
+    """Non-zero fraction of a numpy array."""
+    import numpy as np
+
+    return float(np.count_nonzero(array)) / array.size

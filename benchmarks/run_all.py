@@ -1,0 +1,70 @@
+"""Standalone benchmark runner: regenerate every table and figure without
+pytest and print a combined report.
+
+Usage::
+
+    python benchmarks/run_all.py            # run everything
+    python benchmarks/run_all.py fig6 table4  # run a subset
+
+Equivalent to ``pytest benchmarks/ --benchmark-only`` but with plain
+console output; each experiment's table is also written to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+#: Experiment name -> benchmark file.
+EXPERIMENTS = {
+    "fig6": "bench_fig6_gnmf.py",
+    "fig7": "bench_fig7_memory.py",
+    "fig8": "bench_fig8_blocksize.py",
+    "fig9a": "bench_fig9a_pagerank.py",
+    "fig9b": "bench_fig9b_apps.py",
+    "fig10data": "bench_fig10_scale_data.py",
+    "fig10workers": "bench_fig10_scale_workers.py",
+    "table4": "bench_table4_systems.py",
+    "heuristics": "bench_ablation_heuristics.py",
+    "greedygap": "bench_greedy_gap.py",
+    "estimator": "bench_estimator_modes.py",
+    "ext2d": "bench_ext_2d.py",
+    "ranksweep": "bench_rank_sweep.py",
+}
+
+
+def main(argv: list[str]) -> int:
+    requested = argv or list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choose from {sorted(EXPERIMENTS)}")
+        return 2
+    failures = []
+    for name in requested:
+        bench = BENCH_DIR / EXPERIMENTS[name]
+        print(f"\n=== {name}: {bench.name} ===")
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", str(bench), "--benchmark-only",
+             "-q", "--no-header"],
+            cwd=BENCH_DIR.parent,
+        )
+        if proc.returncode != 0:
+            failures.append(name)
+    results = sorted((BENCH_DIR / "results").glob("*.txt"))
+    print("\n" + "=" * 72)
+    print("Combined report (also under benchmarks/results/):")
+    for path in results:
+        print("\n" + path.read_text())
+    if failures:
+        print(f"FAILED experiments: {failures}")
+        return 1
+    print(f"all {len(requested)} experiments completed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,52 @@
+"""PageRank over a scaled LiveJournal-like graph: the Figure 9(a) workload.
+
+Shows why DMac wins on iterative graph programs: the link matrix is loaded
+into Column scheme once and referenced for free every iteration; only the
+small rank vector moves.
+
+Run with:  python examples/pagerank_graph.py
+"""
+
+import numpy as np
+
+from repro import ClusterConfig, DMacSession
+from repro.datasets import graph_like, row_normalize
+from repro.programs import build_pagerank_program
+
+
+def main() -> None:
+    adjacency = graph_like("LiveJournal", scale=3e-4, seed=5)
+    link = row_normalize(adjacency)
+    nodes = link.shape[0]
+    density = np.count_nonzero(link) / link.size
+    print(f"graph: {nodes} nodes, {np.count_nonzero(adjacency):.0f} edges")
+
+    program = build_pagerank_program(nodes, density, iterations=15)
+    session = DMacSession(ClusterConfig(num_workers=4, threads_per_worker=4))
+    plan = session.plan(program)
+
+    link_moves = sum(
+        1
+        for step in plan.communicating_steps()
+        if getattr(step, "source", None) is not None and step.source.name == "link"
+    )
+    print(f"plan: {plan.num_stages} stages; the link matrix crosses the "
+          f"network {link_moves} times (rank vector broadcasts do the rest)")
+
+    result = session.run(program, {"link": link})
+    ranks = result.matrices[program.bindings["rank"]].ravel()
+    top = np.argsort(ranks)[::-1][:5]
+    print("top-5 nodes by rank:")
+    for node in top:
+        in_degree = int(adjacency[:, node].sum())
+        print(f"  node {node:>5}  rank {ranks[node]:.5f}  in-degree {in_degree}")
+
+    baseline = DMacSession(ClusterConfig(num_workers=4, threads_per_worker=4))
+    systemml = baseline.run_systemml(program, {"link": link})
+    print(f"\ncommunication: DMac {result.comm_bytes / 1e6:.2f} MB vs "
+          f"SystemML-S {systemml.comm_bytes / 1e6:.2f} MB "
+          f"({systemml.comm_bytes / max(result.comm_bytes, 1):.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

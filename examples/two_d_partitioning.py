@@ -1,0 +1,71 @@
+"""The paper's future work, explored: 1-D (DMac) vs 2-D block-cyclic
+partitioning with SUMMA multiplication.
+
+Shows the trade-off the paper describes in Section 3.1 / related work:
+2-D placement balances better and moves less data on square multiplies,
+but pays more synchronised stages; 1-D replication wins on the skinny
+operands ML workloads actually have.
+
+Run with:  python examples/two_d_partitioning.py
+"""
+
+import numpy as np
+
+from repro import ClusterConfig, ClusterContext
+from repro.core.optimal import optimal_cost
+from repro.grid2d import (
+    Grid2DMatrix,
+    GridLayout,
+    one_d_imbalance,
+    summa_matmul,
+    summa_predicted_bytes,
+    summa_stage_count,
+)
+from repro.lang.program import ProgramBuilder
+
+
+def one_d_cost(rows: int, inner: int, cols: int, workers: int) -> int:
+    pb = ProgramBuilder()
+    a = pb.load("A", (rows, inner))
+    b = pb.load("B", (inner, cols))
+    pb.output(pb.assign("C", a @ b))
+    return optimal_cost(pb.build(), workers)
+
+
+def main() -> None:
+    workers = 4
+    context = ClusterContext(ClusterConfig(num_workers=workers))
+    rng = np.random.default_rng(0)
+    rows = 256
+
+    print(f"{'B shape':>10}  {'1-D bytes':>11}  {'2-D bytes':>11}  winner")
+    for width in (256, 64, 16, 4):
+        a = rng.random((rows, rows))
+        b = rng.random((rows, width))
+        ga = Grid2DMatrix.from_numpy(context, a, 32, GridLayout(2, 2), storage="dense")
+        gb = Grid2DMatrix.from_numpy(context, b, 32, GridLayout(2, 2), storage="dense")
+        two_d = summa_predicted_bytes(ga, gb)
+        one_d = one_d_cost(rows, rows, width, workers)
+        winner = "2-D SUMMA" if two_d < one_d else "1-D (DMac)"
+        print(f"{rows}x{width:>4}  {one_d:>11,}  {two_d:>11,}  {winner}")
+
+    # Correctness and the stage-count cost of 2-D.
+    a, b = rng.random((128, 96)), rng.random((96, 64))
+    ga = Grid2DMatrix.from_numpy(context, a, 16)
+    gb = Grid2DMatrix.from_numpy(context, b, 16)
+    product = summa_matmul(ga, gb)
+    assert np.allclose(product.to_numpy(), a @ b)
+    print(f"\nSUMMA stages for the 128x96 multiply: {summa_stage_count(ga)} "
+          f"(1-D replication needs 2)")
+
+    # Balance on a skewed matrix.
+    skewed = np.zeros((256, 256))
+    skewed[:32, :] = rng.random((32, 256))
+    two_d_bal = Grid2DMatrix.from_numpy(context, skewed, 32, GridLayout(2, 2)).imbalance()
+    one_d_bal = one_d_imbalance(context, skewed, 32)
+    print(f"imbalance on a row-skewed matrix: 1-D Row {one_d_bal:.2f} vs "
+          f"2-D cyclic {two_d_bal:.2f} (1.0 = perfect)")
+
+
+if __name__ == "__main__":
+    main()

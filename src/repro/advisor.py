@@ -1,0 +1,96 @@
+"""Cluster-size advisor: what-if analysis over worker counts.
+
+Given a program, the advisor plans it for each candidate worker count and
+predicts the end-to-end cost from the plan alone (no execution): network
+time from the plan's predicted bytes, compute time from the program's flop
+estimate spread over the cluster, plus stage latency.  The result is the
+kind of table an operator wants before renting a cluster -- and it captures
+the paper's scalability story analytically: DMac's communication barely
+grows with ``K`` while compute shrinks, so the sweet spot moves right as
+data grows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import ClockConfig
+from repro.core.estimator import SizeEstimator
+from repro.core.planner import DMacPlanner
+from repro.core.stages import schedule_stages
+from repro.errors import PlanError
+from repro.lang.program import CellwiseOp, MatMulOp, MatrixProgram, UnaryMatrixOp
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerAdvice:
+    """Predicted cost of running the program on one cluster size."""
+
+    workers: int
+    predicted_comm_bytes: int
+    predicted_network_seconds: float
+    predicted_compute_seconds: float
+    predicted_overhead_seconds: float
+    stages: int
+
+    @property
+    def predicted_total_seconds(self) -> float:
+        return (
+            self.predicted_network_seconds
+            + self.predicted_compute_seconds
+            + self.predicted_overhead_seconds
+        )
+
+
+def estimate_program_flops(program: MatrixProgram) -> int:
+    """Worst-case flop estimate for the whole program (from estimated
+    sizes; multiplication dominates)."""
+    estimator = SizeEstimator(program)
+    flops = 0
+    for op in program.ops:
+        if isinstance(op, MatMulOp):
+            rows, inner = program.dims_of(op.left)
+            cols = program.dims_of(op.right)[1]
+            flops += int(2 * rows * inner * cols * estimator.sparsity_of(op.left))
+        elif isinstance(op, (CellwiseOp, UnaryMatrixOp)):
+            rows, cols = program.dims[op.output]
+            flops += rows * cols
+    return flops
+
+
+def advise_workers(
+    program: MatrixProgram,
+    candidate_workers: tuple[int, ...] = (2, 4, 8, 16),
+    threads_per_worker: int = 8,
+    clock: ClockConfig | None = None,
+) -> list[WorkerAdvice]:
+    """Plan the program for each candidate ``K`` and predict its cost."""
+    if not candidate_workers:
+        raise PlanError("no candidate worker counts given")
+    clock = clock or ClockConfig()
+    flops = estimate_program_flops(program)
+    advice = []
+    for workers in sorted(set(candidate_workers)):
+        plan = schedule_stages(DMacPlanner(program, workers).plan())
+        network = plan.predicted_bytes / clock.network_bytes_per_sec
+        compute = flops / (workers * threads_per_worker * clock.dense_flops_per_sec)
+        overhead = plan.num_stages * clock.latency_per_stage_sec
+        advice.append(
+            WorkerAdvice(
+                workers=workers,
+                predicted_comm_bytes=plan.predicted_bytes,
+                predicted_network_seconds=network,
+                predicted_compute_seconds=compute,
+                predicted_overhead_seconds=overhead,
+                stages=plan.num_stages,
+            )
+        )
+    return advice
+
+
+def best_worker_count(advice: list[WorkerAdvice]) -> int:
+    """The candidate with the lowest predicted total time (ties: fewest
+    workers, i.e. the cheapest cluster)."""
+    if not advice:
+        raise PlanError("empty advice list")
+    return min(advice, key=lambda a: (a.predicted_total_seconds, a.workers)).workers

@@ -1,0 +1,20 @@
+"""Comparator systems: SystemML-S, ScaLAPACK, SciDB, single-machine R."""
+
+from repro.baselines.rlocal import LocalResult, run_local
+from repro.baselines.scalapack import (
+    SystemRunResult,
+    process_grid,
+    run_scalapack_matmul,
+)
+from repro.baselines.scidb import run_scidb_matmul
+from repro.baselines.systemml import SystemMLSExecutor
+
+__all__ = [
+    "LocalResult",
+    "SystemMLSExecutor",
+    "SystemRunResult",
+    "process_grid",
+    "run_local",
+    "run_scalapack_matmul",
+    "run_scidb_matmul",
+]

@@ -1,0 +1,92 @@
+"""ScaLAPACK comparator for the Table 4 matrix-multiplication experiment.
+
+ScaLAPACK distributes dense matrices in a 2-D block-cyclic layout over a
+``pr x pc`` process grid and multiplies with a SUMMA-style algorithm
+(PDGEMM).  Two properties matter for the paper's comparison (Section 6.6):
+
+* it is **dense-only** -- a sparse input is handled "as the way on dense
+  one", so MM-Sparse and MM-Dense cost the same;
+* processes communicate through MPI messages rather than shared memory, so
+  every panel exchange pays the network even within one node ("multiple
+  processes will be created on a single node and data is transferred
+  through messages instead of share memory").
+
+The comparator really computes the product (numpy, after densifying) and
+derives simulated time from the standard SUMMA cost model: each process
+receives ``A``-panels of ``m/pr x k`` and ``B``-panels of ``k x n/pc``
+along its grid row/column over ``k / nb`` steps, i.e. total traffic on the
+order of ``|A| * pc + |B| * pr`` spread over ``P`` links, plus a per-step
+message latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.config import ClockConfig
+from repro.errors import ShapeError
+
+#: Panel width used in the SUMMA step count.
+DEFAULT_PANEL = 64
+#: Per-MPI-message latency (seconds); dominates for many small steps.
+MPI_MESSAGE_LATENCY = 2e-4
+#: Bytes per dense element on the wire (double precision).
+ELEMENT_BYTES = 8
+
+
+@dataclasses.dataclass
+class SystemRunResult:
+    """Result + simulated cost for a whole-system comparator run."""
+
+    product: np.ndarray
+    simulated_seconds: float
+    comm_bytes: int
+    flops: int
+
+
+def process_grid(num_processes: int) -> tuple[int, int]:
+    """The near-square ``pr x pc`` grid ScaLAPACK would use."""
+    pr = int(math.sqrt(num_processes))
+    while num_processes % pr:
+        pr -= 1
+    return pr, num_processes // pr
+
+
+def run_scalapack_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    num_processes: int,
+    clock: ClockConfig | None = None,
+    panel: int = DEFAULT_PANEL,
+) -> SystemRunResult:
+    """Multiply ``a @ b`` the ScaLAPACK way (dense, block-cyclic, SUMMA)."""
+    clock = clock or ClockConfig()
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"matmul inner dimensions differ: {a.shape} @ {b.shape}")
+    dense_a = np.asarray(a, dtype=np.float64)
+    dense_b = np.asarray(b, dtype=np.float64)
+    m, k = dense_a.shape
+    n = dense_b.shape[1]
+
+    pr, pc = process_grid(num_processes)
+    steps = max(1, math.ceil(k / panel))
+    # Every process receives its A-panel row-broadcast (pc - 1 hops worth of
+    # traffic per element in aggregate) and its B-panel column-broadcast.
+    comm_bytes = int(
+        ELEMENT_BYTES * (m * k * (pc - 1) / max(pc, 1) + k * n * (pr - 1) / max(pr, 1))
+    )
+    flops = 2 * m * k * n  # dense-only: sparsity is not exploited
+    compute_seconds = flops / (clock.dense_flops_per_sec * num_processes)
+    network_seconds = comm_bytes / clock.network_bytes_per_sec
+    latency_seconds = steps * 2 * MPI_MESSAGE_LATENCY
+
+    product = dense_a @ dense_b
+    return SystemRunResult(
+        product=product,
+        simulated_seconds=compute_seconds + network_seconds + latency_seconds,
+        comm_bytes=comm_bytes,
+        flops=flops,
+    )

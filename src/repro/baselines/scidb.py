@@ -1,0 +1,54 @@
+"""SciDB comparator for the Table 4 matrix-multiplication experiment.
+
+SciDB's linear-algebra library delegates the multiply itself to ScaLAPACK,
+but the end-to-end operation pays for much more (paper Section 6.6):
+
+* chunks must be **redistributed** from SciDB's storage layout into the
+  block-cyclic layout ScaLAPACK requires (and the result back), and
+* the system runs query processing and a **failure-handling mechanism**
+  during the computation, "which introduces extra overhead".
+
+The paper measures SciDB roughly 6x slower than raw ScaLAPACK on the same
+multiply; the default overhead factor below is calibrated to that gap and
+is an explicit model parameter, not a measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.scalapack import (
+    ELEMENT_BYTES,
+    SystemRunResult,
+    run_scalapack_matmul,
+)
+from repro.config import ClockConfig
+
+#: Multiplier on the ScaLAPACK core time covering query processing and the
+#: fault-tolerance machinery (calibrated to Table 4's ~6x gap).
+DEFAULT_SYSTEM_OVERHEAD = 5.0
+
+
+def run_scidb_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    num_processes: int,
+    clock: ClockConfig | None = None,
+    system_overhead: float = DEFAULT_SYSTEM_OVERHEAD,
+) -> SystemRunResult:
+    """Multiply ``a @ b`` the SciDB way: redistribute, call ScaLAPACK,
+    redistribute back, all under system overhead."""
+    clock = clock or ClockConfig()
+    core = run_scalapack_matmul(a, b, num_processes, clock)
+    m, k = a.shape
+    n = b.shape[1]
+    # Chunk redistribution: A and B into block-cyclic, C back into chunks.
+    redistribution_bytes = ELEMENT_BYTES * (m * k + k * n + m * n)
+    redistribution_seconds = redistribution_bytes / clock.network_bytes_per_sec
+    total = (core.simulated_seconds + redistribution_seconds) * (1.0 + system_overhead)
+    return SystemRunResult(
+        product=core.product,
+        simulated_seconds=total,
+        comm_bytes=core.comm_bytes + int(redistribution_bytes),
+        flops=core.flops,
+    )

@@ -1,0 +1,120 @@
+"""Splitting matrices into block grids and assembling them back.
+
+DMac partitions every matrix twice (paper Section 5.3): first into square
+``block_size`` x ``block_size`` blocks -- the base computing unit -- and then
+the *blocks* are distributed across workers by the partition scheme.  This
+module implements the first level: numpy array <-> block grid.
+
+Blocks are addressed by ``(block_row, block_col)`` indices.  Edge blocks are
+smaller when the matrix dimensions are not multiples of the block size.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.blocks.dense import DenseBlock
+from repro.blocks.ops import Block
+from repro.blocks.sparse import CSCBlock
+from repro.errors import BlockError
+
+#: Blocks whose density is below this fraction are stored in CSC format
+#: when the storage format is chosen automatically.
+DEFAULT_SPARSE_THRESHOLD = 0.3
+
+BlockGrid = dict[tuple[int, int], Block]
+
+
+def grid_shape(rows: int, cols: int, block_size: int) -> tuple[int, int]:
+    """Number of block rows and block columns for a matrix of the given shape."""
+    if block_size < 1:
+        raise BlockError(f"block_size must be >= 1, got {block_size}")
+    return math.ceil(rows / block_size), math.ceil(cols / block_size)
+
+
+def block_extent(index: int, dim: int, block_size: int) -> tuple[int, int]:
+    """Half-open ``[start, stop)`` range covered by block ``index`` along a
+    dimension of length ``dim``."""
+    start = index * block_size
+    if start >= dim:
+        raise BlockError(f"block index {index} out of range for dim {dim}")
+    return start, min(start + block_size, dim)
+
+
+def split(
+    array: np.ndarray,
+    block_size: int,
+    storage: str = "auto",
+    sparse_threshold: float = DEFAULT_SPARSE_THRESHOLD,
+) -> BlockGrid:
+    """Split a 2-D numpy array into a grid of blocks.
+
+    Args:
+        array: the matrix to split.
+        block_size: rows/columns per square block.
+        storage: ``"dense"``, ``"sparse"`` or ``"auto"`` (per-block choice by
+            density against ``sparse_threshold``).
+    """
+    arr = np.asarray(array, dtype=np.float64)
+    if arr.ndim != 2:
+        raise BlockError(f"expected a 2-D array, got ndim={arr.ndim}")
+    if storage not in ("auto", "dense", "sparse"):
+        raise BlockError(f"unknown storage policy {storage!r}")
+    rows, cols = arr.shape
+    block_rows, block_cols = grid_shape(rows, cols, block_size)
+    grid: BlockGrid = {}
+    for bi in range(block_rows):
+        r0, r1 = block_extent(bi, rows, block_size)
+        for bj in range(block_cols):
+            c0, c1 = block_extent(bj, cols, block_size)
+            piece = arr[r0:r1, c0:c1]
+            grid[(bi, bj)] = _wrap(piece, storage, sparse_threshold)
+    return grid
+
+
+def _wrap(piece: np.ndarray, storage: str, sparse_threshold: float) -> Block:
+    if storage == "dense":
+        return DenseBlock(piece)
+    if storage == "sparse":
+        return CSCBlock.from_dense(piece)
+    size = piece.size
+    density = np.count_nonzero(piece) / size if size else 0.0
+    if density < sparse_threshold:
+        return CSCBlock.from_dense(piece)
+    return DenseBlock(piece)
+
+
+def assemble(
+    grid: Mapping[tuple[int, int], Block],
+    shape: tuple[int, int],
+    block_size: int,
+) -> np.ndarray:
+    """Reassemble a block grid into a dense numpy array.
+
+    Missing blocks are treated as all-zero (the distributed layer drops
+    empty sparse blocks).
+    """
+    rows, cols = shape
+    out = np.zeros((rows, cols), dtype=np.float64)
+    block_rows, block_cols = grid_shape(rows, cols, block_size)
+    for (bi, bj), block in grid.items():
+        if not (0 <= bi < block_rows and 0 <= bj < block_cols):
+            raise BlockError(f"block index {(bi, bj)} out of range for shape {shape}")
+        r0, r1 = block_extent(bi, rows, block_size)
+        c0, c1 = block_extent(bj, cols, block_size)
+        expected = (r1 - r0, c1 - c0)
+        if block.shape != expected:
+            raise BlockError(
+                f"block {(bi, bj)} has shape {block.shape}, expected {expected}"
+            )
+        out[r0:r1, c0:c1] = block.to_numpy() if isinstance(block, CSCBlock) else block.data
+    return out
+
+
+def grid_model_nbytes(grid: Mapping[tuple[int, int], Block]) -> int:
+    """Total memory of a grid under the paper's model (Equation 2 summed
+    block by block)."""
+    return sum(block.model_nbytes for block in grid.values())

@@ -1,0 +1,110 @@
+"""Dense matrix blocks.
+
+A :class:`DenseBlock` is the base computing unit for dense data in DMac's
+local engine (paper Section 5.3): a 2-D, C-ordered ``float64`` numpy array
+plus the memory accounting the paper uses.
+
+The paper's memory model (Equation 2) charges ``4mn`` bytes for a dense
+``m x n`` block, i.e. 4 bytes per element.  We keep the computation in
+``float64`` for numerical fidelity but expose the paper's accounting via
+:attr:`DenseBlock.model_nbytes` so the memory experiments (Figures 7 and 8)
+reproduce the published formulas; :attr:`DenseBlock.actual_nbytes` reports
+the real allocation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BlockError
+
+#: Bytes per element in the paper's dense memory model (Equation 2).
+DENSE_MODEL_BYTES_PER_ELEMENT = 4
+
+
+class DenseBlock:
+    """A dense sub-matrix block backed by a ``float64`` numpy array."""
+
+    __slots__ = ("data",)
+
+    is_sparse = False
+
+    def __init__(self, data: np.ndarray) -> None:
+        arr = np.asarray(data, dtype=np.float64)
+        if arr.ndim != 2:
+            raise BlockError(f"DenseBlock requires a 2-D array, got ndim={arr.ndim}")
+        self.data = np.ascontiguousarray(arr)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, rows: int, cols: int) -> "DenseBlock":
+        """An all-zero block of the given shape."""
+        return cls(np.zeros((rows, cols), dtype=np.float64))
+
+    @classmethod
+    def full(cls, rows: int, cols: int, value: float) -> "DenseBlock":
+        """A constant block of the given shape."""
+        return cls(np.full((rows, cols), value, dtype=np.float64))
+
+    @classmethod
+    def random(cls, rows: int, cols: int, rng: np.random.Generator) -> "DenseBlock":
+        """A uniform(0, 1) random block drawn from ``rng``."""
+        return cls(rng.random((rows, cols)))
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.data.shape  # type: ignore[return-value]
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero entries (counted, not estimated)."""
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of non-zero entries in the block."""
+        rows, cols = self.shape
+        if rows == 0 or cols == 0:
+            return 0.0
+        return self.nnz / (rows * cols)
+
+    @property
+    def model_nbytes(self) -> int:
+        """Memory charge under the paper's model: ``4mn`` bytes."""
+        rows, cols = self.shape
+        return DENSE_MODEL_BYTES_PER_ELEMENT * rows * cols
+
+    @property
+    def actual_nbytes(self) -> int:
+        """Real bytes held by the backing array."""
+        return self.data.nbytes
+
+    # -- conversions -------------------------------------------------------
+
+    def to_numpy(self) -> np.ndarray:
+        """A defensive copy of the block contents as a numpy array."""
+        return self.data.copy()
+
+    def copy(self) -> "DenseBlock":
+        return DenseBlock(self.data.copy())
+
+    def transpose(self) -> "DenseBlock":
+        """The transposed block (materialised, C-ordered)."""
+        return DenseBlock(self.data.T)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rows, cols = self.shape
+        return f"DenseBlock({rows}x{cols})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DenseBlock):
+            return NotImplemented
+        return self.shape == other.shape and bool(np.array_equal(self.data, other.data))
+
+    def __hash__(self) -> int:  # blocks are mutable; identity hash
+        return id(self)

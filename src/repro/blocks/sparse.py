@@ -1,0 +1,237 @@
+"""Sparse matrix blocks in Compressed Sparse Column (CSC) format.
+
+This is a from-scratch CSC implementation following Figure 5 of the paper:
+three arrays hold a sparse ``m x n`` block --
+
+* ``values``  -- the non-zero entries, column-major order (``float64``),
+* ``row_idx`` -- the row index of each non-zero (``int32``),
+* ``colptr``  -- for each column ``j``, ``colptr[j]`` is the offset of the
+  first entry of column ``j`` in the other two arrays (``int32``,
+  length ``n + 1``).
+
+The paper's memory model for a sparse block with ``m x n`` size and
+sparsity ``s`` is ``Mem(b) = 4n + 8mns`` bytes (Section 5.3): a 4-byte
+column-start entry per column plus 8 bytes per stored non-zero.
+:attr:`CSCBlock.model_nbytes` implements exactly that; the real allocation
+(8-byte float values) is available as :attr:`CSCBlock.actual_nbytes`.
+
+Row indices are kept sorted within each column and duplicate coordinates
+are coalesced by summation, so every logical matrix has a unique CSC form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blocks.dense import DenseBlock
+from repro.errors import BlockError
+
+#: Bytes per column-start entry in the paper's model.
+CSC_MODEL_BYTES_PER_COLUMN = 4
+#: Bytes per stored non-zero in the paper's model (index + value).
+CSC_MODEL_BYTES_PER_NNZ = 8
+
+
+class CSCBlock:
+    """A sparse sub-matrix block stored in compressed sparse column form."""
+
+    __slots__ = ("values", "row_idx", "colptr", "_shape")
+
+    is_sparse = True
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        values: np.ndarray,
+        row_idx: np.ndarray,
+        colptr: np.ndarray,
+    ) -> None:
+        rows, cols = shape
+        values = np.asarray(values, dtype=np.float64)
+        row_idx = np.asarray(row_idx, dtype=np.int32)
+        colptr = np.asarray(colptr, dtype=np.int32)
+        if rows < 0 or cols < 0:
+            raise BlockError(f"negative block shape {shape}")
+        if values.ndim != 1 or row_idx.ndim != 1 or colptr.ndim != 1:
+            raise BlockError("CSC component arrays must be one-dimensional")
+        if len(values) != len(row_idx):
+            raise BlockError(
+                f"values ({len(values)}) and row_idx ({len(row_idx)}) lengths differ"
+            )
+        if len(colptr) != cols + 1:
+            raise BlockError(f"colptr must have length cols+1={cols + 1}, got {len(colptr)}")
+        if len(colptr) > 0 and (colptr[0] != 0 or colptr[-1] != len(values)):
+            raise BlockError("colptr must start at 0 and end at nnz")
+        if np.any(np.diff(colptr) < 0):
+            raise BlockError("colptr must be non-decreasing")
+        if len(row_idx) and (row_idx.min() < 0 or row_idx.max() >= rows):
+            raise BlockError("row index out of range")
+        self._shape = (int(rows), int(cols))
+        self.values = values
+        self.row_idx = row_idx
+        self.colptr = colptr
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        shape: tuple[int, int],
+    ) -> "CSCBlock":
+        """Build a CSC block from coordinate triples.
+
+        Duplicate coordinates are coalesced by summing their values; explicit
+        zeros are dropped so the stored non-zeros equal the logical ones.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if not (len(rows) == len(cols) == len(values)):
+            raise BlockError("COO component arrays must have equal length")
+        m, n = shape
+        if len(rows) and (rows.min() < 0 or rows.max() >= m or cols.min() < 0 or cols.max() >= n):
+            raise BlockError(f"COO coordinates out of range for shape {shape}")
+
+        # Sort column-major, coalesce duplicates, drop explicit zeros.
+        keys = cols * m + rows
+        order = np.argsort(keys, kind="stable")
+        keys, values = keys[order], values[order]
+        if len(keys):
+            unique_keys, inverse = np.unique(keys, return_inverse=True)
+            summed = np.zeros(len(unique_keys), dtype=np.float64)
+            np.add.at(summed, inverse, values)
+            nonzero = summed != 0.0
+            unique_keys, summed = unique_keys[nonzero], summed[nonzero]
+        else:
+            unique_keys = keys.astype(np.int64)
+            summed = values
+
+        out_cols = unique_keys // m
+        out_rows = unique_keys % m
+        counts = np.bincount(out_cols, minlength=n)
+        colptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int32)
+        return cls(shape, summed, out_rows.astype(np.int32), colptr)
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray) -> "CSCBlock":
+        """Compress a dense 2-D array into CSC form."""
+        arr = np.asarray(array, dtype=np.float64)
+        if arr.ndim != 2:
+            raise BlockError(f"expected a 2-D array, got ndim={arr.ndim}")
+        rows, cols = np.nonzero(arr)
+        return cls.from_coo(rows, cols, arr[rows, cols], arr.shape)
+
+    @classmethod
+    def empty(cls, rows: int, cols: int) -> "CSCBlock":
+        """An all-zero sparse block."""
+        return cls(
+            (rows, cols),
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.int32),
+            np.zeros(cols + 1, dtype=np.int32),
+        )
+
+    @classmethod
+    def random(
+        cls,
+        rows: int,
+        cols: int,
+        sparsity: float,
+        rng: np.random.Generator,
+    ) -> "CSCBlock":
+        """A random sparse block with the requested expected sparsity."""
+        if not 0.0 <= sparsity <= 1.0:
+            raise BlockError(f"sparsity must lie in [0, 1], got {sparsity}")
+        nnz = rng.binomial(rows * cols, sparsity) if rows * cols else 0
+        flat = rng.choice(rows * cols, size=nnz, replace=False) if nnz else np.empty(0, int)
+        values = rng.random(nnz) + 1e-12  # strictly positive: never an explicit zero
+        return cls.from_coo(flat % rows, flat // rows, values, (rows, cols))
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    @property
+    def sparsity(self) -> float:
+        rows, cols = self._shape
+        if rows == 0 or cols == 0:
+            return 0.0
+        return self.nnz / (rows * cols)
+
+    @property
+    def model_nbytes(self) -> int:
+        """Memory charge under the paper's model: ``4n + 8 * nnz`` bytes."""
+        __, cols = self._shape
+        return CSC_MODEL_BYTES_PER_COLUMN * cols + CSC_MODEL_BYTES_PER_NNZ * self.nnz
+
+    @property
+    def actual_nbytes(self) -> int:
+        """Real bytes held by the three backing arrays."""
+        return self.values.nbytes + self.row_idx.nbytes + self.colptr.nbytes
+
+    # -- views and conversions ---------------------------------------------
+
+    def column_indices(self) -> np.ndarray:
+        """The column index of each stored non-zero, in storage order."""
+        counts = np.diff(self.colptr)
+        return np.repeat(np.arange(self._shape[1], dtype=np.int32), counts)
+
+    def to_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Coordinate triples ``(rows, cols, values)`` in column-major order."""
+        return self.row_idx.copy(), self.column_indices(), self.values.copy()
+
+    def to_numpy(self) -> np.ndarray:
+        """Decompress into a dense numpy array."""
+        dense = np.zeros(self._shape, dtype=np.float64)
+        if self.nnz:
+            dense[self.row_idx, self.column_indices()] = self.values
+        return dense
+
+    def to_dense_block(self) -> DenseBlock:
+        return DenseBlock(self.to_numpy())
+
+    def copy(self) -> "CSCBlock":
+        return CSCBlock(
+            self._shape, self.values.copy(), self.row_idx.copy(), self.colptr.copy()
+        )
+
+    def transpose(self) -> "CSCBlock":
+        """The transposed block, rebuilt in canonical CSC form."""
+        rows, cols, values = self.to_coo()
+        m, n = self._shape
+        return CSCBlock.from_coo(cols, rows, values, (n, m))
+
+    def column(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Row indices and values of the stored entries of column ``j``."""
+        if not 0 <= j < self._shape[1]:
+            raise BlockError(f"column {j} out of range for shape {self._shape}")
+        start, stop = self.colptr[j], self.colptr[j + 1]
+        return self.row_idx[start:stop], self.values[start:stop]
+
+    # -- dunder ------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rows, cols = self._shape
+        return f"CSCBlock({rows}x{cols}, nnz={self.nnz})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSCBlock):
+            return NotImplemented
+        return (
+            self._shape == other._shape
+            and bool(np.array_equal(self.values, other.values))
+            and bool(np.array_equal(self.row_idx, other.row_idx))
+            and bool(np.array_equal(self.colptr, other.colptr))
+        )
+
+    def __hash__(self) -> int:  # blocks are mutable; identity hash
+        return id(self)

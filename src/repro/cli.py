@@ -1,0 +1,250 @@
+"""Command-line interface: run the paper's applications and inspect plans.
+
+Examples::
+
+    python -m repro gnmf --scale 4e-3 --iterations 5 --compare
+    python -m repro pagerank --graph LiveJournal --workers 8
+    python -m repro linreg --rows 2000 --features 80
+    python -m repro plan gnmf --iterations 1          # Figure-3-style listing
+    python -m repro plan gnmf --dot > plan.dot        # Graphviz export
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro import ClusterConfig, DMacSession
+from repro.core.analysis import explain, format_statistics
+from repro.core.viz import plan_to_dot
+from repro.datasets import (
+    PAPER_GRAPHS,
+    graph_like,
+    netflix_like,
+    row_normalize,
+    sparse_random,
+)
+from repro.programs import (
+    build_cf_program,
+    build_gnmf_program,
+    build_jacobi_program,
+    build_linreg_program,
+    build_logreg_program,
+    build_pagerank_program,
+    build_svd_program,
+    singular_values,
+)
+
+
+def _density(array: np.ndarray) -> float:
+    return float(np.count_nonzero(array)) / array.size
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=4, help="cluster workers (K)")
+    parser.add_argument("--threads", type=int, default=4, help="threads per worker (L)")
+    parser.add_argument("--block-size", type=int, default=None,
+                        help="block rows/cols (default: Equation 3 automatic)")
+    parser.add_argument("--compare", action="store_true",
+                        help="also run the SystemML-S baseline")
+
+
+def _session(args: argparse.Namespace) -> DMacSession:
+    return DMacSession(
+        ClusterConfig(
+            num_workers=args.workers,
+            threads_per_worker=args.threads,
+            block_size=args.block_size,
+        )
+    )
+
+
+def _report(label: str, result, baseline=None) -> None:
+    print(f"{label}: {result.comm_bytes / 1e6:.3f} MB communication, "
+          f"{result.simulated_seconds:.3f} s simulated "
+          f"({result.num_stages} stages, "
+          f"peak {result.peak_memory_bytes / 1e6:.1f} MB/worker)")
+    if baseline is not None:
+        ratio = baseline.comm_bytes / max(result.comm_bytes, 1)
+        print(f"SystemML-S baseline: {baseline.comm_bytes / 1e6:.3f} MB "
+              f"({ratio:.1f}x DMac), {baseline.simulated_seconds:.3f} s simulated")
+
+
+def _workload(args: argparse.Namespace):
+    """Build (program, inputs) for the app named in args.app."""
+    if args.app == "gnmf":
+        data = netflix_like(scale=args.scale, seed=args.seed)
+        program = build_gnmf_program(
+            data.shape, _density(data), factors=args.factors, iterations=args.iterations
+        )
+        return program, {"V": data}, None
+    if args.app == "pagerank":
+        link = row_normalize(graph_like(args.graph, scale=args.scale, seed=args.seed))
+        program = build_pagerank_program(
+            link.shape[0], _density(link), iterations=args.iterations
+        )
+        return program, {"link": link}, None
+    if args.app == "linreg":
+        design = sparse_random(args.rows, args.features, args.sparsity, seed=args.seed)
+        target = sparse_random(args.rows, 1, 1.0, seed=args.seed + 1)
+        program = build_linreg_program(
+            design.shape, _density(design), iterations=args.iterations
+        )
+        return program, {"V": design, "y": target}, None
+    if args.app == "logreg":
+        design = sparse_random(args.rows, args.features, args.sparsity, seed=args.seed)
+        rng = np.random.default_rng(args.seed + 2)
+        labels = (rng.random((args.rows, 1)) > 0.5).astype(float)
+        program = build_logreg_program(
+            design.shape, _density(design), iterations=args.iterations
+        )
+        return program, {"V": design, "y": labels}, None
+    if args.app == "jacobi":
+        from repro.programs import split_system
+
+        rng = np.random.default_rng(args.seed)
+        n = args.rows
+        matrix = rng.random((n, n)) * (rng.random((n, n)) < args.sparsity)
+        np.fill_diagonal(matrix, np.abs(matrix).sum(axis=1) + 1.0)
+        remainder, dinv, rhs = split_system(matrix, rng.random((n, 1)))
+        program = build_jacobi_program(
+            n, _density(remainder), iterations=args.iterations
+        )
+        return program, {"R": remainder, "dinv": dinv, "b": rhs}, None
+    if args.app == "cf":
+        ratings = netflix_like(scale=args.scale, seed=args.seed).T
+        program = build_cf_program(ratings.shape, _density(ratings))
+        return program, {"R": ratings}, None
+    if args.app == "svd":
+        data = netflix_like(scale=args.scale, seed=args.seed)
+        program, names = build_svd_program(
+            data.shape, _density(data), rank=args.rank
+        )
+        return program, {"V": data}, names
+    raise SystemExit(f"unknown application {args.app!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program, inputs, svd_names = _workload(args)
+    session = _session(args)
+    result = session.run(program, inputs)
+    baseline = None
+    if args.compare:
+        baseline = _session(args).run_systemml(program, inputs)
+        for name in result.matrices:
+            np.testing.assert_allclose(
+                result.matrices[name], baseline.matrices[name], atol=1e-7
+            )
+    _report(f"DMac {args.app}", result, baseline)
+    if svd_names is not None:
+        values = singular_values(result.scalars, svd_names)
+        print("top singular values:", np.array2string(values[:5], precision=3))
+    return 0
+
+
+def _load_bound_array(path: str) -> np.ndarray:
+    """Load an input array from .npy, or from a repro matrix .npz."""
+    if path.endswith(".npy"):
+        return np.load(path)
+    with np.load(path, allow_pickle=False) as payload:
+        if "format" in payload:  # repro.matrix.io format
+            rows, cols = (int(v) for v in payload["shape"])
+            array = np.zeros((rows, cols))
+            array[payload["rows"], payload["cols"]] = payload["values"]
+            return array
+        raise SystemExit(f"{path}: not a .npy or repro matrix .npz file")
+
+
+def _cmd_script(args: argparse.Namespace) -> int:
+    from repro.lang.dml import load_names, parse_program
+
+    source = open(args.path, encoding="utf-8").read()
+    program = parse_program(source)
+    names = load_names(program)
+    inputs = {}
+    for binding in args.bind or []:
+        name, __, path = binding.partition("=")
+        if name not in names:
+            raise SystemExit(
+                f"--bind {name}: script has no load named {name!r} "
+                f"(loads: {sorted(names)})"
+            )
+        inputs[names[name]] = _load_bound_array(path)
+    session = _session(args)
+    result = session.run(program, inputs)
+    _report(f"DMac script {args.path}", result)
+    for name in program.scalar_outputs:
+        print(f"scalar {name} = {result.scalars[name]:.6g}")
+    for name, array in result.matrices.items():
+        print(f"matrix {name}: shape {array.shape}, "
+              f"||.||_F = {np.linalg.norm(array):.6g}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    program, __, ___ = _workload(args)
+    session = _session(args)
+    plan = session.plan(program)
+    if args.dot:
+        print(plan_to_dot(plan, title=f"DMac plan: {args.app}"))
+    else:
+        print(f"# {args.app}")
+        print(format_statistics(explain(plan, args.workers)))
+        print(plan.describe())
+    return 0
+
+
+def _add_app_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("app", choices=["gnmf", "pagerank", "linreg", "logreg", "jacobi", "cf", "svd"])
+    parser.add_argument("--scale", type=float, default=3e-3,
+                        help="dataset scale factor (gnmf/pagerank/cf/svd)")
+    parser.add_argument("--graph", choices=sorted(PAPER_GRAPHS), default="soc-pokec",
+                        help="graph surrogate for pagerank")
+    parser.add_argument("--iterations", type=int, default=5)
+    parser.add_argument("--factors", type=int, default=16, help="GNMF rank")
+    parser.add_argument("--rank", type=int, default=10, help="SVD rank")
+    parser.add_argument("--rows", type=int, default=2000, help="linreg examples")
+    parser.add_argument("--features", type=int, default=80, help="linreg features")
+    parser.add_argument("--sparsity", type=float, default=0.1, help="linreg V sparsity")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DMac reproduction: dependency-aware distributed matrix computation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute an application on the simulated cluster")
+    _add_app_args(run)
+    _add_cluster_args(run)
+    run.set_defaults(func=_cmd_run)
+
+    plan = sub.add_parser("plan", help="print the DMac plan for an application")
+    _add_app_args(plan)
+    _add_cluster_args(plan)
+    plan.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    plan.set_defaults(func=_cmd_plan)
+
+    script = sub.add_parser("script", help="run a DML-style script file")
+    script.add_argument("path", help="script file (see repro.lang.dml)")
+    script.add_argument("--bind", action="append", metavar="NAME=FILE",
+                        help="bind a script load() to a .npy / repro .npz file")
+    _add_cluster_args(script)
+    script.set_defaults(func=_cmd_script)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

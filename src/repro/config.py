@@ -1,0 +1,82 @@
+"""Cluster and engine configuration objects.
+
+The paper's experiments run on clusters of 4--20 physical nodes with eight
+local threads each (Section 6.1).  :class:`ClusterConfig` captures exactly
+the knobs the paper varies: the number of workers ``K``, the local
+parallelism ``L``, the block size, the local aggregation mode (In-Place vs
+Buffer, Section 5.3) and the parameters of the simulated clock used to turn
+metered bytes/flops into an execution-time estimate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ClusterError
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockConfig:
+    """Parameters of the simulated clock.
+
+    The defaults model commodity 2015-era hardware: a gigabit-class network
+    and a few Gflop/s of effective per-thread dense throughput.  Absolute
+    values only scale the reported seconds; the DMac-vs-baseline *ratios*
+    depend on bytes and flops, which are measured, not modelled.
+    """
+
+    network_bytes_per_sec: float = 125e6  # ~1 Gbit/s effective
+    dense_flops_per_sec: float = 2e9  # per thread
+    sparse_flops_per_sec: float = 5e8  # per thread; irregular access is slower
+    disk_bytes_per_sec: float = 100e6
+    latency_per_stage_sec: float = 0.1  # scheduling + task launch overhead
+    #: Optional per-worker relative speeds (1.0 = nominal, 0.5 = half speed).
+    #: Workers beyond the tuple's length run at nominal speed.  Models
+    #: heterogeneous clusters / stragglers: stage time is the slowest
+    #: worker's, so one slow node drags whole stages.
+    worker_speed_factors: tuple[float, ...] | None = None
+
+    def worker_speed(self, worker: int) -> float:
+        """Relative speed of one worker (nominal 1.0)."""
+        if self.worker_speed_factors is None or worker >= len(self.worker_speed_factors):
+            return 1.0
+        factor = self.worker_speed_factors[worker]
+        if factor <= 0:
+            raise ValueError(f"worker speed factors must be positive, got {factor}")
+        return factor
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the (simulated) cluster.
+
+    Attributes:
+        num_workers: number of worker nodes ``K`` (paper: 4 default, up to 20).
+        threads_per_worker: local parallelism ``L`` (paper: 8).
+        block_size: rows/columns per square block, or ``None`` to let the
+            engine choose via Equation 3 of the paper.
+        inplace: use the In-Place local aggregation strategy when ``True``
+            (the DMac default), the Buffer strategy otherwise.
+        memory_limit_bytes: per-worker simulated memory budget; ``None``
+            disables the check.  Exceeding it raises
+            :class:`repro.errors.MemoryLimitExceeded`, which reproduces the
+            paper's "Buffer cannot run Wikipedia in 48 GB" observation.
+        clock: simulated clock parameters.
+    """
+
+    num_workers: int = 4
+    threads_per_worker: int = 8
+    block_size: int | None = None
+    inplace: bool = True
+    memory_limit_bytes: int | None = None
+    clock: ClockConfig = dataclasses.field(default_factory=ClockConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ClusterError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.threads_per_worker < 1:
+            raise ClusterError(
+                f"threads_per_worker must be >= 1, got {self.threads_per_worker}"
+            )
+        if self.block_size is not None and self.block_size < 1:
+            raise ClusterError(f"block_size must be >= 1, got {self.block_size}")

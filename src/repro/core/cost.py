@@ -1,0 +1,40 @@
+"""The dependency-oriented cost model (paper Section 4.1).
+
+For an input event ``In(A, p_i, op_i)`` depending on an output event
+already in the OutputSet, the communication it induces is determined by
+the dependency type alone::
+
+    Cost(In) = 0          non-communication dependency        (Situation 1)
+    Cost(In) = |A|        Partition / Transpose-Partition     (Situation 2)
+    Cost(In) = N * |A|    Broadcast / Transpose-Broadcast     (Situation 3)
+
+The output event costs ``N x |C|`` for CPMM and nothing otherwise.  The
+strategy chosen for an operator is the argmin of the summed input and
+output event costs (Equation 1); ties are broken by catalog order, which
+prefers replication-based multiplication over CPMM.
+"""
+
+from __future__ import annotations
+
+from repro.core.dependency import (
+    BROADCAST_DEPENDENCIES,
+    DependencyType,
+    is_communication,
+)
+from repro.core.strategies import Strategy
+
+
+def dependency_cost(dependency: DependencyType, nbytes: int, num_workers: int) -> int:
+    """Communication bytes induced by satisfying one input event."""
+    if not is_communication(dependency):
+        return 0
+    if dependency in BROADCAST_DEPENDENCIES:
+        return num_workers * nbytes
+    return nbytes
+
+
+def output_cost(strategy: Strategy, nbytes: int, num_workers: int) -> int:
+    """Communication bytes induced by the strategy's output event."""
+    if strategy.shuffles_output:
+        return num_workers * nbytes
+    return 0

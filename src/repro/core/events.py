@@ -1,0 +1,42 @@
+"""Input/output events of matrix operators (paper Section 3.1).
+
+An *event* is the act of an operator reading or writing one matrix under a
+partition scheme.  ``In(A, p, op)`` / ``Out(A, p, op)`` from the paper map
+to :class:`InputEvent` / :class:`OutputEvent`; the possibly-transposed
+access ``B = A^T`` is carried by the ``transposed`` flag on the event
+rather than by a separate matrix name, matching how the language layer
+marks operand references.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.matrix.schemes import Scheme
+
+
+@dataclasses.dataclass(frozen=True)
+class InputEvent:
+    """Operator ``op_index`` reads matrix ``name`` (transposed if set)
+    required under ``scheme``."""
+
+    name: str
+    transposed: bool
+    scheme: Scheme
+    op_index: int
+
+
+@dataclasses.dataclass(frozen=True)
+class OutputEvent:
+    """Operator ``op_index`` produces matrix ``name`` (transposed if set)
+    laid out under ``scheme``."""
+
+    name: str
+    transposed: bool
+    scheme: Scheme
+    op_index: int
+
+
+def precedes(producer: OutputEvent, consumer: InputEvent) -> bool:
+    """The paper's ``Precede(op_i, op_j)``: the producer ran earlier."""
+    return producer.op_index < consumer.op_index

@@ -1,0 +1,225 @@
+"""Execution-plan representation: matrix instances and plan steps.
+
+A plan is a DAG like the paper's Figure 3: nodes are *matrix instances*
+(a logical matrix, possibly transposed, laid out under a scheme -- e.g.
+``W1^T(b)``) and edges are either original compute operators or the five
+extended operators (``partition``, ``broadcast``, ``transpose``,
+``reference``, ``extract``) that realise dependencies.
+
+We store the plan as a topologically-ordered step list; the stage scheduler
+(:mod:`repro.core.stages`) later annotates each step with its stage number,
+whose boundaries sit exactly on the communicating edges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+from repro.lang.program import (
+    AggregateOp,
+    CellwiseOp,
+    FullOp,
+    LoadOp,
+    MatMulOp,
+    MatrixProgram,
+    RandomOp,
+    RowAggOp,
+    ScalarComputeOp,
+    ScalarMatrixOp,
+    UnaryMatrixOp,
+)
+from repro.matrix.schemes import Scheme
+
+#: Extended operator kinds that move bytes between workers.
+COMMUNICATING_KINDS = frozenset({"partition", "broadcast"})
+
+
+@dataclasses.dataclass(frozen=True)
+class MatrixInstance:
+    """A concrete distributed materialisation of a logical matrix."""
+
+    name: str  # program version name, e.g. "W@2"
+    transposed: bool  # this instance holds the transpose of `name`
+    scheme: Scheme
+
+    def __str__(self) -> str:
+        suffix = "^T" if self.transposed else ""
+        return f"{self.name}{suffix}({self.scheme})"
+
+    def with_scheme(self, scheme: Scheme) -> "MatrixInstance":
+        return dataclasses.replace(self, scheme=scheme)
+
+
+@dataclasses.dataclass
+class Step:
+    """Base plan step.  ``stage`` is assigned by the stage scheduler."""
+
+    stage: int = dataclasses.field(default=0, init=False)
+
+    def inputs(self) -> tuple[MatrixInstance, ...]:
+        return ()
+
+    @property
+    def communicates(self) -> bool:
+        return False
+
+
+@dataclasses.dataclass
+class SourceStep(Step):
+    """Materialise a load / random / constant matrix."""
+
+    op: Union[LoadOp, RandomOp, FullOp]
+    output: MatrixInstance
+
+    def __str__(self) -> str:
+        kind = type(self.op).__name__.replace("Op", "").lower()
+        return f"{self.output} <- {kind}"
+
+
+@dataclasses.dataclass
+class ExtendedStep(Step):
+    """One of the extended operators realising a dependency."""
+
+    kind: str  # partition | broadcast | transpose | extract
+    source: MatrixInstance
+    target: MatrixInstance
+
+    def inputs(self) -> tuple[MatrixInstance, ...]:
+        return (self.source,)
+
+    @property
+    def communicates(self) -> bool:
+        return self.kind in COMMUNICATING_KINDS
+
+    def __str__(self) -> str:
+        return f"{self.target} <- {self.kind}({self.source})"
+
+
+@dataclasses.dataclass
+class MatMulStep(Step):
+    """A matrix multiplication under a chosen strategy."""
+
+    op: MatMulOp
+    strategy: str  # rmm1 | rmm2 | cpmm
+    left: MatrixInstance
+    right: MatrixInstance
+    output: MatrixInstance
+
+    def inputs(self) -> tuple[MatrixInstance, ...]:
+        return (self.left, self.right)
+
+    @property
+    def communicates(self) -> bool:
+        return self.strategy == "cpmm"  # the aggregation shuffle
+
+    def __str__(self) -> str:
+        return f"{self.output} <- {self.strategy}({self.left}, {self.right})"
+
+
+@dataclasses.dataclass
+class CellwiseStep(Step):
+    op: CellwiseOp
+    left: MatrixInstance
+    right: MatrixInstance
+    output: MatrixInstance
+
+    def inputs(self) -> tuple[MatrixInstance, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{self.output} <- {self.op.op}({self.left}, {self.right})"
+
+
+@dataclasses.dataclass
+class ScalarMatrixStep(Step):
+    op: ScalarMatrixOp
+    source: MatrixInstance
+    output: MatrixInstance
+
+    def inputs(self) -> tuple[MatrixInstance, ...]:
+        return (self.source,)
+
+    def __str__(self) -> str:
+        return f"{self.output} <- {self.op.op}({self.source}, {self.op.scalar})"
+
+
+@dataclasses.dataclass
+class UnaryStep(Step):
+    """Element-wise unary function (communication-free, scheme-preserving)."""
+
+    op: UnaryMatrixOp
+    source: MatrixInstance
+    output: MatrixInstance
+
+    def inputs(self) -> tuple[MatrixInstance, ...]:
+        return (self.source,)
+
+    def __str__(self) -> str:
+        return f"{self.output} <- {self.op.func}({self.source})"
+
+
+@dataclasses.dataclass
+class RowAggStep(Step):
+    """Row/column sums under a chosen strategy."""
+
+    op: RowAggOp
+    strategy: str  # rowsum-aligned | rowsum-b | rowsum-opposed | colsum-*
+    source: MatrixInstance
+    output: MatrixInstance
+
+    def inputs(self) -> tuple[MatrixInstance, ...]:
+        return (self.source,)
+
+    @property
+    def communicates(self) -> bool:
+        return self.strategy.endswith("-opposed")  # the partial-sum shuffle
+
+    def __str__(self) -> str:
+        return f"{self.output} <- {self.op.kind}({self.source})"
+
+
+@dataclasses.dataclass
+class AggregateStep(Step):
+    op: AggregateOp
+    source: MatrixInstance
+
+    def inputs(self) -> tuple[MatrixInstance, ...]:
+        return (self.source,)
+
+    def __str__(self) -> str:
+        return f"{self.op.output} <- {self.op.kind}({self.source})"
+
+
+@dataclasses.dataclass
+class ScalarComputeStep(Step):
+    op: ScalarComputeOp
+
+    def __str__(self) -> str:
+        return f"{self.op.output} <- scalar-compute"
+
+
+@dataclasses.dataclass
+class Plan:
+    """A complete execution plan for a matrix program."""
+
+    program: MatrixProgram
+    steps: list[Step]
+    outputs: dict[str, MatrixInstance]  # program output name -> readable instance
+    predicted_bytes: int  # communication the plan expects to incur
+    num_stages: int = 0  # filled by the stage scheduler
+
+    def communicating_steps(self) -> list[Step]:
+        return [step for step in self.steps if step.communicates]
+
+    def describe(self) -> str:
+        """Stage-annotated plan listing (the textual analogue of Figure 3)."""
+        lines = []
+        current_stage = None
+        for step in self.steps:
+            if step.stage != current_stage:
+                current_stage = step.stage
+                lines.append(f"-- stage {current_stage} --")
+            marker = " [comm]" if step.communicates else ""
+            lines.append(f"  {step}{marker}")
+        return "\n".join(lines)

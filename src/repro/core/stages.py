@@ -1,0 +1,118 @@
+"""Stage scheduling: splitting a plan into communication-free stages.
+
+The paper (Section 5.2) finds stage boundaries by traversing the plan along
+its matrix dependencies and cutting wherever a communicating dependency
+(``partition`` or ``broadcast`` operator -- and, in effect, CPMM's
+aggregation shuffle) is crossed.  We implement the equivalent forward
+formulation: every matrix instance is labelled with the stage in which it
+becomes available; a communicating step consumes its input in stage ``s``
+and makes its output available in stage ``s + 1``, while every
+communication-free step stays inside its inputs' stage.  Within a stage no
+bytes move, so each stage "can be perfectly dispatched to the nodes in the
+cluster and executed independently".
+
+Driver scalars (aggregations and scalar arithmetic) do not cut stages: the
+handful of bytes they move travel with stage scheduling messages.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import (
+    AggregateStep,
+    CellwiseStep,
+    ExtendedStep,
+    MatMulStep,
+    MatrixInstance,
+    Plan,
+    RowAggStep,
+    ScalarComputeStep,
+    ScalarMatrixStep,
+    SourceStep,
+    UnaryStep,
+)
+from repro.errors import PlanError
+
+
+def schedule_stages(plan: Plan) -> Plan:
+    """Annotate every step with its stage number and set ``plan.num_stages``.
+
+    Idempotent; returns the same plan object for chaining.
+    """
+    node_stage: dict[MatrixInstance, int] = {}
+    scalar_stage: dict[str, int] = {}
+    max_stage = 1
+    for step in plan.steps:
+        if isinstance(step, SourceStep):
+            step.stage = 1
+            node_stage[step.output] = 1
+        elif isinstance(step, ExtendedStep):
+            base = _input_stage(node_stage, step.source)
+            step.stage = base
+            node_stage[step.target] = base + 1 if step.communicates else base
+        elif isinstance(step, MatMulStep):
+            base = max(
+                _input_stage(node_stage, step.left),
+                _input_stage(node_stage, step.right),
+            )
+            step.stage = base
+            node_stage[step.output] = base + 1 if step.communicates else base
+        elif isinstance(step, CellwiseStep):
+            base = max(
+                _input_stage(node_stage, step.left),
+                _input_stage(node_stage, step.right),
+            )
+            step.stage = base
+            node_stage[step.output] = base
+        elif isinstance(step, UnaryStep):
+            base = _input_stage(node_stage, step.source)
+            step.stage = base
+            node_stage[step.output] = base
+        elif isinstance(step, RowAggStep):
+            base = _input_stage(node_stage, step.source)
+            step.stage = base
+            node_stage[step.output] = base + 1 if step.communicates else base
+        elif isinstance(step, ScalarMatrixStep):
+            base = _input_stage(node_stage, step.source)
+            for name in step.op.scalar_inputs():
+                base = max(base, scalar_stage.get(name, 1))
+            step.stage = base
+            node_stage[step.output] = base
+        elif isinstance(step, AggregateStep):
+            base = _input_stage(node_stage, step.source)
+            step.stage = base
+            scalar_stage[step.op.output] = base
+        elif isinstance(step, ScalarComputeStep):
+            base = 1
+            for name in step.op.scalar_inputs():
+                base = max(base, scalar_stage.get(name, 1))
+            step.stage = base
+            scalar_stage[step.op.output] = base
+        else:  # pragma: no cover - all step kinds enumerated
+            raise PlanError(f"scheduler: unknown step {type(step).__name__}")
+        max_stage = max(max_stage, step.stage)
+    plan.num_stages = max_stage
+    return plan
+
+
+def _input_stage(node_stage: dict[MatrixInstance, int], instance: MatrixInstance) -> int:
+    if instance not in node_stage:
+        raise PlanError(f"step consumes {instance} before it is produced")
+    return node_stage[instance]
+
+
+def validate_stage_invariant(plan: Plan) -> None:
+    """Check the defining property of the schedule: a communicating step's
+    output is only consumed in a strictly later stage, and every
+    communication-free step runs in the stage its inputs live in.  Raises
+    :class:`PlanError` on violation (used by tests and debug tooling)."""
+    available_at: dict[MatrixInstance, int] = {}
+    for step in plan.steps:
+        for instance in step.inputs():
+            if available_at[instance] > step.stage:
+                raise PlanError(
+                    f"step {step} runs in stage {step.stage} but input {instance} "
+                    f"is only available from stage {available_at[instance]}"
+                )
+        output = getattr(step, "output", None) or getattr(step, "target", None)
+        if output is not None:
+            available_at[output] = step.stage + (1 if step.communicates else 0)

@@ -1,0 +1,113 @@
+"""Plan visualisation: Graphviz DOT export of the Figure-3-style DAG.
+
+Nodes are matrix instances (ellipses, like the paper's figure), edges are
+the operators; communicating edges are drawn bold/red and stages become
+clusters, so ``dot -Tsvg plan.dot`` reproduces the paper's plan diagrams
+for any program.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.plan import (
+    AggregateStep,
+    CellwiseStep,
+    ExtendedStep,
+    MatMulStep,
+    MatrixInstance,
+    Plan,
+    RowAggStep,
+    ScalarComputeStep,
+    ScalarMatrixStep,
+    SourceStep,
+    UnaryStep,
+)
+from repro.core.stages import schedule_stages
+
+
+def plan_to_dot(plan: Plan, title: str = "DMac execution plan") -> str:
+    """Render a plan as a Graphviz DOT document (stages as clusters)."""
+    if plan.num_stages == 0:
+        schedule_stages(plan)
+
+    node_ids: dict[MatrixInstance, str] = {}
+    node_stage: dict[MatrixInstance, int] = {}
+    edges: list[str] = []
+    scalar_nodes: list[tuple[str, int]] = []
+
+    def node(instance: MatrixInstance, stage: int) -> str:
+        if instance not in node_ids:
+            node_ids[instance] = f"n{len(node_ids)}"
+            node_stage[instance] = stage
+        return node_ids[instance]
+
+    for step in plan.steps:
+        if isinstance(step, SourceStep):
+            node(step.output, step.stage)
+        elif isinstance(step, ExtendedStep):
+            source = node(step.source, step.stage)
+            target = node(step.target, step.stage + (1 if step.communicates else 0))
+            style = _edge_style(step.communicates)
+            edges.append(f'{source} -> {target} [label="{step.kind}"{style}]')
+        elif isinstance(step, MatMulStep):
+            out_stage = step.stage + (1 if step.communicates else 0)
+            target = node(step.output, out_stage)
+            style = _edge_style(step.communicates)
+            for source_instance in (step.left, step.right):
+                source = node(source_instance, step.stage)
+                edges.append(f'{source} -> {target} [label="{step.strategy}"{style}]')
+        elif isinstance(step, CellwiseStep):
+            target = node(step.output, step.stage)
+            for source_instance in (step.left, step.right):
+                source = node(source_instance, step.stage)
+                edges.append(f'{source} -> {target} [label="{step.op.op}"]')
+        elif isinstance(step, ScalarMatrixStep):
+            source = node(step.source, step.stage)
+            target = node(step.output, step.stage)
+            edges.append(f'{source} -> {target} [label="{step.op.op} scalar"]')
+        elif isinstance(step, UnaryStep):
+            source = node(step.source, step.stage)
+            target = node(step.output, step.stage)
+            edges.append(f'{source} -> {target} [label="{step.op.func}"]')
+        elif isinstance(step, RowAggStep):
+            source = node(step.source, step.stage)
+            target = node(step.output, step.stage + (1 if step.communicates else 0))
+            style = _edge_style(step.communicates)
+            edges.append(f'{source} -> {target} [label="{step.op.kind}"{style}]')
+        elif isinstance(step, AggregateStep):
+            source = node(step.source, step.stage)
+            scalar_id = f"s{len(scalar_nodes)}"
+            scalar_nodes.append((f'{scalar_id} [label="{step.op.output}" shape=box]', step.stage))
+            edges.append(f'{source} -> {scalar_id} [label="{step.op.kind}"]')
+        elif isinstance(step, ScalarComputeStep):
+            continue  # driver-only arithmetic: no matrix nodes to connect
+
+    by_stage: dict[int, list[str]] = defaultdict(list)
+    for instance, ident in node_ids.items():
+        by_stage[node_stage[instance]].append(
+            f'{ident} [label="{instance}" shape=ellipse]'
+        )
+    for declaration, stage in scalar_nodes:
+        by_stage[stage].append(declaration)
+
+    lines = [
+        "digraph plan {",
+        f'  label="{title}";',
+        "  rankdir=TB;",
+        "  node [fontname=Helvetica];",
+    ]
+    for stage in sorted(by_stage):
+        lines.append(f"  subgraph cluster_stage_{stage} {{")
+        lines.append(f'    label="stage {stage}"; style=dashed;')
+        for declaration in by_stage[stage]:
+            lines.append(f"    {declaration};")
+        lines.append("  }")
+    for edge in edges:
+        lines.append(f"  {edge};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _edge_style(communicates: bool) -> str:
+    return ' color=red penwidth=2' if communicates else ""

@@ -1,0 +1,51 @@
+"""Netflix-like ratings matrix (the paper's GNMF / CF / SVD dataset).
+
+The Netflix prize data -- 480,189 users x 17,770 movies, ~100M ratings in
+{1..5}, i.e. sparsity ~0.012 -- is proprietary; the substitution generates
+a ratings matrix with the same aspect ratio and sparsity at a configurable
+scale.  Planner decisions (and therefore every communication result) depend
+only on dimensions and sparsity, which are preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Netflix prize dimensions.
+NETFLIX_USERS = 480_189
+NETFLIX_MOVIES = 17_770
+NETFLIX_SPARSITY = 0.0117  # ~100.5M ratings / (480189 * 17770)
+
+
+def netflix_like(
+    scale: float = 1e-2,
+    sparsity: float = NETFLIX_SPARSITY,
+    seed: int = 0,
+    ensure_coverage: bool = True,
+) -> np.ndarray:
+    """A users x movies ratings matrix with Netflix's shape statistics.
+
+    Ratings are integers in {1..5}; zero means "not rated".  With
+    ``ensure_coverage`` every row and column gets at least one rating --
+    a property the real dataset has (every user rated and every movie was
+    rated) and one GNMF's multiplicative updates rely on: an all-zero row
+    or column drives a factor row to 0/0.
+    """
+    if not 0 < scale <= 1:
+        raise ReproError(f"scale must lie in (0, 1], got {scale}")
+    rows = max(8, int(NETFLIX_USERS * scale))
+    cols = max(8, int(NETFLIX_MOVIES * scale))
+    rng = np.random.default_rng(seed)
+    out = np.zeros((rows, cols), dtype=np.float64)
+    nnz = int(round(rows * cols * sparsity))
+    if nnz:
+        flat = rng.choice(rows * cols, size=nnz, replace=False)
+        out.flat[flat] = rng.integers(1, 6, size=nnz).astype(np.float64)
+    if ensure_coverage:
+        for row in np.flatnonzero(out.sum(axis=1) == 0):
+            out[row, rng.integers(cols)] = float(rng.integers(1, 6))
+        for col in np.flatnonzero(out.sum(axis=0) == 0):
+            out[rng.integers(rows), col] = float(rng.integers(1, 6))
+    return out

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro (DMac) library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the layer that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError):
+    """Operands have incompatible dimensions for the requested operation."""
+
+
+class BlockError(ReproError):
+    """A block-level kernel was given malformed or mismatched blocks."""
+
+
+class SchemeError(ReproError):
+    """A partition-scheme constraint was violated or an unknown scheme used."""
+
+
+class PlanError(ReproError):
+    """The planner could not produce a valid execution plan."""
+
+
+class ExecutionError(ReproError):
+    """A plan failed during distributed execution."""
+
+
+class ProgramError(ReproError):
+    """A matrix program is malformed (unknown variable, bad operator, ...)."""
+
+
+class ClusterError(ReproError):
+    """The simulated cluster was misused (bad worker id, closed context, ...)."""
+
+
+class MemoryLimitExceeded(ExecutionError):
+    """A worker exceeded its configured memory budget during local execution."""

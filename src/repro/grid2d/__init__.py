@@ -1,0 +1,19 @@
+"""Two-dimensional block-cyclic partitioning + SUMMA (paper future work)."""
+
+from repro.grid2d.layout import (
+    BlockCyclicPartitioner,
+    Grid2DMatrix,
+    GridLayout,
+    one_d_imbalance,
+)
+from repro.grid2d.summa import summa_matmul, summa_predicted_bytes, summa_stage_count
+
+__all__ = [
+    "BlockCyclicPartitioner",
+    "Grid2DMatrix",
+    "GridLayout",
+    "one_d_imbalance",
+    "summa_matmul",
+    "summa_predicted_bytes",
+    "summa_stage_count",
+]

@@ -1,0 +1,179 @@
+"""Two-dimensional block-cyclic layout (the paper's stated future work).
+
+Section 3.1 and the related work: "two-dimensional partitioning methods,
+such as chunk-based [SciDB] and block-cyclic [ScaLAPACK], have their own
+merits ... a more balanced partition ... but with more computation stages,
+which will be investigated in future work."  This extension implements that
+investigation on the same metered substrate: a ``pr x pc`` process grid,
+blocks assigned cyclically (block ``(bi, bj)`` to grid cell
+``(bi mod pr, bj mod pc)``), and the SUMMA multiplication algorithm on top
+(:mod:`repro.grid2d.summa`).
+
+Deliberately *not* folded into the DMac planner: the paper's dependency
+table (Table 2) is defined over the three 1-D schemes, and extending it is
+exactly the open question the authors defer.  The benchmark
+``bench_ext_2d.py`` quantifies the trade-off instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.blocks import assemble, grid_shape, split
+from repro.blocks.ops import Block
+from repro.errors import SchemeError
+from repro.rdd.context import ClusterContext
+from repro.rdd.partitioner import Partitioner
+from repro.rdd.rdd import RDD
+from repro.rdd.sizeof import model_sizeof
+
+BlockKey = tuple[int, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class GridLayout:
+    """A ``pr x pc`` process grid over the cluster's workers."""
+
+    pr: int
+    pc: int
+
+    def __post_init__(self) -> None:
+        if self.pr < 1 or self.pc < 1:
+            raise SchemeError(f"process grid must be positive, got {self.pr}x{self.pc}")
+
+    @property
+    def workers(self) -> int:
+        return self.pr * self.pc
+
+    def owner(self, key: BlockKey) -> int:
+        """Worker owning block ``(bi, bj)`` under block-cyclic placement."""
+        bi, bj = key
+        return (bi % self.pr) * self.pc + (bj % self.pc)
+
+    def cell(self, worker: int) -> tuple[int, int]:
+        """Grid coordinates ``(row, col)`` of a worker."""
+        if not 0 <= worker < self.workers:
+            raise SchemeError(f"worker {worker} outside the {self.pr}x{self.pc} grid")
+        return divmod(worker, self.pc)
+
+    @classmethod
+    def near_square(cls, workers: int) -> "GridLayout":
+        """The most-square grid for a worker count (ScaLAPACK's default)."""
+        pr = int(math.sqrt(workers))
+        while workers % pr:
+            pr -= 1
+        return cls(pr, workers // pr)
+
+
+class BlockCyclicPartitioner(Partitioner):
+    """RDD partitioner realising a block-cyclic grid layout."""
+
+    def __init__(self, layout: GridLayout) -> None:
+        super().__init__(layout.workers)
+        self.layout = layout
+
+    def partition_for(self, key: object) -> int:
+        return self.layout.owner(key)  # type: ignore[arg-type]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BlockCyclicPartitioner) and self.layout == other.layout
+
+    def __hash__(self) -> int:
+        return hash(("BlockCyclicPartitioner", self.layout))
+
+
+class Grid2DMatrix:
+    """A matrix distributed over a 2-D block-cyclic process grid."""
+
+    def __init__(
+        self,
+        context: ClusterContext,
+        rdd: RDD,
+        rows: int,
+        cols: int,
+        block_size: int,
+        layout: GridLayout,
+    ) -> None:
+        if layout.workers > context.num_workers:
+            raise SchemeError(
+                f"grid {layout.pr}x{layout.pc} needs {layout.workers} workers, "
+                f"cluster has {context.num_workers}"
+            )
+        self.context = context
+        self.rdd = rdd
+        self.rows = rows
+        self.cols = cols
+        self.block_size = block_size
+        self.layout = layout
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_numpy(
+        cls,
+        context: ClusterContext,
+        array: np.ndarray,
+        block_size: int,
+        layout: GridLayout | None = None,
+        storage: str = "auto",
+    ) -> "Grid2DMatrix":
+        """Distribute a matrix block-cyclically (initial load: no traffic)."""
+        layout = layout or GridLayout.near_square(context.num_workers)
+        arr = np.asarray(array, dtype=np.float64)
+        grid = split(arr, block_size, storage=storage)
+        items = [(key, block) for key, block in sorted(grid.items()) if block.nnz > 0]
+        rdd = context.parallelize(items, BlockCyclicPartitioner(layout))
+        rows, cols = arr.shape
+        return cls(context, rdd, rows, cols, block_size, layout)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def block_grid_shape(self) -> tuple[int, int]:
+        return grid_shape(self.rows, self.cols, self.block_size)
+
+    def worker_grid(self, worker: int) -> dict[BlockKey, Block]:
+        return dict(self.rdd.worker_partitions(worker))
+
+    def to_numpy(self) -> np.ndarray:
+        return assemble(dict(self.rdd.collect()), self.shape, self.block_size)
+
+    # -- balance metric --------------------------------------------------------
+
+    def worker_bytes(self) -> list[int]:
+        """Model bytes held by each worker (the balance the paper mentions)."""
+        return [
+            sum(model_sizeof(block) for block in self.worker_grid(w).values())
+            for w in range(self.layout.workers)
+        ]
+
+    def imbalance(self) -> float:
+        """max/mean of per-worker bytes; 1.0 is perfectly balanced."""
+        loads = self.worker_bytes()
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean else 1.0
+
+
+def one_d_imbalance(
+    context: ClusterContext, array: np.ndarray, block_size: int, row_scheme: bool = True
+) -> float:
+    """The same imbalance metric for a 1-D Row/Column placement, for
+    comparison with :meth:`Grid2DMatrix.imbalance`."""
+    from repro.matrix.distributed import DistributedMatrix
+    from repro.matrix.schemes import Scheme
+
+    scheme = Scheme.ROW if row_scheme else Scheme.COL
+    matrix = DistributedMatrix.from_numpy(context, array, block_size, scheme)
+    loads = [
+        sum(model_sizeof(block) for block in matrix.worker_grid(w).values())
+        for w in range(context.num_workers)
+    ]
+    mean = sum(loads) / len(loads)
+    return max(loads) / mean if mean else 1.0

@@ -1,0 +1,384 @@
+"""A small textual matrix language (DML-style) compiled to MatrixPrograms.
+
+SystemML -- the paper's baseline -- exposes "an R-like high-level language"
+so users "escape from hand-coding MapReduce programs"; DMac embeds the same
+surface in Scala.  This module provides the textual counterpart for this
+reproduction: a script language with R's operators (``%*%`` for matrix
+multiplication, ``t(X)`` for transpose) that compiles straight into a
+:class:`~repro.lang.program.MatrixProgram` via the ProgramBuilder, so every
+planner feature works on scripts too.
+
+Example::
+
+    V = load(1000, 500, sparsity=0.01)
+    W = random(1000, 10)
+    H = random(10, 500)
+    for (i in 1:10) {
+        H = H * (t(W) %*% V) / (t(W) %*% W %*% H)
+        W = W * (V %*% t(H)) / (W %*% H %*% t(H))
+    }
+    output(W)
+    output(H)
+
+Statements: assignments (matrix- or scalar-valued, decided by the
+expression's type), ``for (i in a:b) { ... }`` loops (unrolled, matching
+how the planner sees cross-iteration dependencies), ``output(X)`` and
+``outputScalar(s)``.  Functions: ``load(rows, cols, sparsity=...)``,
+``random(rows, cols, seed=...)``, ``full(rows, cols, value)``, ``t``,
+``sum``, ``sqsum``, ``value``, ``norm2``, ``rowSums``, ``colSums``, and the
+element-wise unaries (``exp``, ``log``, ``sqrt``, ``abs``, ``sign``,
+``sigmoid``, ``reciprocal``).  Comments run from ``#`` to end of line.
+
+Operator precedence follows R: ``%*%`` binds tighter than ``*``/``/``,
+which bind tighter than ``+``/``-``; unary minus tighter than all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from repro.errors import ProgramError
+from repro.lang.expr import MatrixExpr, ScalarExpr, UnaryExpr
+from repro.lang.program import MatrixProgram, ProgramBuilder
+
+#: Element-wise unary function names accepted in scripts.
+_UNARY_FUNCS = ("exp", "log", "sqrt", "abs", "sign", "sigmoid", "reciprocal")
+
+_TOKEN_SPEC = [
+    ("NUMBER", r"\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?"),
+    ("MATMUL", r"%\*%"),
+    ("IDENT", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("OP", r"[+\-*/=(){},:]"),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("COMMENT", r"#[^\n]*"),
+    ("MISMATCH", r"."),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+@dataclasses.dataclass(frozen=True)
+class _Token:
+    kind: str  # NUMBER | MATMUL | IDENT | OP | EOF
+    text: str
+    line: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    for match in _TOKEN_RE.finditer(source):
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "NEWLINE":
+            line += 1
+        elif kind in ("SKIP", "COMMENT"):
+            continue
+        elif kind == "MISMATCH":
+            raise ProgramError(f"line {line}: unexpected character {text!r}")
+        else:
+            tokens.append(_Token(kind, text, line))
+    tokens.append(_Token("EOF", "", line))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser driving a ProgramBuilder."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = _tokenize(source)
+        self._pos = 0
+        self._builder = ProgramBuilder()
+        #: script name -> matrix handle or scalar handle or float
+        self._env: dict[str, object] = {}
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            raise ProgramError(
+                f"line {token.line}: expected {text!r}, got {token.text!r}"
+            )
+        return token
+
+    def _at(self, text: str) -> bool:
+        return self._peek().text == text
+
+    # -- statements ----------------------------------------------------------
+
+    def parse(self) -> MatrixProgram:
+        while self._peek().kind != "EOF":
+            self._statement()
+        return self._builder.build()
+
+    def _statement(self) -> None:
+        token = self._peek()
+        if token.kind != "IDENT":
+            raise ProgramError(f"line {token.line}: expected a statement, got {token.text!r}")
+        if token.text == "for":
+            self._for_loop()
+        elif token.text in ("output", "outputScalar"):
+            self._output()
+        else:
+            self._assignment()
+
+    def _assignment(self) -> None:
+        name_token = self._next()
+        name = name_token.text
+        self._expect("=")
+        value = self._expression()
+        if isinstance(value, MatrixExpr):
+            self._env[name] = self._builder.assign(name, value)
+        elif isinstance(value, ScalarExpr):
+            self._env[name] = self._builder.scalar(name, value)
+        elif isinstance(value, float):
+            self._env[name] = value  # plain driver constant
+        else:  # pragma: no cover - expression() returns only these
+            raise ProgramError(f"line {name_token.line}: cannot assign {value!r}")
+
+    def _for_loop(self) -> None:
+        for_token = self._expect("for")
+        self._expect("(")
+        loop_var = self._next()
+        if loop_var.kind != "IDENT":
+            raise ProgramError(f"line {loop_var.line}: expected a loop variable")
+        in_token = self._next()
+        if in_token.text != "in":
+            raise ProgramError(f"line {in_token.line}: expected 'in'")
+        start = self._integer()
+        self._expect(":")
+        stop = self._integer()
+        self._expect(")")
+        self._expect("{")
+        body_start = self._pos
+        if stop < start:
+            raise ProgramError(f"line {for_token.line}: empty loop range {start}:{stop}")
+        for iteration in range(start, stop + 1):
+            self._pos = body_start
+            self._env[loop_var.text] = float(iteration)
+            while not self._at("}"):
+                if self._peek().kind == "EOF":
+                    raise ProgramError(f"line {for_token.line}: unclosed loop body")
+                self._statement()
+        self._expect("}")
+
+    def _output(self) -> None:
+        keyword = self._next().text
+        self._expect("(")
+        target = self._next()
+        if target.kind != "IDENT":
+            raise ProgramError(f"line {target.line}: output() takes a variable name")
+        self._expect(")")
+        handle = self._env.get(target.text)
+        if handle is None:
+            raise ProgramError(f"line {target.line}: unknown variable {target.text!r}")
+        if keyword == "output":
+            if not isinstance(handle, MatrixExpr):
+                raise ProgramError(
+                    f"line {target.line}: output() needs a matrix, {target.text!r} is not"
+                )
+            self._builder.output(handle)
+        else:
+            if not isinstance(handle, ScalarExpr):
+                raise ProgramError(
+                    f"line {target.line}: outputScalar() needs a scalar, "
+                    f"{target.text!r} is not"
+                )
+            self._builder.scalar_output(handle)
+
+    def _integer(self) -> int:
+        token = self._next()
+        if token.kind != "NUMBER" or not token.text.isdigit():
+            raise ProgramError(f"line {token.line}: expected an integer, got {token.text!r}")
+        return int(token.text)
+
+    # -- expressions (R precedence: %*% > * / > + -) ----------------------------
+
+    def _expression(self):
+        return self._additive()
+
+    def _additive(self):
+        left = self._multiplicative()
+        while self._peek().text in ("+", "-"):
+            op = self._next().text
+            right = self._multiplicative()
+            left = self._combine(left, right, "add" if op == "+" else "subtract")
+        return left
+
+    def _multiplicative(self):
+        left = self._matmul()
+        while self._peek().text in ("*", "/"):
+            op = self._next().text
+            right = self._matmul()
+            left = self._combine(left, right, "multiply" if op == "*" else "divide")
+        return left
+
+    def _matmul(self):
+        left = self._unary()
+        while self._peek().kind == "MATMUL":
+            token = self._next()
+            right = self._unary()
+            if not (isinstance(left, MatrixExpr) and isinstance(right, MatrixExpr)):
+                raise ProgramError(f"line {token.line}: %*% needs matrix operands")
+            left = left @ right
+        return left
+
+    def _unary(self):
+        if self._at("-"):
+            token = self._next()
+            operand = self._unary()
+            if isinstance(operand, float):
+                return -operand
+            return -operand  # MatrixExpr / ScalarExpr both overload negation
+        return self._primary()
+
+    def _primary(self):
+        token = self._next()
+        if token.kind == "NUMBER":
+            return float(token.text)
+        if token.text == "(":
+            inner = self._expression()
+            self._expect(")")
+            return inner
+        if token.kind == "IDENT":
+            if self._at("("):
+                return self._call(token)
+            value = self._env.get(token.text)
+            if value is None:
+                raise ProgramError(f"line {token.line}: unknown variable {token.text!r}")
+            return value
+        raise ProgramError(f"line {token.line}: unexpected token {token.text!r}")
+
+    # -- function calls -----------------------------------------------------
+
+    def _call(self, name_token: _Token):
+        name = name_token.text
+        line = name_token.line
+        self._expect("(")
+        positional: list[object] = []
+        keywords: dict[str, object] = {}
+        if not self._at(")"):
+            while True:
+                if (
+                    self._peek().kind == "IDENT"
+                    and self._tokens[self._pos + 1].text == "="
+                ):
+                    key = self._next().text
+                    self._expect("=")
+                    keywords[key] = self._expression()
+                else:
+                    positional.append(self._expression())
+                if self._at(","):
+                    self._next()
+                    continue
+                break
+        self._expect(")")
+        return self._apply(name, positional, keywords, line)
+
+    def _apply(self, name: str, args: list[object], kwargs: dict[str, object], line: int):
+        def matrix_arg(index: int = 0) -> MatrixExpr:
+            if len(args) <= index or not isinstance(args[index], MatrixExpr):
+                raise ProgramError(f"line {line}: {name}() needs a matrix argument")
+            return args[index]  # type: ignore[return-value]
+
+        def number(value: object, what: str) -> float:
+            if isinstance(value, float):
+                return value
+            raise ProgramError(f"line {line}: {name}() {what} must be a number")
+
+        if name == "t":
+            return matrix_arg().T
+        if name == "sum":
+            return matrix_arg().sum()
+        if name == "sqsum":
+            return matrix_arg().sq_sum()
+        if name == "norm2":
+            return matrix_arg().norm2()
+        if name == "value":
+            return matrix_arg().value()
+        if name == "rowSums":
+            return matrix_arg().row_sums()
+        if name == "colSums":
+            return matrix_arg().col_sums()
+        if name in _UNARY_FUNCS:
+            return UnaryExpr(name, matrix_arg())
+        if name in ("load", "random", "full"):
+            if len(args) < 2:
+                raise ProgramError(f"line {line}: {name}(rows, cols, ...) needs dimensions")
+            rows = int(number(args[0], "rows"))
+            cols = int(number(args[1], "cols"))
+            fresh = f"_{name}{line}_{self._pos}"
+            if name == "load":
+                sparsity = number(kwargs.get("sparsity", 1.0), "sparsity")
+                return self._builder.load(fresh, (rows, cols), sparsity=sparsity)
+            if name == "random":
+                seed = int(number(kwargs.get("seed", 0.0), "seed"))
+                return self._builder.random(fresh, (rows, cols), seed=seed)
+            fill = number(args[2] if len(args) > 2 else kwargs.get("value", 0.0), "value")
+            return self._builder.full(fresh, (rows, cols), fill)
+        raise ProgramError(f"line {line}: unknown function {name!r}")
+
+    # -- mixed-type arithmetic ----------------------------------------------------
+
+    @staticmethod
+    def _combine(left, right, op: str):
+        """Dispatch +,-,*,/ over the (matrix|scalar|float) x (same) grid by
+        delegating to the expression classes' overloads."""
+        symbol = {"add": "+", "subtract": "-", "multiply": "*", "divide": "/"}[op]
+        if isinstance(left, float) and isinstance(right, float):
+            if op == "add":
+                return left + right
+            if op == "subtract":
+                return left - right
+            if op == "multiply":
+                return left * right
+            if right == 0:
+                raise ProgramError("division by zero constant")
+            return left / right
+        try:
+            if op == "add":
+                return left + right
+            if op == "subtract":
+                return left - right
+            if op == "multiply":
+                return left * right
+            return left / right
+        except TypeError as error:
+            raise ProgramError(
+                f"cannot apply {symbol!r} to {type(left).__name__} and "
+                f"{type(right).__name__}"
+            ) from error
+
+
+def parse_program(source: str) -> MatrixProgram:
+    """Compile a DML-style script into a :class:`MatrixProgram`.
+
+    Load order defines the binding order of ``load()`` inputs: their
+    generated names appear in ``program.input_sparsity``; use
+    :func:`load_names` to map them back to script variables.
+    """
+    return _Parser(source).parse()
+
+
+def load_names(program: MatrixProgram) -> dict[str, str]:
+    """Map script variable names to the internal names of their loads.
+
+    A script line ``V = load(...)`` aliases the script variable to the
+    generated load; this inverts `program.bindings` for exactly those.
+    """
+    internal_loads = set(program.input_sparsity)
+    return {
+        user: version
+        for user, version in program.bindings.items()
+        if version in internal_loads and not user.startswith("_")
+    }

@@ -1,0 +1,207 @@
+"""Program serialisation: MatrixProgram <-> JSON.
+
+Lets a planned-for program be stored next to its data, shipped to another
+process, or diffed in version control.  Plans are not serialised -- they
+are cheap to regenerate and depend on the cluster size; the program is the
+durable artefact (mirroring how Spark persists logical plans, not physical
+ones).
+
+The format is a plain JSON object with a version tag; every operator kind
+and scalar-expression node round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ProgramError
+from repro.lang.expr import (
+    ScalarBinaryExpr,
+    ScalarConst,
+    ScalarExpr,
+    ScalarRefExpr,
+    ScalarUnaryExpr,
+)
+from repro.lang.program import (
+    AggregateOp,
+    CellwiseOp,
+    FullOp,
+    LoadOp,
+    MatMulOp,
+    MatrixProgram,
+    OpNode,
+    Operand,
+    RandomOp,
+    RowAggOp,
+    ScalarComputeOp,
+    ScalarMatrixOp,
+    UnaryMatrixOp,
+)
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+def program_to_json(program: MatrixProgram, indent: int | None = None) -> str:
+    """Serialise a program to a JSON string."""
+    payload = {
+        "format": "repro.matrix-program",
+        "version": FORMAT_VERSION,
+        "ops": [_encode_op(op) for op in program.ops],
+        "dims": {name: list(shape) for name, shape in program.dims.items()},
+        "input_sparsity": dict(program.input_sparsity),
+        "outputs": list(program.outputs),
+        "scalar_outputs": list(program.scalar_outputs),
+        "bindings": dict(program.bindings),
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def _encode_operand(operand: Operand) -> dict:
+    return {"name": operand.name, "transposed": operand.transposed}
+
+
+def _encode_scalar(expr: ScalarExpr) -> dict:
+    if isinstance(expr, ScalarConst):
+        return {"kind": "const", "value": expr.value}
+    if isinstance(expr, ScalarRefExpr):
+        return {"kind": "ref", "name": expr.name}
+    if isinstance(expr, ScalarBinaryExpr):
+        return {
+            "kind": "binary",
+            "op": expr.op,
+            "left": _encode_scalar(expr.left),
+            "right": _encode_scalar(expr.right),
+        }
+    if isinstance(expr, ScalarUnaryExpr):
+        return {"kind": "unary", "op": expr.op, "child": _encode_scalar(expr.child)}
+    raise ProgramError(f"cannot serialise scalar expression {type(expr).__name__}")
+
+
+def _encode_op(op: OpNode) -> dict:
+    if isinstance(op, LoadOp):
+        return {"op": "load", "output": op.output, "rows": op.rows, "cols": op.cols,
+                "sparsity": op.sparsity}
+    if isinstance(op, RandomOp):
+        return {"op": "random", "output": op.output, "rows": op.rows, "cols": op.cols,
+                "seed": op.seed}
+    if isinstance(op, FullOp):
+        return {"op": "full", "output": op.output, "rows": op.rows, "cols": op.cols,
+                "value": op.value}
+    if isinstance(op, MatMulOp):
+        return {"op": "matmul", "output": op.output,
+                "left": _encode_operand(op.left), "right": _encode_operand(op.right)}
+    if isinstance(op, CellwiseOp):
+        return {"op": "cellwise", "output": op.output, "cellwise_op": op.op,
+                "left": _encode_operand(op.left), "right": _encode_operand(op.right)}
+    if isinstance(op, ScalarMatrixOp):
+        scalar = ({"kind": "ref-name", "name": op.scalar}
+                  if isinstance(op.scalar, str) else {"kind": "literal", "value": op.scalar})
+        return {"op": "scalar-matrix", "output": op.output, "scalar_op": op.op,
+                "operand": _encode_operand(op.operand), "scalar": scalar}
+    if isinstance(op, UnaryMatrixOp):
+        return {"op": "unary", "output": op.output, "func": op.func,
+                "operand": _encode_operand(op.operand)}
+    if isinstance(op, RowAggOp):
+        return {"op": "row-agg", "output": op.output, "kind": op.kind,
+                "operand": _encode_operand(op.operand)}
+    if isinstance(op, AggregateOp):
+        return {"op": "aggregate", "output": op.output, "kind": op.kind,
+                "operand": _encode_operand(op.operand)}
+    if isinstance(op, ScalarComputeOp):
+        return {"op": "scalar-compute", "output": op.output,
+                "expr": _encode_scalar(op.expr)}
+    raise ProgramError(f"cannot serialise operator {type(op).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+def program_from_json(text: str) -> MatrixProgram:
+    """Deserialise a program previously produced by :func:`program_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProgramError(f"malformed program JSON: {error}") from error
+    if not isinstance(payload, dict) or payload.get("format") != "repro.matrix-program":
+        raise ProgramError("not a repro matrix-program document")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ProgramError(
+            f"unsupported program format version {payload.get('version')!r}"
+        )
+    try:
+        return MatrixProgram(
+            ops=tuple(_decode_op(entry) for entry in payload["ops"]),
+            dims={name: tuple(shape) for name, shape in payload["dims"].items()},
+            input_sparsity=dict(payload["input_sparsity"]),
+            outputs=tuple(payload["outputs"]),
+            scalar_outputs=tuple(payload["scalar_outputs"]),
+            bindings=dict(payload["bindings"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise ProgramError(f"malformed program document: {error}") from error
+
+
+def _decode_operand(entry: dict) -> Operand:
+    return Operand(entry["name"], bool(entry["transposed"]))
+
+
+def _decode_scalar(entry: dict) -> ScalarExpr:
+    kind = entry["kind"]
+    if kind == "const":
+        return ScalarConst(float(entry["value"]))
+    if kind == "ref":
+        return ScalarRefExpr(entry["name"])
+    if kind == "binary":
+        return ScalarBinaryExpr(
+            entry["op"], _decode_scalar(entry["left"]), _decode_scalar(entry["right"])
+        )
+    if kind == "unary":
+        return ScalarUnaryExpr(entry["op"], _decode_scalar(entry["child"]))
+    raise ProgramError(f"unknown scalar node kind {kind!r}")
+
+
+def _decode_op(entry: dict) -> OpNode:
+    kind = entry["op"]
+    if kind == "load":
+        return LoadOp(entry["output"], entry["rows"], entry["cols"], entry["sparsity"])
+    if kind == "random":
+        return RandomOp(entry["output"], entry["rows"], entry["cols"], entry["seed"])
+    if kind == "full":
+        return FullOp(entry["output"], entry["rows"], entry["cols"], entry["value"])
+    if kind == "matmul":
+        return MatMulOp(
+            entry["output"], _decode_operand(entry["left"]), _decode_operand(entry["right"])
+        )
+    if kind == "cellwise":
+        return CellwiseOp(
+            entry["output"],
+            entry["cellwise_op"],
+            _decode_operand(entry["left"]),
+            _decode_operand(entry["right"]),
+        )
+    if kind == "scalar-matrix":
+        scalar_entry = entry["scalar"]
+        scalar = (
+            scalar_entry["name"]
+            if scalar_entry["kind"] == "ref-name"
+            else float(scalar_entry["value"])
+        )
+        return ScalarMatrixOp(
+            entry["output"], entry["scalar_op"], _decode_operand(entry["operand"]), scalar
+        )
+    if kind == "unary":
+        return UnaryMatrixOp(entry["output"], entry["func"], _decode_operand(entry["operand"]))
+    if kind == "row-agg":
+        return RowAggOp(entry["output"], entry["kind"], _decode_operand(entry["operand"]))
+    if kind == "aggregate":
+        return AggregateOp(entry["output"], entry["kind"], _decode_operand(entry["operand"]))
+    if kind == "scalar-compute":
+        return ScalarComputeOp(entry["output"], _decode_scalar(entry["expr"]))
+    raise ProgramError(f"unknown operator kind {kind!r}")

@@ -1,0 +1,273 @@
+"""The per-worker block execution engine (paper Section 5.3, Figure 4).
+
+Each worker turns a grid-level operation into independent per-block tasks,
+pushes them through a thread pool, and meters flops and (model) memory.
+Two aggregation strategies are provided for block matrix multiplication:
+
+* ``inplace=True`` -- the paper's **In-Place** strategy.  One task per
+  result block; every partial product is folded straight into a pooled
+  result block, so at any instant only the transient partial of each
+  *active* task exists.
+* ``inplace=False`` -- the traditional **Buffer** strategy.  One task per
+  partial product; all ``M_A x N_A x N_B`` partial blocks are buffered and
+  aggregated at the end, which is what makes its peak memory blow up on
+  dense-ish intermediates (Figure 7).
+
+Memory is metered with the paper's byte model (Equation 2) through a
+:class:`~repro.localexec.pool.MemoryTracker`.  Input grids are charged via
+:meth:`LocalEngine.register_grid`; operation outputs stay charged until the
+caller invokes :meth:`LocalEngine.release_grid`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Mapping
+
+from repro.blocks import ops
+from repro.blocks.dense import DenseBlock
+from repro.blocks.ops import Block
+from repro.blocks.sparse import CSCBlock
+from repro.errors import BlockError
+from repro.localexec.pool import MemoryTracker, ResultBufferPool
+from repro.localexec.tasks import (
+    BlockKey,
+    BlockTask,
+    MultiplyAccumulateTask,
+    MultiplyTask,
+    TaskResult,
+    buffered_matmul_tasks,
+    inplace_matmul_tasks,
+)
+
+Grid = dict[BlockKey, Block]
+
+
+@dataclasses.dataclass
+class EngineStats:
+    """Counters accumulated across all operations run by one engine."""
+
+    tasks: int = 0
+    flops: int = 0
+    sparse_flops: int = 0
+
+    def record(self, flops: int, sparse: bool) -> None:
+        self.flops += flops
+        if sparse:
+            self.sparse_flops += flops
+
+    @property
+    def dense_flops(self) -> int:
+        return self.flops - self.sparse_flops
+
+
+class LocalEngine:
+    """Block-parallel executor for one worker node."""
+
+    def __init__(
+        self,
+        threads: int = 1,
+        inplace: bool = True,
+        memory_limit_bytes: int | None = None,
+        pool_max_per_shape: int = 16,
+    ) -> None:
+        if threads < 1:
+            raise BlockError(f"threads must be >= 1, got {threads}")
+        self.threads = threads
+        self.inplace = inplace
+        self.tracker = MemoryTracker(memory_limit_bytes)
+        self.pool = ResultBufferPool(self.tracker, pool_max_per_shape)
+        self.stats = EngineStats()
+        self._stats_lock = threading.Lock()
+
+    # -- memory bookkeeping --------------------------------------------------
+
+    def register_grid(self, grid: Mapping[BlockKey, Block]) -> None:
+        """Charge an input grid to this worker's memory."""
+        self.tracker.allocate(sum(block.model_nbytes for block in grid.values()))
+
+    def release_grid(self, grid: Mapping[BlockKey, Block]) -> None:
+        """Discharge a grid previously charged (input or returned result)."""
+        self.tracker.release(sum(block.model_nbytes for block in grid.values()))
+
+    # -- grid operations -------------------------------------------------------
+
+    def matmul_grids(self, a_grid: Grid, b_grid: Grid) -> Grid:
+        """Block product of two local grids: ``C[i,j] = sum_k A[i,k] @ B[k,j]``.
+
+        Only inner indices present in both grids contribute (absent blocks
+        are all-zero).  Aggregation strategy is In-Place or Buffer per the
+        engine configuration.
+        """
+        if self.inplace:
+            tasks = inplace_matmul_tasks(a_grid, b_grid)
+            results = self._run(tasks, self._run_inplace_task)
+            return {r.result_key: r.block for r in results}
+        return self._buffered_matmul(a_grid, b_grid)
+
+    def cellwise_grids(self, op: str, a_grid: Grid, b_grid: Grid) -> Grid:
+        """Cell-wise binary operation over two aligned grids.
+
+        Key policy mirrors zero-block semantics: ``multiply`` intersects the
+        key sets (zero times anything is zero), ``add``/``subtract`` union
+        them, ``divide`` iterates the numerator's keys and requires the
+        denominator block to be present.
+        """
+        tasks = list(self._cellwise_tasks(op, a_grid, b_grid))
+        results = self._run(tasks, self._run_block_task)
+        return self._collect_allocated(results)
+
+    def scalar_grids(self, op: str, grid: Grid, scalar: float) -> Grid:
+        """Apply ``block <op> scalar`` to every block of a grid."""
+        tasks = [
+            BlockTask(key, self._bind_scalar(op, block, scalar))
+            for key, block in sorted(grid.items())
+        ]
+        results = self._run(tasks, self._run_block_task)
+        return self._collect_allocated(results)
+
+    def transpose_grid(self, grid: Grid) -> Grid:
+        """Locally transpose a grid: block ``(i, j)`` becomes ``(j, i)``
+        transposed.  No communication is involved (paper Section 4.2.1)."""
+        tasks = [
+            BlockTask((j, i), self._bind_transpose(block))
+            for (i, j), block in sorted(grid.items())
+        ]
+        results = self._run(tasks, self._run_block_task)
+        return self._collect_allocated(results)
+
+    def sum_grid(self, grid: Grid) -> float:
+        """Sum of all entries across the grid's blocks."""
+        return sum(ops.block_sum(block) for block in grid.values())
+
+    def sq_sum_grid(self, grid: Grid) -> float:
+        """Sum of squared entries across the grid's blocks."""
+        return sum(ops.block_sq_sum(block) for block in grid.values())
+
+    # -- task plumbing ---------------------------------------------------------
+
+    def _run(
+        self,
+        tasks: Iterable,
+        runner: Callable,
+    ) -> list[TaskResult]:
+        tasks = list(tasks)
+        with self._stats_lock:
+            self.stats.tasks += len(tasks)
+        if self.threads == 1 or len(tasks) <= 1:
+            return [runner(task) for task in tasks]
+        with ThreadPoolExecutor(max_workers=self.threads) as executor:
+            return list(executor.map(runner, tasks))
+
+    def _run_inplace_task(self, task: MultiplyAccumulateTask) -> TaskResult:
+        target = self.pool.acquire(*task.result_shape)
+        for left, right in task.pairs:
+            flops = ops.matmul_flops(left, right)
+            partial = ops.matmul(left, right)
+            # The transient partial exists only while it is being folded in.
+            self.tracker.allocate(partial.model_nbytes)
+            ops.accumulate(target, partial)
+            self.tracker.release(partial.model_nbytes)
+            self._record(flops, left.is_sparse or right.is_sparse)
+        return TaskResult(task.result_key, target, pooled=True)
+
+    def _buffered_matmul(self, a_grid: Grid, b_grid: Grid) -> Grid:
+        tasks = buffered_matmul_tasks(a_grid, b_grid)
+        with self._stats_lock:
+            self.stats.tasks += len(tasks)
+
+        def multiply(task: MultiplyTask) -> tuple[BlockKey, DenseBlock]:
+            flops = ops.matmul_flops(task.left, task.right)
+            partial = ops.matmul(task.left, task.right)
+            self.tracker.allocate(partial.model_nbytes)
+            self._record(flops, task.left.is_sparse or task.right.is_sparse)
+            return task.result_key, partial
+
+        if self.threads == 1 or len(tasks) <= 1:
+            partials = [multiply(task) for task in tasks]
+        else:
+            with ThreadPoolExecutor(max_workers=self.threads) as executor:
+                partials = list(executor.map(multiply, tasks))
+
+        # All partials are alive here -- this is the Buffer strategy's peak.
+        grouped: dict[BlockKey, list[DenseBlock]] = {}
+        for key, partial in partials:
+            grouped.setdefault(key, []).append(partial)
+        result: Grid = {}
+        for key, blocks in sorted(grouped.items()):
+            target = self.pool.acquire(*blocks[0].shape)
+            for partial in blocks:
+                ops.accumulate(target, partial)
+                self._record(partial.shape[0] * partial.shape[1], sparse=False)
+            result[key] = target
+        for __, partial in partials:
+            self.tracker.release(partial.model_nbytes)
+        return result
+
+    def _cellwise_tasks(self, op: str, a_grid: Grid, b_grid: Grid):
+        if op not in ops.CELLWISE_OPS:
+            raise BlockError(f"unknown cell-wise operator {op!r}")
+        if op == "multiply":
+            keys = sorted(set(a_grid) & set(b_grid))
+        elif op == "divide":
+            keys = sorted(a_grid)
+            missing = [key for key in keys if key not in b_grid]
+            if missing:
+                raise BlockError(
+                    f"cell-wise divide: denominator grid lacks blocks {missing[:3]}"
+                )
+        else:
+            keys = sorted(set(a_grid) | set(b_grid))
+        for key in keys:
+            yield BlockTask(key, self._bind_cellwise(op, a_grid.get(key), b_grid.get(key)))
+
+    def _bind_cellwise(self, op: str, left: Block | None, right: Block | None):
+        def compute() -> Block:
+            if left is None:
+                assert right is not None
+                result = right.copy() if op == "add" else ops.scalar_op("multiply", right, -1.0)
+            elif right is None:
+                result = left.copy()
+            else:
+                result = ops.cellwise(op, left, right)
+            self._record(
+                ops.cellwise_flops(left or right, right or left),
+                (left is not None and left.is_sparse)
+                or (right is not None and right.is_sparse),
+            )
+            return result
+
+        return compute
+
+    def _bind_scalar(self, op: str, block: Block, scalar: float):
+        def compute() -> Block:
+            result = ops.scalar_op(op, block, scalar)
+            self._record(
+                block.nnz if isinstance(block, CSCBlock) else block.shape[0] * block.shape[1],
+                block.is_sparse,
+            )
+            return result
+
+        return compute
+
+    def _bind_transpose(self, block: Block):
+        def compute() -> Block:
+            return ops.transpose(block)
+
+        return compute
+
+    def _run_block_task(self, task: BlockTask) -> TaskResult:
+        return TaskResult(task.result_key, task.compute())
+
+    def _collect_allocated(self, results: list[TaskResult]) -> Grid:
+        grid: Grid = {}
+        for result in results:
+            self.tracker.allocate(result.block.model_nbytes)
+            grid[result.result_key] = result.block
+        return grid
+
+    def _record(self, flops: int, sparse: bool) -> None:
+        with self._stats_lock:
+            self.stats.record(flops, sparse)

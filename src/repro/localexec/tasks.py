@@ -1,0 +1,102 @@
+"""Task objects for the local block engine (paper Section 5.3, Figure 4).
+
+A *task* packages the metadata of operations that can run independently and
+produce exactly one result block.  The two matmul aggregation strategies of
+the paper differ only in how tasks are cut:
+
+* **In-Place** -- one :class:`MultiplyAccumulateTask` per *result* block; all
+  ``A[i,k] @ B[k,j]`` partial products contributing to result ``(i, j)`` are
+  folded into a single pooled block, so no intermediate buffer exists.
+* **Buffer** -- one :class:`MultiplyTask` per *partial* product; every
+  ``A[i,k] @ B[k,j]`` is materialised, buffered, and aggregated at the end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.blocks.ops import Block
+
+BlockKey = tuple[int, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiplyAccumulateTask:
+    """In-Place task: all partial products of one result block."""
+
+    result_key: BlockKey
+    result_shape: tuple[int, int]
+    pairs: tuple[tuple[Block, Block], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiplyTask:
+    """Buffer task: a single block multiplication ``left @ right``."""
+
+    result_key: BlockKey
+    left: Block
+    right: Block
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockTask:
+    """Generic per-block task: apply ``compute`` to produce one result block.
+
+    Used for cell-wise, scalar and transpose grid operations where each
+    result block depends on a fixed set of input blocks and no aggregation
+    is involved.
+    """
+
+    result_key: BlockKey
+    compute: Callable[[], Block]
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskResult:
+    """The output of a completed task."""
+
+    result_key: BlockKey
+    block: Block
+    pooled: bool = False  # True when the block was drawn from the buffer pool
+
+
+def inplace_matmul_tasks(
+    a_grid: dict[BlockKey, Block],
+    b_grid: dict[BlockKey, Block],
+) -> list[MultiplyAccumulateTask]:
+    """Cut In-Place tasks for the block product of two local grids.
+
+    For every result coordinate ``(i, j)`` with at least one matching inner
+    index ``k`` present in both grids, one task carries all its pairs.
+    """
+    by_result: dict[BlockKey, list[tuple[Block, Block]]] = {}
+    b_by_k: dict[int, list[tuple[int, Block]]] = {}
+    for (k, j), block in b_grid.items():
+        b_by_k.setdefault(k, []).append((j, block))
+    for (i, k), a_block in a_grid.items():
+        for j, b_block in b_by_k.get(k, ()):
+            by_result.setdefault((i, j), []).append((a_block, b_block))
+    tasks = []
+    for (i, j), pairs in sorted(by_result.items()):
+        rows = pairs[0][0].shape[0]
+        cols = pairs[0][1].shape[1]
+        tasks.append(
+            MultiplyAccumulateTask((i, j), (rows, cols), tuple(pairs))
+        )
+    return tasks
+
+
+def buffered_matmul_tasks(
+    a_grid: dict[BlockKey, Block],
+    b_grid: dict[BlockKey, Block],
+) -> list[MultiplyTask]:
+    """Cut Buffer tasks: one task per individual block multiplication."""
+    b_by_k: dict[int, list[tuple[int, Block]]] = {}
+    for (k, j), block in b_grid.items():
+        b_by_k.setdefault(k, []).append((j, block))
+    tasks = []
+    for (i, k), a_block in sorted(a_grid.items()):
+        for j, b_block in sorted(b_by_k.get(k, ()), key=lambda item: item[0]):
+            tasks.append(MultiplyTask((i, j), a_block, b_block))
+    return tasks

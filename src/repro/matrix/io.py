@@ -1,0 +1,71 @@
+"""Distributed-matrix persistence: save/load via compressed ``.npz`` files.
+
+The on-disk format is coordinate triples of one logical copy plus the
+matrix geometry, so sparse matrices stay small on disk and a saved matrix
+can be reloaded into any cluster size, scheme, or block size (the load
+re-partitions, mirroring a DFS read -- no cluster traffic is charged, like
+:meth:`DistributedMatrix.from_numpy`).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.matrix.distributed import DistributedMatrix
+from repro.matrix.schemes import Scheme
+from repro.rdd.context import ClusterContext
+
+#: Format marker stored inside every file.
+FORMAT_TAG = "repro.distributed-matrix.v1"
+
+
+def save_matrix(path: str | pathlib.Path, matrix: DistributedMatrix) -> None:
+    """Write one logical copy of the matrix to ``path`` (``.npz``)."""
+    rows_idx: list[np.ndarray] = []
+    cols_idx: list[np.ndarray] = []
+    values: list[np.ndarray] = []
+    block = matrix.block_size
+    for (bi, bj), blk in sorted(matrix.driver_grid().items()):
+        dense = blk.to_numpy()
+        local_rows, local_cols = np.nonzero(dense)
+        rows_idx.append(local_rows + bi * block)
+        cols_idx.append(local_cols + bj * block)
+        values.append(dense[local_rows, local_cols])
+    empty_i = np.empty(0, dtype=np.int64)
+    empty_v = np.empty(0, dtype=np.float64)
+    np.savez_compressed(
+        path,
+        format=np.array(FORMAT_TAG),
+        shape=np.array(matrix.shape, dtype=np.int64),
+        rows=np.concatenate(rows_idx) if rows_idx else empty_i,
+        cols=np.concatenate(cols_idx) if cols_idx else empty_i,
+        values=np.concatenate(values) if values else empty_v,
+    )
+
+
+def load_matrix(
+    context: ClusterContext,
+    path: str | pathlib.Path,
+    block_size: int,
+    scheme: Scheme = Scheme.ROW,
+    storage: str = "auto",
+) -> DistributedMatrix:
+    """Load a matrix previously written by :func:`save_matrix`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        # numpy appends .npz when saving a bare name; mirror that on load.
+        with_suffix = path.with_suffix(path.suffix + ".npz")
+        if with_suffix.exists():
+            path = with_suffix
+        else:
+            raise ReproError(f"no matrix file at {path}")
+    with np.load(path, allow_pickle=False) as payload:
+        if "format" not in payload or str(payload["format"]) != FORMAT_TAG:
+            raise ReproError(f"{path} is not a {FORMAT_TAG} file")
+        rows, cols = (int(v) for v in payload["shape"])
+        array = np.zeros((rows, cols), dtype=np.float64)
+        array[payload["rows"], payload["cols"]] = payload["values"]
+    return DistributedMatrix.from_numpy(context, array, block_size, scheme, storage)

@@ -1,0 +1,30 @@
+"""The paper's benchmark applications as matrix programs (Appendix A)."""
+
+from repro.programs.cf import build_cf_program
+from repro.programs.gnmf import build_gnmf_program
+from repro.programs.jacobi import build_jacobi_program, split_system
+from repro.programs.linreg import DEFAULT_LAMBDA, build_linreg_program
+from repro.programs.logreg import build_logreg_program
+from repro.programs.pagerank import DAMPING, build_pagerank_program
+from repro.programs.svd import (
+    LanczosScalars,
+    build_svd_program,
+    singular_values,
+    tridiagonal_matrix,
+)
+
+__all__ = [
+    "DAMPING",
+    "DEFAULT_LAMBDA",
+    "LanczosScalars",
+    "build_cf_program",
+    "build_gnmf_program",
+    "build_jacobi_program",
+    "build_linreg_program",
+    "build_logreg_program",
+    "build_pagerank_program",
+    "build_svd_program",
+    "singular_values",
+    "split_system",
+    "tridiagonal_matrix",
+]

@@ -1,0 +1,41 @@
+"""Item-based collaborative filtering (paper Code 3, Appendix A.2).
+
+``R`` records ratings with ``R[i, j]`` the rating of user ``j`` for item
+``i``.  The item-item similarity matrix is ``R @ R^T``; predicted ratings
+are ``R @ R^T @ R``, followed by a normalisation.  The paper's point
+(Figure 9b, Section 6.4): both systems pick RMM strategies for the two
+multiplies, but SystemML-S "needs to broadcast matrix R twice in each task
+and partition the intermediate result R R^T" -- a dense ~300M-non-zero
+matrix on Netflix -- while DMac's total communication is ``n x |R|``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+from repro.lang.program import MatrixProgram, ProgramBuilder
+
+
+def build_cf_program(
+    r_shape: tuple[int, int],
+    r_sparsity: float,
+) -> MatrixProgram:
+    """Build the collaborative-filtering program.
+
+    Args:
+        r_shape: ``(items, users)`` of the rating matrix ``R``.
+        r_sparsity: declared non-zero fraction of ``R``.
+
+    The paper's ``result.normalize`` is realised as scaling by the inverse
+    Frobenius norm (any data-dependent rescaling exercises the same plan:
+    an aggregate followed by a scalar-matrix multiply).
+    """
+    items, users = r_shape
+    if items < 1 or users < 1:
+        raise ProgramError(f"rating matrix must be non-empty, got {r_shape}")
+    pb = ProgramBuilder()
+    r = pb.load("R", (items, users), sparsity=r_sparsity)
+    result = pb.assign("result", r @ r.T @ r)
+    norm = pb.scalar("norm", (result * result).sum().sqrt())
+    predict = pb.assign("predict", result * (1.0 / norm))
+    pb.output(predict)
+    return pb.build()

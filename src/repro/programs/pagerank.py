@@ -1,0 +1,58 @@
+"""PageRank (paper Code 2, Appendix A.1).
+
+``rank`` is a ``1 x N`` vector, ``link`` the row-normalised adjacency
+matrix; each iteration computes::
+
+    rank = (rank @ link) * 0.85 + D * 0.15
+
+where ``D`` is the uniform teleport vector.  The paper's point (Figure 9a):
+DMac caches the Column scheme of ``link`` across iterations (Reference
+dependency) so only the tiny ``rank`` vector is broadcast each round, while
+SystemML-S repartitions the big ``link`` matrix every iteration.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+from repro.lang.program import MatrixProgram, ProgramBuilder
+
+#: The standard damping factor used in the paper's program.
+DAMPING = 0.85
+
+
+def build_pagerank_program(
+    nodes: int,
+    link_sparsity: float,
+    iterations: int = 10,
+    seed: int = 0,
+    damping: float = DAMPING,
+    normalize: bool = False,
+) -> MatrixProgram:
+    """Build the PageRank program over an ``N x N`` link matrix.
+
+    Args:
+        nodes: node count ``N``.
+        link_sparsity: non-zero fraction of the link matrix (edges / N^2).
+        iterations: power iterations (paper: 10).
+        seed: seed for the random initial rank vector.
+        damping: the jump probability (paper: 0.85).
+        normalize: when True the program row-normalises a raw adjacency
+            matrix itself (``link / (rowSums(link) @ ones)``) instead of
+            expecting a pre-normalised input -- a one-off distributed
+            pre-processing stage in front of the paper's Code 2.
+    """
+    if iterations < 1:
+        raise ProgramError(f"iterations must be >= 1, got {iterations}")
+    if not 0 < damping < 1:
+        raise ProgramError(f"damping must lie in (0, 1), got {damping}")
+    pb = ProgramBuilder()
+    link = pb.load("link", (nodes, nodes), sparsity=link_sparsity)
+    if normalize:
+        ones = pb.full("ones", (1, nodes), 1.0)
+        link = pb.assign("link_n", link / (link.row_sums() @ ones))
+    rank = pb.random("rank", (1, nodes), seed=seed)
+    teleport = pb.full("D", (1, nodes), 1.0 / nodes)
+    for __ in range(iterations):
+        rank = pb.assign("rank", (rank @ link) * damping + teleport * (1.0 - damping))
+    pb.output(rank)
+    return pb.build()

@@ -1,0 +1,39 @@
+"""In-process Spark-like substrate with metered communication.
+
+Everything that crosses a (logical) worker boundary goes through the shuffle
+service or the broadcast facility, both of which report to the single
+:class:`CommunicationLedger` and advance the :class:`SimulatedClock` -- the
+two instruments from which every benchmark series in this reproduction is
+read.
+"""
+
+from repro.rdd.broadcast import Broadcast
+from repro.rdd.clock import SimulatedClock, TimeBreakdown
+from repro.rdd.context import ClusterContext
+from repro.rdd.ledger import CommunicationLedger, TransferRecord
+from repro.rdd.partitioner import (
+    ColumnPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RowPartitioner,
+)
+from repro.rdd.rdd import RDD
+from repro.rdd.shuffle import shuffle
+from repro.rdd.sizeof import RECORD_OVERHEAD_BYTES, model_sizeof
+
+__all__ = [
+    "Broadcast",
+    "ClusterContext",
+    "ColumnPartitioner",
+    "CommunicationLedger",
+    "HashPartitioner",
+    "Partitioner",
+    "RDD",
+    "RECORD_OVERHEAD_BYTES",
+    "RowPartitioner",
+    "SimulatedClock",
+    "TimeBreakdown",
+    "TransferRecord",
+    "model_sizeof",
+    "shuffle",
+]

@@ -1,0 +1,24 @@
+"""Broadcast variables: a read-only value replicated to every worker."""
+
+from __future__ import annotations
+
+
+class Broadcast:
+    """Handle to a value that has been replicated to all workers.
+
+    Created via :meth:`repro.rdd.context.ClusterContext.broadcast`, which
+    meters the replication traffic; the handle itself is free to pass around.
+    """
+
+    __slots__ = ("_value", "nbytes")
+
+    def __init__(self, value: object, nbytes: int) -> None:
+        self._value = value
+        self.nbytes = nbytes
+
+    @property
+    def value(self) -> object:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Broadcast(nbytes={self.nbytes})"

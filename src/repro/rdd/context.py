@@ -1,0 +1,129 @@
+"""The cluster context: workers, ledger, clock, broadcast.
+
+:class:`ClusterContext` is this reproduction's stand-in for a SparkContext
+over a physical cluster (see DESIGN.md, Substitutions).  It owns
+
+* ``K`` logical workers, each with its own
+  :class:`~repro.localexec.engine.LocalEngine` (``L`` threads, In-Place or
+  Buffer aggregation, optional memory budget),
+* the single :class:`~repro.rdd.ledger.CommunicationLedger` through which
+  every cross-worker byte must pass, and
+* the :class:`~repro.rdd.clock.SimulatedClock` that converts metered bytes
+  and flops into the execution-time series the benchmarks report.
+
+Partition ``p`` of any RDD lives on worker ``p % K``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.config import ClusterConfig
+from repro.errors import ClusterError
+from repro.localexec.engine import LocalEngine
+from repro.rdd.broadcast import Broadcast
+from repro.rdd.clock import SimulatedClock
+from repro.rdd.ledger import CommunicationLedger
+from repro.rdd.partitioner import Partitioner
+from repro.rdd.sizeof import model_sizeof
+
+
+class ClusterContext:
+    """Entry point to the simulated cluster."""
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config or ClusterConfig()
+        self.ledger = CommunicationLedger()
+        self.clock = SimulatedClock(self.config.clock)
+        self.engines = [
+            LocalEngine(
+                threads=self.config.threads_per_worker,
+                inplace=self.config.inplace,
+                memory_limit_bytes=self.config.memory_limit_bytes,
+            )
+            for __ in range(self.config.num_workers)
+        ]
+
+    # -- topology -------------------------------------------------------------
+
+    @property
+    def num_workers(self) -> int:
+        return self.config.num_workers
+
+    def worker_for_partition(self, partition_index: int) -> int:
+        """The worker hosting a given partition index."""
+        if partition_index < 0:
+            raise ClusterError(f"negative partition index {partition_index}")
+        return partition_index % self.num_workers
+
+    def engine_for_partition(self, partition_index: int) -> LocalEngine:
+        """The local engine of the worker hosting ``partition_index``."""
+        return self.engines[self.worker_for_partition(partition_index)]
+
+    # -- data ingestion ---------------------------------------------------------
+
+    def parallelize(
+        self,
+        items: Iterable[tuple[object, object]],
+        partitioner: Partitioner,
+    ) -> "RDD":
+        """Create an RDD from driver-side key/value pairs.
+
+        Modelling a load from a distributed filesystem: the data lands
+        directly in the scheme the partitioner dictates, with no *network*
+        charge (the paper likewise does not charge initial HDFS reads as
+        cluster communication -- only repartitions of live matrices count).
+        """
+        from repro.rdd.rdd import RDD  # local import to avoid a cycle
+
+        partitions: list[list[tuple[object, object]]] = [
+            [] for __ in range(partitioner.num_partitions)
+        ]
+        for key, value in items:
+            partitions[partitioner.partition_for(key)].append((key, value))
+        return RDD(self, partitions, partitioner)
+
+    # -- communication ------------------------------------------------------------
+
+    def transfer(self, kind: str, nbytes: int) -> None:
+        """Meter a cross-worker transfer in the ledger and the clock."""
+        self.ledger.record(kind, nbytes)
+        self.clock.advance_network(nbytes)
+
+    def broadcast(self, value: object, nbytes: int | None = None) -> Broadcast:
+        """Replicate ``value`` to every worker; charges ``(K - 1) * size``."""
+        size = model_sizeof(value) if nbytes is None else nbytes
+        self.transfer("broadcast", (self.num_workers - 1) * size)
+        return Broadcast(value, size)
+
+    # -- clock integration -----------------------------------------------------------
+
+    def flops_snapshot(self) -> dict[int, tuple[int, int]]:
+        """Per-worker ``(dense_flops, sparse_flops)`` counters right now."""
+        return {
+            w: (engine.stats.dense_flops, engine.stats.sparse_flops)
+            for w, engine in enumerate(self.engines)
+        }
+
+    def charge_compute_since(self, snapshot: dict[int, tuple[int, int]]) -> None:
+        """Advance the clock by the compute performed since ``snapshot``,
+        modelled as one synchronised parallel phase."""
+        current = self.flops_snapshot()
+        dense = {w: current[w][0] - snapshot.get(w, (0, 0))[0] for w in current}
+        sparse = {w: current[w][1] - snapshot.get(w, (0, 0))[1] for w in current}
+        self.clock.advance_compute(dense, sparse, self.config.threads_per_worker)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def peak_memory_bytes(self) -> int:
+        """The largest per-worker peak (the paper reports per-node memory)."""
+        return max(engine.tracker.peak_bytes for engine in self.engines)
+
+    def peak_memory_by_worker(self) -> list[int]:
+        """Per-worker peak model bytes (for balance inspection)."""
+        return [engine.tracker.peak_bytes for engine in self.engines]
+
+    def reset_metrics(self) -> None:
+        """Clear ledger and clock (typically between benchmark phases)."""
+        self.ledger.reset()
+        self.clock.reset()

@@ -1,0 +1,104 @@
+"""Communication ledger: every byte that crosses worker boundaries.
+
+The paper's headline evaluation metric (Figure 6b and the 44 %-vs-6 %
+communication-share analysis of Section 6.2) is the amount of data moved
+through the cluster.  The ledger is the single place this is metered: the
+shuffle service and broadcast facility report to it, and nothing else in the
+system is allowed to move data between workers.
+
+Entries are tagged with a *scope* (e.g. the current plan stage and operator)
+so benchmarks can break communication down the way the paper's figures do.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import threading
+from collections import defaultdict
+from typing import Iterator
+
+#: The kinds of cross-worker transfer the substrate can perform.
+TRANSFER_KINDS = ("shuffle", "broadcast")
+
+
+@dataclasses.dataclass(frozen=True)
+class TransferRecord:
+    """One metered cross-worker transfer."""
+
+    kind: str  # "shuffle" or "broadcast"
+    nbytes: int
+    scope: str  # e.g. "stage-2/partition(W)"
+
+
+class CommunicationLedger:
+    """Thread-safe accumulator of cross-worker traffic."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[TransferRecord] = []
+        self._scope_stack: list[str] = []
+
+    # -- scoping ------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def scope(self, label: str) -> Iterator[None]:
+        """Tag all transfers recorded inside the block with ``label``
+        (nested scopes join with ``/``)."""
+        with self._lock:
+            self._scope_stack.append(label)
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._scope_stack.pop()
+
+    def current_scope(self) -> str:
+        with self._lock:
+            return "/".join(self._scope_stack)
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, kind: str, nbytes: int) -> None:
+        """Meter one transfer of ``nbytes`` under the current scope."""
+        if kind not in TRANSFER_KINDS:
+            raise ValueError(f"unknown transfer kind {kind!r}")
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if nbytes == 0:
+            return
+        with self._lock:
+            self._records.append(TransferRecord(kind, nbytes, "/".join(self._scope_stack)))
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(r.nbytes for r in self._records)
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        with self._lock:
+            for record in self._records:
+                out[record.kind] += record.nbytes
+        return dict(out)
+
+    def bytes_by_scope(self) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        with self._lock:
+            for record in self._records:
+                out[record.scope] += record.nbytes
+        return dict(out)
+
+    def records(self) -> list[TransferRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def snapshot(self) -> int:
+        """Current total, for measuring deltas around a phase."""
+        return self.total_bytes
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()

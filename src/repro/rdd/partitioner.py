@@ -1,0 +1,65 @@
+"""Partitioners mapping block keys to cluster partitions.
+
+DMac customises Spark's partitioner interface with its three schemes
+(paper Section 5.4): Row and Column partitioners place a block ``(bi, bj)``
+by its block-row or block-column index; the hash partitioner is what the
+SystemML-S baseline uses for its cached intermediates.
+
+Two RDDs co-partitioned by *equal* partitioners can be joined without a
+shuffle, so partitioners define structural equality.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import SchemeError
+
+BlockKey = tuple[int, int]
+
+
+class Partitioner(abc.ABC):
+    """Maps keys to partition indices in ``[0, num_partitions)``."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise SchemeError(f"num_partitions must be >= 1, got {num_partitions}")
+        self.num_partitions = num_partitions
+
+    @abc.abstractmethod
+    def partition_for(self, key: object) -> int:
+        """Partition index for ``key``."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.num_partitions == other.num_partitions  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.num_partitions))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.num_partitions})"
+
+
+class RowPartitioner(Partitioner):
+    """Row scheme: all blocks of block-row ``bi`` land in partition
+    ``bi % num_partitions``."""
+
+    def partition_for(self, key: object) -> int:
+        bi, __ = key  # type: ignore[misc]
+        return int(bi) % self.num_partitions
+
+
+class ColumnPartitioner(Partitioner):
+    """Column scheme: all blocks of block-column ``bj`` land in partition
+    ``bj % num_partitions``."""
+
+    def partition_for(self, key: object) -> int:
+        __, bj = key  # type: ignore[misc]
+        return int(bj) % self.num_partitions
+
+
+class HashPartitioner(Partitioner):
+    """Spark's default: hash of the whole key (used by SystemML-S caches)."""
+
+    def partition_for(self, key: object) -> int:
+        return hash(key) % self.num_partitions

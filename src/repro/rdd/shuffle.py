@@ -1,0 +1,41 @@
+"""The shuffle service: the only way data moves between workers.
+
+A shuffle re-buckets every (key, value) record of an RDD by a target
+partitioner.  Records whose source and target *workers* coincide are free;
+records that cross a worker boundary are charged to the communication
+ledger (and the simulated clock) at their model size plus a small framing
+overhead.  This matches the paper's accounting, where a repartition of a
+matrix costs on the order of the matrix size ``|A|``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.rdd.context import ClusterContext
+from repro.rdd.partitioner import Partitioner
+from repro.rdd.sizeof import RECORD_OVERHEAD_BYTES, model_sizeof
+
+Partitions = list[list[tuple[object, object]]]
+
+
+def shuffle(
+    context: ClusterContext,
+    source: Sequence[Sequence[tuple[object, object]]],
+    partitioner: Partitioner,
+) -> Partitions:
+    """Redistribute records into ``partitioner``'s layout, metering traffic.
+
+    Returns the new partition list (length ``partitioner.num_partitions``).
+    """
+    targets: Partitions = [[] for __ in range(partitioner.num_partitions)]
+    moved_bytes = 0
+    for source_index, partition in enumerate(source):
+        source_worker = context.worker_for_partition(source_index)
+        for key, value in partition:
+            target_index = partitioner.partition_for(key)
+            if context.worker_for_partition(target_index) != source_worker:
+                moved_bytes += model_sizeof(value) + RECORD_OVERHEAD_BYTES
+            targets[target_index].append((key, value))
+    context.transfer("shuffle", moved_bytes)
+    return targets

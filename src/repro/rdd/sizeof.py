@@ -1,0 +1,33 @@
+"""Byte-size model for values that travel across the simulated network.
+
+Matrix blocks dominate all real traffic; they are charged by the paper's
+memory model (:attr:`model_nbytes`).  Everything else gets a small generic
+estimate so control messages do not distort the communication figures.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+#: Framing overhead charged per shuffled (key, value) record.
+RECORD_OVERHEAD_BYTES = 16
+
+
+def model_sizeof(value: object) -> int:
+    """Bytes ``value`` occupies on the wire under the paper's model."""
+    model_nbytes = getattr(value, "model_nbytes", None)
+    if model_nbytes is not None:
+        return int(model_nbytes)
+    if isinstance(value, np.ndarray):
+        return 4 * value.size  # paper model: 4 bytes per dense element
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(value, (tuple, list)):
+        return sum(model_sizeof(item) for item in value)
+    if isinstance(value, dict):
+        return sum(
+            model_sizeof(k) + model_sizeof(v) for k, v in value.items()
+        )
+    return sys.getsizeof(value)

@@ -1,0 +1,88 @@
+"""The user-facing entry point: build a program, run it under DMac.
+
+Typical use::
+
+    from repro import ClusterConfig, DMacSession, ProgramBuilder
+
+    pb = ProgramBuilder()
+    V = pb.load("V", (1000, 800), sparsity=0.01)
+    W = pb.random("W", (1000, 20))
+    H = pb.random("H", (20, 800))
+    for _ in range(5):
+        H = pb.assign("H", H * (W.T @ V) / (W.T @ W @ H))
+        W = pb.assign("W", W * (V @ H.T) / (W @ H @ H.T))
+    pb.output(W); pb.output(H)
+
+    session = DMacSession(ClusterConfig(num_workers=4))
+    result = session.run(pb.build(), inputs={"V": v_array})
+    print(result.comm_bytes, result.simulated_seconds)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.systemml import SystemMLSExecutor
+from repro.config import ClusterConfig
+from repro.core.executor import ExecutionResult, PlanExecutor
+from repro.core.plan import Plan
+from repro.core.planner import DMacPlanner
+from repro.core.stages import schedule_stages
+from repro.lang.program import MatrixProgram
+from repro.rdd.context import ClusterContext
+
+
+class DMacSession:
+    """Owns a simulated cluster and plans/executes matrix programs on it.
+
+    Metrics (communication ledger, simulated clock, per-worker memory
+    peaks) accumulate across runs on the same session; every
+    :class:`ExecutionResult` reports its own deltas.  Use a fresh session
+    per benchmarked system for clean peaks.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        pull_up_broadcast: bool = True,
+        re_assignment: bool = True,
+        estimation_mode: str = "worst",
+    ) -> None:
+        self.config = config or ClusterConfig()
+        self.context = ClusterContext(self.config)
+        self.pull_up_broadcast = pull_up_broadcast
+        self.re_assignment = re_assignment
+        self.estimation_mode = estimation_mode
+
+    def plan(self, program: MatrixProgram) -> Plan:
+        """Generate and stage-schedule the DMac plan for a program."""
+        planner = DMacPlanner(
+            program,
+            self.config.num_workers,
+            pull_up_broadcast=self.pull_up_broadcast,
+            re_assignment=self.re_assignment,
+            estimation_mode=self.estimation_mode,
+        )
+        return schedule_stages(planner.plan())
+
+    def run(
+        self,
+        program: MatrixProgram,
+        inputs: dict[str, np.ndarray] | None = None,
+        plan: Plan | None = None,
+        trace: bool = False,
+    ) -> ExecutionResult:
+        """Plan (unless a plan is supplied) and execute under DMac."""
+        plan = plan or self.plan(program)
+        executor = PlanExecutor(self.context, self.config.block_size)
+        return executor.execute(plan, inputs, trace=trace)
+
+    def run_systemml(
+        self,
+        program: MatrixProgram,
+        inputs: dict[str, np.ndarray] | None = None,
+    ) -> ExecutionResult:
+        """Execute the same program under the SystemML-S baseline, on this
+        session's cluster (same engines, same metered substrate)."""
+        executor = SystemMLSExecutor(self.context, self.config.block_size)
+        return executor.execute(program, inputs)

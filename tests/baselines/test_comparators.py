@@ -1,0 +1,118 @@
+"""Tests for the R/local, ScaLAPACK and SciDB comparators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rlocal import run_local
+from repro.baselines.scalapack import process_grid, run_scalapack_matmul
+from repro.baselines.scidb import run_scidb_matmul
+from repro.errors import ExecutionError, ShapeError
+from repro.lang.program import ProgramBuilder
+from tests.conftest import random_sparse
+
+
+class TestLocalBaseline:
+    def test_runs_gnmf(self, rng):
+        from repro.datasets import sparse_random
+        from repro.programs import build_gnmf_program
+
+        program = build_gnmf_program((40, 30), 0.2, factors=4, iterations=2)
+        data = sparse_random(40, 30, 0.2, seed=1, ensure_coverage=True)
+        result = run_local(program, {"V": data})
+        w = result.matrices[program.bindings["W"]]
+        h = result.matrices[program.bindings["H"]]
+        # multiplicative updates keep factors non-negative
+        assert (w >= 0).all() and (h >= 0).all()
+
+    def test_transposed_operands(self, rng):
+        pb = ProgramBuilder()
+        a = pb.load("A", (6, 4))
+        pb.output(pb.assign("B", a.T @ a))
+        array = rng.random((6, 4))
+        result = run_local(pb.build(), {"A": array})
+        np.testing.assert_allclose(result.matrices["B"], array.T @ array)
+
+    def test_scalar_flow(self, rng):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 4))
+        s = pb.scalar("s", (a * a).sum())
+        pb.scalar_output(s)
+        pb.output(pb.assign("B", a * (s / 2.0)))
+        array = rng.random((4, 4))
+        result = run_local(pb.build(), {"A": array})
+        assert result.scalars["s"] == pytest.approx((array * array).sum())
+
+    def test_flops_counted(self, rng):
+        pb = ProgramBuilder()
+        a = pb.load("A", (10, 10))
+        pb.output(pb.assign("B", a @ a))
+        result = run_local(pb.build(), {"A": rng.random((10, 10))})
+        assert result.flops == 2 * 10 * 10 * 10
+        assert result.simulated_seconds > 0
+
+    def test_sparse_flop_discount(self, rng):
+        pb = ProgramBuilder()
+        a = pb.load("A", (20, 20), sparsity=0.1)
+        pb.output(pb.assign("B", a @ a))
+        sparse = random_sparse(rng, 20, 20, 0.1)
+        dense = rng.random((20, 20))
+        sparse_flops = run_local(pb.build(), {"A": sparse}).flops
+        dense_flops = run_local(pb.build(), {"A": dense}).flops
+        assert sparse_flops < dense_flops
+
+    def test_missing_input(self):
+        pb = ProgramBuilder()
+        pb.output(pb.load("A", (4, 4)))
+        with pytest.raises(ExecutionError):
+            run_local(pb.build(), {})
+
+
+class TestScaLAPACK:
+    def test_product_correct(self, rng):
+        a, b = rng.random((20, 16)), rng.random((16, 12))
+        result = run_scalapack_matmul(a, b, num_processes=8)
+        np.testing.assert_allclose(result.product, a @ b)
+
+    def test_dense_insensitive_to_sparsity(self, rng):
+        """The Table 4 effect: sparse costs the same as dense."""
+        dense = rng.random((64, 64))
+        sparse = random_sparse(rng, 64, 64, 0.01)
+        t_dense = run_scalapack_matmul(dense, dense, 8).simulated_seconds
+        t_sparse = run_scalapack_matmul(sparse, sparse, 8).simulated_seconds
+        assert t_sparse == pytest.approx(t_dense, rel=0.01)
+
+    def test_process_grid_near_square(self):
+        assert process_grid(64) == (8, 8)
+        assert process_grid(8) == (2, 4)
+        assert process_grid(7) == (1, 7)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            run_scalapack_matmul(rng.random((4, 5)), rng.random((4, 5)), 4)
+
+    def test_more_processes_less_compute_time(self, rng):
+        # Large enough that compute dominates the panel traffic.
+        a = rng.random((512, 512))
+        few = run_scalapack_matmul(a, a, 4).simulated_seconds
+        many = run_scalapack_matmul(a, a, 64).simulated_seconds
+        assert many < few
+
+
+class TestSciDB:
+    def test_product_correct(self, rng):
+        a, b = rng.random((16, 12)), rng.random((12, 8))
+        result = run_scidb_matmul(a, b, 8)
+        np.testing.assert_allclose(result.product, a @ b)
+
+    def test_slower_than_scalapack(self, rng):
+        """Section 6.6: SciDB pays redistribution plus system overhead."""
+        a = rng.random((64, 64))
+        core = run_scalapack_matmul(a, a, 8).simulated_seconds
+        scidb = run_scidb_matmul(a, a, 8).simulated_seconds
+        assert scidb > 3 * core
+
+    def test_overhead_factor_scales(self, rng):
+        a = rng.random((32, 32))
+        low = run_scidb_matmul(a, a, 8, system_overhead=1.0).simulated_seconds
+        high = run_scidb_matmul(a, a, 8, system_overhead=9.0).simulated_seconds
+        assert high > low

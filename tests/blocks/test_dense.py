@@ -1,0 +1,88 @@
+"""Unit tests for DenseBlock."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.dense import DenseBlock
+from repro.errors import BlockError
+
+
+class TestConstruction:
+    def test_wraps_float64_contiguous(self):
+        block = DenseBlock(np.arange(6, dtype=np.int32).reshape(2, 3))
+        assert block.data.dtype == np.float64
+        assert block.data.flags["C_CONTIGUOUS"]
+
+    def test_rejects_1d(self):
+        with pytest.raises(BlockError):
+            DenseBlock(np.arange(4))
+
+    def test_rejects_3d(self):
+        with pytest.raises(BlockError):
+            DenseBlock(np.zeros((2, 2, 2)))
+
+    def test_zeros(self):
+        block = DenseBlock.zeros(3, 4)
+        assert block.shape == (3, 4)
+        assert block.nnz == 0
+
+    def test_full(self):
+        block = DenseBlock.full(2, 2, 7.5)
+        assert np.all(block.data == 7.5)
+
+    def test_random_uses_rng(self, rng):
+        a = DenseBlock.random(3, 3, np.random.default_rng(1))
+        b = DenseBlock.random(3, 3, np.random.default_rng(1))
+        assert a == b
+
+
+class TestMetadata:
+    def test_nnz_counts_nonzeros(self):
+        block = DenseBlock(np.array([[0.0, 1.0], [2.0, 0.0]]))
+        assert block.nnz == 2
+
+    def test_sparsity(self):
+        block = DenseBlock(np.array([[0.0, 1.0], [2.0, 0.0]]))
+        assert block.sparsity == pytest.approx(0.5)
+
+    def test_sparsity_empty_dimension(self):
+        assert DenseBlock(np.zeros((0, 5))).sparsity == 0.0
+
+    def test_model_nbytes_is_4mn(self):
+        assert DenseBlock.zeros(10, 20).model_nbytes == 4 * 10 * 20
+
+    def test_actual_nbytes_is_8mn(self):
+        assert DenseBlock.zeros(10, 20).actual_nbytes == 8 * 10 * 20
+
+
+class TestOperations:
+    def test_to_numpy_is_copy(self):
+        block = DenseBlock.zeros(2, 2)
+        out = block.to_numpy()
+        out[0, 0] = 5.0
+        assert block.data[0, 0] == 0.0
+
+    def test_copy_is_independent(self):
+        block = DenseBlock.zeros(2, 2)
+        clone = block.copy()
+        clone.data[0, 0] = 1.0
+        assert block.data[0, 0] == 0.0
+
+    def test_transpose(self, rng):
+        array = rng.random((3, 5))
+        assert np.array_equal(DenseBlock(array).transpose().data, array.T)
+
+    def test_transpose_is_contiguous(self, rng):
+        transposed = DenseBlock(rng.random((3, 5))).transpose()
+        assert transposed.data.flags["C_CONTIGUOUS"]
+
+    def test_equality(self, rng):
+        array = rng.random((2, 3))
+        assert DenseBlock(array) == DenseBlock(array.copy())
+        assert DenseBlock(array) != DenseBlock(array + 1)
+
+    def test_equality_different_type(self):
+        assert DenseBlock.zeros(1, 1).__eq__(42) is NotImplemented
+
+    def test_is_sparse_flag(self):
+        assert DenseBlock.zeros(1, 1).is_sparse is False

@@ -1,0 +1,178 @@
+"""Unit tests for the block compute kernels."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import ops
+from repro.blocks.dense import DenseBlock
+from repro.blocks.sparse import CSCBlock
+from repro.errors import BlockError, ShapeError
+from tests.conftest import random_sparse
+
+
+def as_blocks(array: np.ndarray):
+    """Both storage formats for the same logical matrix."""
+    return DenseBlock(array), CSCBlock.from_dense(array)
+
+
+class TestMatmul:
+    @pytest.mark.parametrize("left_sparse", [False, True])
+    @pytest.mark.parametrize("right_sparse", [False, True])
+    def test_all_format_combinations(self, rng, left_sparse, right_sparse):
+        a = random_sparse(rng, 7, 5, 0.4)
+        b = random_sparse(rng, 5, 6, 0.4)
+        left = CSCBlock.from_dense(a) if left_sparse else DenseBlock(a)
+        right = CSCBlock.from_dense(b) if right_sparse else DenseBlock(b)
+        result = ops.matmul(left, right)
+        assert isinstance(result, DenseBlock)
+        np.testing.assert_allclose(result.data, a @ b, atol=1e-12)
+
+    def test_inner_dimension_mismatch(self):
+        with pytest.raises(ShapeError):
+            ops.matmul(DenseBlock.zeros(2, 3), DenseBlock.zeros(4, 2))
+
+    def test_empty_sparse_operand(self):
+        result = ops.matmul(CSCBlock.empty(3, 4), DenseBlock.zeros(4, 2))
+        assert result.nnz == 0
+
+    def test_flops_dense(self):
+        flops = ops.matmul_flops(DenseBlock.zeros(3, 4), DenseBlock.zeros(4, 5))
+        assert flops == 2 * 3 * 4 * 5
+
+    def test_flops_sparse_left_scales_with_nnz(self, rng):
+        sparse = CSCBlock.from_dense(random_sparse(rng, 10, 10, 0.1))
+        flops = ops.matmul_flops(sparse, DenseBlock.zeros(10, 4))
+        assert flops == 2 * sparse.nnz * 4
+
+    def test_flops_sparse_right(self, rng):
+        sparse = CSCBlock.from_dense(random_sparse(rng, 10, 10, 0.1))
+        flops = ops.matmul_flops(DenseBlock.zeros(4, 10), sparse)
+        assert flops == 2 * 4 * sparse.nnz
+
+
+class TestCellwise:
+    @pytest.mark.parametrize("op", ["add", "subtract", "multiply", "divide"])
+    @pytest.mark.parametrize("left_sparse", [False, True])
+    @pytest.mark.parametrize("right_sparse", [False, True])
+    def test_matches_numpy(self, rng, op, left_sparse, right_sparse):
+        a = random_sparse(rng, 6, 5, 0.5)
+        b = random_sparse(rng, 6, 5, 0.5) + 0.5  # denominator well away from 0
+        left = CSCBlock.from_dense(a) if left_sparse else DenseBlock(a)
+        right = CSCBlock.from_dense(b) if right_sparse else DenseBlock(b)
+        if op == "divide" and right_sparse and not left_sparse:
+            pytest.skip("dense / sparse densifies the implicit zeros to inf")
+        result = ops.cellwise(op, left, right)
+        expected = {"add": a + b, "subtract": a - b, "multiply": a * b, "divide": None}[op]
+        if op == "divide":
+            if left_sparse:
+                # sparse numerator: only positions where a is non-zero
+                expected = np.where(a != 0, a / b, 0.0)
+            else:
+                expected = a / b
+        np.testing.assert_allclose(result.to_numpy(), expected, atol=1e-12)
+
+    def test_multiply_sparse_output_format(self, rng):
+        a = CSCBlock.from_dense(random_sparse(rng, 5, 5, 0.3))
+        b = DenseBlock(rng.random((5, 5)))
+        assert ops.cellwise("multiply", a, b).is_sparse
+
+    def test_add_two_sparse_stays_sparse(self, rng):
+        a = CSCBlock.from_dense(random_sparse(rng, 5, 5, 0.3))
+        b = CSCBlock.from_dense(random_sparse(rng, 5, 5, 0.3))
+        assert ops.cellwise("add", a, b).is_sparse
+
+    def test_add_mixed_densifies(self, rng):
+        a = CSCBlock.from_dense(random_sparse(rng, 5, 5, 0.3))
+        b = DenseBlock(rng.random((5, 5)))
+        assert not ops.cellwise("add", a, b).is_sparse
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            ops.cellwise("add", DenseBlock.zeros(2, 2), DenseBlock.zeros(3, 3))
+
+    def test_unknown_op(self):
+        with pytest.raises(BlockError):
+            ops.cellwise("modulo", DenseBlock.zeros(2, 2), DenseBlock.zeros(2, 2))
+
+    def test_subtract_cancellation_prunes_sparse(self):
+        a = CSCBlock.from_dense(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        result = ops.cellwise("subtract", a, a)
+        assert result.nnz == 0
+
+    def test_flops(self, rng):
+        dense = DenseBlock(rng.random((4, 4)))
+        assert ops.cellwise_flops(dense, dense) == 16
+        sparse = CSCBlock.from_dense(random_sparse(rng, 4, 4, 0.3))
+        assert ops.cellwise_flops(sparse, sparse) == 2 * sparse.nnz
+
+
+class TestScalarOps:
+    @pytest.mark.parametrize("op", ["add", "subtract", "multiply", "divide"])
+    def test_dense(self, rng, op):
+        a = rng.random((4, 3))
+        result = ops.scalar_op(op, DenseBlock(a), 2.0)
+        expected = {"add": a + 2, "subtract": a - 2, "multiply": a * 2, "divide": a / 2}[op]
+        np.testing.assert_allclose(result.data, expected)
+
+    def test_sparse_multiply_preserves_format(self, rng):
+        sparse = CSCBlock.from_dense(random_sparse(rng, 5, 5, 0.3))
+        result = ops.scalar_op("multiply", sparse, 3.0)
+        assert result.is_sparse
+        np.testing.assert_allclose(result.to_numpy(), sparse.to_numpy() * 3)
+
+    def test_sparse_divide_preserves_format(self, rng):
+        sparse = CSCBlock.from_dense(random_sparse(rng, 5, 5, 0.3))
+        result = ops.scalar_op("divide", sparse, 2.0)
+        assert result.is_sparse
+
+    def test_sparse_add_nonzero_densifies(self, rng):
+        sparse = CSCBlock.from_dense(random_sparse(rng, 5, 5, 0.3))
+        result = ops.scalar_op("add", sparse, 1.0)
+        assert not result.is_sparse
+        np.testing.assert_allclose(result.to_numpy(), sparse.to_numpy() + 1)
+
+    def test_sparse_add_zero_stays_sparse(self, rng):
+        sparse = CSCBlock.from_dense(random_sparse(rng, 5, 5, 0.3))
+        assert ops.scalar_op("add", sparse, 0.0).is_sparse
+
+    def test_divide_by_zero_scalar(self):
+        with pytest.raises(BlockError):
+            ops.scalar_op("divide", DenseBlock.zeros(2, 2), 0.0)
+
+    def test_unknown_op(self):
+        with pytest.raises(BlockError):
+            ops.scalar_op("power", DenseBlock.zeros(2, 2), 2.0)
+
+
+class TestAggregatesAndAccumulate:
+    def test_block_sum(self, rng):
+        a = random_sparse(rng, 6, 6, 0.4)
+        for block in as_blocks(a):
+            assert ops.block_sum(block) == pytest.approx(a.sum())
+
+    def test_block_sq_sum(self, rng):
+        a = random_sparse(rng, 6, 6, 0.4)
+        for block in as_blocks(a):
+            assert ops.block_sq_sum(block) == pytest.approx((a * a).sum())
+
+    def test_accumulate_dense(self, rng):
+        a = rng.random((3, 3))
+        target = DenseBlock.zeros(3, 3)
+        ops.accumulate(target, DenseBlock(a))
+        ops.accumulate(target, DenseBlock(a))
+        np.testing.assert_allclose(target.data, 2 * a)
+
+    def test_accumulate_sparse_addition(self, rng):
+        a = random_sparse(rng, 3, 3, 0.5)
+        target = DenseBlock.zeros(3, 3)
+        ops.accumulate(target, CSCBlock.from_dense(a))
+        np.testing.assert_allclose(target.data, a)
+
+    def test_accumulate_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            ops.accumulate(DenseBlock.zeros(2, 2), DenseBlock.zeros(3, 3))
+
+    def test_transpose_kernel_preserves_format(self, rng):
+        dense, sparse = as_blocks(random_sparse(rng, 4, 6, 0.4))
+        assert not ops.transpose(dense).is_sparse
+        assert ops.transpose(sparse).is_sparse

@@ -1,0 +1,85 @@
+"""Property-based tests for the block substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.blocks import assemble, cellwise, matmul, split
+from repro.blocks.dense import DenseBlock
+from repro.blocks.sparse import CSCBlock
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False, width=64)
+
+
+def matrix(rows=st.integers(1, 12), cols=st.integers(1, 12)):
+    return st.tuples(rows, cols).flatmap(
+        lambda shape: arrays(np.float64, shape, elements=finite)
+    )
+
+
+def sparsify(array: np.ndarray, mask_seed: int) -> np.ndarray:
+    rng = np.random.default_rng(mask_seed)
+    out = array.copy()
+    out[rng.random(out.shape) < 0.6] = 0.0
+    return out
+
+
+@given(matrix(), st.integers(0, 10))
+def test_csc_roundtrip_is_identity(array, seed):
+    sparse = sparsify(array, seed)
+    assert np.array_equal(CSCBlock.from_dense(sparse).to_numpy(), sparse)
+
+
+@given(matrix(), st.integers(0, 10))
+def test_csc_memory_formula_matches_arrays(array, seed):
+    block = CSCBlock.from_dense(sparsify(array, seed))
+    assert block.model_nbytes == 4 * block.shape[1] + 8 * len(block.values)
+
+
+@given(matrix(), st.integers(0, 10))
+def test_csc_transpose_involution(array, seed):
+    sparse = sparsify(array, seed)
+    block = CSCBlock.from_dense(sparse)
+    assert block.transpose().transpose() == block
+
+
+@given(matrix(), st.integers(1, 6))
+def test_split_assemble_roundtrip(array, block_size):
+    grid = split(array, block_size)
+    assert np.array_equal(assemble(grid, array.shape, block_size), array)
+
+
+@given(
+    st.integers(1, 8),
+    st.integers(1, 8),
+    st.integers(1, 8),
+    st.integers(0, 5),
+    st.booleans(),
+    st.booleans(),
+)
+def test_matmul_matches_numpy(m, k, n, seed, left_sparse, right_sparse):
+    rng = np.random.default_rng(seed)
+    a, b = rng.random((m, k)), rng.random((k, n))
+    left = CSCBlock.from_dense(sparsify(a, seed)) if left_sparse else DenseBlock(a)
+    right = CSCBlock.from_dense(sparsify(b, seed + 1)) if right_sparse else DenseBlock(b)
+    result = matmul(left, right)
+    expected = left.to_numpy() if left_sparse else a
+    expected = expected @ (right.to_numpy() if right_sparse else b)
+    np.testing.assert_allclose(result.data, expected, atol=1e-9)
+
+
+@given(matrix(), st.integers(0, 5), st.sampled_from(["add", "subtract", "multiply"]))
+def test_sparse_cellwise_matches_numpy(array, seed, op):
+    a = sparsify(array, seed)
+    b = sparsify(array[::-1].copy() if array.shape[0] > 1 else array, seed + 1)
+    result = cellwise(op, CSCBlock.from_dense(a), CSCBlock.from_dense(b))
+    expected = {"add": a + b, "subtract": a - b, "multiply": a * b}[op]
+    np.testing.assert_allclose(result.to_numpy(), expected, atol=1e-9)
+
+
+@given(matrix(), st.integers(0, 5))
+def test_sparsity_bounds(array, seed):
+    block = CSCBlock.from_dense(sparsify(array, seed))
+    assert 0.0 <= block.sparsity <= 1.0
+    assert block.nnz == np.count_nonzero(block.to_numpy())

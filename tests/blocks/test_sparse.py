@@ -1,0 +1,150 @@
+"""Unit tests for the CSC sparse block (paper Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.sparse import CSCBlock
+from repro.errors import BlockError
+from tests.conftest import random_sparse
+
+
+def example_block() -> CSCBlock:
+    # The matrix from the paper's Figure 5 layout style.
+    dense = np.array(
+        [
+            [0.0, 3.0, 0.0, 2.0],
+            [2.0, 0.0, 4.0, 1.0],
+            [0.0, 0.0, 2.0, 0.0],
+        ]
+    )
+    return CSCBlock.from_dense(dense)
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        dense = random_sparse(rng, 9, 7, 0.3)
+        assert np.array_equal(CSCBlock.from_dense(dense).to_numpy(), dense)
+
+    def test_from_coo_sums_duplicates(self):
+        block = CSCBlock.from_coo(
+            np.array([0, 0, 1]), np.array([1, 1, 0]), np.array([2.0, 3.0, 1.0]), (2, 2)
+        )
+        assert block.to_numpy()[0, 1] == 5.0
+        assert block.nnz == 2
+
+    def test_from_coo_drops_cancelling_duplicates(self):
+        block = CSCBlock.from_coo(
+            np.array([0, 0]), np.array([0, 0]), np.array([1.0, -1.0]), (2, 2)
+        )
+        assert block.nnz == 0
+
+    def test_from_coo_drops_explicit_zeros(self):
+        block = CSCBlock.from_coo(
+            np.array([0]), np.array([0]), np.array([0.0]), (2, 2)
+        )
+        assert block.nnz == 0
+
+    def test_from_coo_out_of_range(self):
+        with pytest.raises(BlockError):
+            CSCBlock.from_coo(np.array([5]), np.array([0]), np.array([1.0]), (2, 2))
+
+    def test_from_coo_length_mismatch(self):
+        with pytest.raises(BlockError):
+            CSCBlock.from_coo(np.array([0, 1]), np.array([0]), np.array([1.0]), (2, 2))
+
+    def test_empty(self):
+        block = CSCBlock.empty(4, 3)
+        assert block.nnz == 0
+        assert block.to_numpy().shape == (4, 3)
+
+    def test_random_sparsity(self):
+        block = CSCBlock.random(50, 50, 0.2, np.random.default_rng(0))
+        assert 0.05 < block.sparsity < 0.4
+
+    def test_random_rejects_bad_sparsity(self):
+        with pytest.raises(BlockError):
+            CSCBlock.random(4, 4, 1.5, np.random.default_rng(0))
+
+    def test_invariant_colptr_length(self):
+        with pytest.raises(BlockError):
+            CSCBlock((2, 2), np.array([1.0]), np.array([0]), np.array([0, 1]))
+
+    def test_invariant_colptr_monotone(self):
+        with pytest.raises(BlockError):
+            CSCBlock((2, 2), np.array([1.0]), np.array([0]), np.array([0, 1, 0]))
+
+    def test_invariant_row_range(self):
+        with pytest.raises(BlockError):
+            CSCBlock((2, 2), np.array([1.0]), np.array([5]), np.array([0, 1, 1]))
+
+
+class TestStructure:
+    def test_colptr_matches_figure5_scheme(self):
+        block = example_block()
+        # column start index array has cols+1 entries, starts 0, ends nnz
+        assert block.colptr[0] == 0
+        assert block.colptr[-1] == block.nnz
+        assert len(block.colptr) == block.shape[1] + 1
+
+    def test_column_indices(self):
+        block = example_block()
+        rows, cols, values = block.to_coo()
+        dense = block.to_numpy()
+        for r, c, v in zip(rows, cols, values):
+            assert dense[r, c] == v
+
+    def test_column_access(self):
+        block = example_block()
+        rows, values = block.column(3)
+        assert set(zip(rows.tolist(), values.tolist())) == {(0, 2.0), (1, 1.0)}
+
+    def test_column_out_of_range(self):
+        with pytest.raises(BlockError):
+            example_block().column(10)
+
+    def test_rows_sorted_within_column(self, rng):
+        block = CSCBlock.from_dense(random_sparse(rng, 20, 20, 0.4))
+        for j in range(20):
+            rows, __ = block.column(j)
+            assert np.all(np.diff(rows) > 0)
+
+
+class TestMemoryModel:
+    def test_model_nbytes_formula(self):
+        block = example_block()
+        __, cols = block.shape
+        assert block.model_nbytes == 4 * cols + 8 * block.nnz
+
+    def test_actual_nbytes_counts_three_arrays(self):
+        block = example_block()
+        expected = block.values.nbytes + block.row_idx.nbytes + block.colptr.nbytes
+        assert block.actual_nbytes == expected
+
+
+class TestOperations:
+    def test_transpose_roundtrip(self, rng):
+        dense = random_sparse(rng, 8, 5, 0.3)
+        block = CSCBlock.from_dense(dense)
+        assert np.array_equal(block.transpose().to_numpy(), dense.T)
+        assert np.array_equal(block.transpose().transpose().to_numpy(), dense)
+
+    def test_copy_independent(self):
+        block = example_block()
+        clone = block.copy()
+        clone.values[0] = 99.0
+        assert block.values[0] != 99.0
+
+    def test_to_dense_block(self):
+        block = example_block()
+        assert np.array_equal(block.to_dense_block().data, block.to_numpy())
+
+    def test_equality_canonical_form(self, rng):
+        dense = random_sparse(rng, 6, 6, 0.3)
+        a = CSCBlock.from_dense(dense)
+        rows, cols = np.nonzero(dense)
+        order = np.argsort(rng.random(len(rows)))  # scrambled COO input
+        b = CSCBlock.from_coo(rows[order], cols[order], dense[rows, cols][order], (6, 6))
+        assert a == b
+
+    def test_is_sparse_flag(self):
+        assert example_block().is_sparse is True

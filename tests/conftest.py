@@ -1,0 +1,49 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.config import ClusterConfig
+from repro.rdd.context import ClusterContext
+
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+# `pytest --hypothesis-profile=deep` for long fuzz sessions.
+settings.register_profile(
+    "deep",
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+import os  # noqa: E402  (profile selection must follow registration)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_config() -> ClusterConfig:
+    return ClusterConfig(num_workers=4, threads_per_worker=2, block_size=8)
+
+
+@pytest.fixture
+def context(small_config: ClusterConfig) -> ClusterContext:
+    return ClusterContext(small_config)
+
+
+def random_sparse(rng: np.random.Generator, rows: int, cols: int, density: float) -> np.ndarray:
+    """A random matrix with roughly the requested density."""
+    out = rng.random((rows, cols))
+    out[out > density] = 0.0
+    return out

@@ -1,0 +1,104 @@
+"""Tests for the dependency classifier: full Table 2 coverage."""
+
+import pytest
+
+from repro.core.dependency import (
+    COMMUNICATION_DEPENDENCIES,
+    DependencyType,
+    classify,
+    is_communication,
+    lowering_chain,
+)
+from repro.matrix.schemes import Scheme
+
+R, C, B = Scheme.ROW, Scheme.COL, Scheme.BROADCAST
+
+# All 18 combinations (out scheme, in scheme, transposed) -> expected type,
+# transcribed from Table 2 of the paper.
+TABLE_2 = [
+    # A = B (untransposed access)
+    (R, R, False, DependencyType.REFERENCE),
+    (C, C, False, DependencyType.REFERENCE),
+    (B, B, False, DependencyType.REFERENCE),
+    (R, C, False, DependencyType.PARTITION),
+    (C, R, False, DependencyType.PARTITION),
+    (R, B, False, DependencyType.BROADCAST),
+    (C, B, False, DependencyType.BROADCAST),
+    (B, R, False, DependencyType.EXTRACT),
+    (B, C, False, DependencyType.EXTRACT),
+    # A = B^T (transposed access)
+    (R, C, True, DependencyType.TRANSPOSE),
+    (C, R, True, DependencyType.TRANSPOSE),
+    (B, B, True, DependencyType.TRANSPOSE),
+    (R, R, True, DependencyType.TRANSPOSE_PARTITION),
+    (C, C, True, DependencyType.TRANSPOSE_PARTITION),
+    (R, B, True, DependencyType.TRANSPOSE_BROADCAST),
+    (C, B, True, DependencyType.TRANSPOSE_BROADCAST),
+    (B, R, True, DependencyType.EXTRACT_TRANSPOSE),
+    (B, C, True, DependencyType.EXTRACT_TRANSPOSE),
+]
+
+
+@pytest.mark.parametrize("out_scheme,in_scheme,transposed,expected", TABLE_2)
+def test_table_2_classification(out_scheme, in_scheme, transposed, expected):
+    assert classify(out_scheme, in_scheme, transposed) is expected
+
+
+def test_classifier_is_total():
+    """All 18 combinations classify without error."""
+    for out_scheme in (R, C, B):
+        for in_scheme in (R, C, B):
+            for transposed in (False, True):
+                assert classify(out_scheme, in_scheme, transposed) is not None
+
+
+def test_exactly_eight_types_reachable():
+    reached = {
+        classify(o, i, t)
+        for o in (R, C, B)
+        for i in (R, C, B)
+        for t in (False, True)
+    }
+    assert reached == set(DependencyType)
+
+
+class TestCommunicationSplit:
+    def test_four_communicating_types(self):
+        assert COMMUNICATION_DEPENDENCIES == {
+            DependencyType.PARTITION,
+            DependencyType.TRANSPOSE_PARTITION,
+            DependencyType.BROADCAST,
+            DependencyType.TRANSPOSE_BROADCAST,
+        }
+
+    @pytest.mark.parametrize("out_scheme,in_scheme,transposed,expected", TABLE_2)
+    def test_is_communication_matches_table(self, out_scheme, in_scheme, transposed, expected):
+        communicating = expected in COMMUNICATION_DEPENDENCIES
+        assert is_communication(expected) == communicating
+
+
+class TestLoweringChains:
+    @pytest.mark.parametrize("out_scheme,in_scheme,transposed,expected", TABLE_2)
+    def test_chain_structure(self, out_scheme, in_scheme, transposed, expected):
+        chain = lowering_chain(expected, in_scheme)
+        # At most one free local step followed by at most one comm step.
+        assert len(chain) <= 2
+        comm_steps = [k for k in chain if k in ("partition", "broadcast")]
+        assert len(comm_steps) == (1 if is_communication(expected) else 0)
+        if comm_steps:
+            assert chain[-1] in ("partition", "broadcast")
+
+    def test_reference_is_empty(self):
+        assert lowering_chain(DependencyType.REFERENCE, R) == ()
+
+    def test_transpose_partition_transposes_first(self):
+        assert lowering_chain(DependencyType.TRANSPOSE_PARTITION, R) == (
+            "transpose",
+            "partition",
+        )
+
+    def test_extract_transpose_extracts_first(self):
+        assert lowering_chain(DependencyType.EXTRACT_TRANSPOSE, R) == (
+            "extract",
+            "transpose",
+        )

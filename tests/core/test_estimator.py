@@ -1,0 +1,116 @@
+"""Tests for the worst-case size estimator (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import SizeEstimator
+from repro.errors import PlanError
+from repro.lang.program import Operand, ProgramBuilder
+
+
+def build(statements):
+    pb = ProgramBuilder()
+    statements(pb)
+    return pb.build()
+
+
+class TestSparsityPropagation:
+    def test_load_uses_declared_sparsity(self):
+        prog = build(lambda pb: pb.load("V", (10, 10), sparsity=0.03))
+        assert SizeEstimator(prog).sparsity("V") == 0.03
+
+    def test_random_and_full_are_dense(self):
+        def stmts(pb):
+            pb.random("W", (4, 4))
+            pb.full("D", (4, 4), 0.5)
+
+        est = SizeEstimator(build(stmts))
+        assert est.sparsity("W") == 1.0
+        assert est.sparsity("D") == 1.0
+
+    def test_matmul_result_is_dense(self):
+        def stmts(pb):
+            a = pb.load("A", (4, 4), sparsity=0.01)
+            pb.assign("C", a @ a)
+
+        est = SizeEstimator(build(stmts))
+        assert est.sparsity("C") == 1.0
+
+    def test_cellwise_is_capped_sum(self):
+        def stmts(pb):
+            a = pb.load("A", (4, 4), sparsity=0.3)
+            b = pb.load("B", (4, 4), sparsity=0.4)
+            pb.assign("C", a + b)
+
+        est = SizeEstimator(build(stmts))
+        assert est.sparsity("C") == pytest.approx(0.7)
+
+    def test_cellwise_caps_at_one(self):
+        def stmts(pb):
+            a = pb.load("A", (4, 4), sparsity=0.8)
+            b = pb.load("B", (4, 4), sparsity=0.7)
+            pb.assign("C", a * b)
+
+        assert SizeEstimator(build(stmts)).sparsity("C") == 1.0
+
+    def test_scalar_multiply_preserves(self):
+        def stmts(pb):
+            a = pb.load("A", (4, 4), sparsity=0.2)
+            pb.assign("B", a * 2.0)
+
+        assert SizeEstimator(build(stmts)).sparsity("B") == 0.2
+
+    def test_scalar_add_densifies(self):
+        def stmts(pb):
+            a = pb.load("A", (4, 4), sparsity=0.2)
+            pb.assign("B", a + 1.0)
+
+        assert SizeEstimator(build(stmts)).sparsity("B") == 1.0
+
+    def test_transposed_operand_same_sparsity(self):
+        def stmts(pb):
+            a = pb.load("A", (4, 6), sparsity=0.25)
+            pb.assign("B", a.T @ a)
+
+        est = SizeEstimator(build(stmts))
+        assert est.sparsity_of(Operand("A", transposed=True)) == 0.25
+
+
+class TestByteEstimates:
+    def test_nbytes_formula(self):
+        prog = build(lambda pb: pb.load("V", (100, 50), sparsity=0.1))
+        assert SizeEstimator(prog).nbytes("V") == int(8 * 100 * 50 * 0.1)
+
+    def test_nbytes_never_zero(self):
+        prog = build(lambda pb: pb.load("V", (10, 10), sparsity=0.0))
+        assert SizeEstimator(prog).nbytes("V") == 1
+
+    def test_unknown_name_rejected(self):
+        est = SizeEstimator(build(lambda pb: pb.load("V", (4, 4))))
+        with pytest.raises(PlanError):
+            est.sparsity("ghost")
+        with pytest.raises(PlanError):
+            est.nbytes("ghost")
+
+
+class TestWorstCaseInvariant:
+    def test_estimate_dominates_truth_on_gnmf(self):
+        """True sparsity of every intermediate <= estimated sparsity."""
+        from repro.baselines.rlocal import run_local
+        from repro.datasets import sparse_random
+
+        pb = ProgramBuilder()
+        v = pb.load("V", (30, 20), sparsity=0.2)
+        w = pb.random("W", (30, 4))
+        h = pb.random("H", (4, 20))
+        h = pb.assign("H", h * (w.T @ v) / (w.T @ w @ h))
+        w = pb.assign("W", w * (v @ h.T) / (w @ h @ h.T))
+        for name in ("H@2", "W@2"):
+            pb.output(name)
+        prog = pb.build()
+        est = SizeEstimator(prog)
+        data = sparse_random(30, 20, 0.2, seed=1, ensure_coverage=True)
+        result = run_local(prog, {"V": data})
+        for name, array in result.matrices.items():
+            true_sparsity = np.count_nonzero(array) / array.size
+            assert true_sparsity <= est.sparsity(name) + 1e-12

@@ -1,0 +1,69 @@
+"""Steady-state tests: iterative programs reach a per-iteration fixed point.
+
+The paper's scalability argument (Section 6.5) rests on each iteration
+costing the same: W is partitioned once per iteration, V never again.  If
+that holds, the plan's predicted communication must be an *affine* function
+of the iteration count -- a startup cost plus a constant per-iteration
+delta.  These tests pin that for every iterative application.
+"""
+
+import pytest
+
+from repro.core.planner import DMacPlanner
+from repro.programs import (
+    build_gnmf_program,
+    build_linreg_program,
+    build_logreg_program,
+    build_pagerank_program,
+)
+
+WORKERS = 4
+
+
+def predicted(builder, iterations):
+    return DMacPlanner(builder(iterations), WORKERS).plan().predicted_bytes
+
+
+@pytest.mark.parametrize(
+    "label,builder",
+    [
+        ("gnmf", lambda n: build_gnmf_program((128, 96), 0.1, factors=8, iterations=n)),
+        ("linreg", lambda n: build_linreg_program((256, 32), 0.1, iterations=n)),
+        ("logreg", lambda n: build_logreg_program((256, 32), 0.1, iterations=n)),
+        ("pagerank", lambda n: build_pagerank_program(128, 0.05, iterations=n)),
+    ],
+)
+def test_predicted_comm_is_affine_in_iterations(label, builder):
+    costs = {n: predicted(builder, n) for n in (1, 2, 3, 5)}
+    delta_12 = costs[2] - costs[1]
+    delta_23 = costs[3] - costs[2]
+    assert delta_12 == delta_23, f"{label}: no steady state after iteration 1"
+    # extrapolate to 5 iterations from the affine model
+    assert costs[5] == costs[2] + 3 * delta_23, label
+
+
+def test_gnmf_extra_iterations_never_move_v_again():
+    """V moves at most once, in the startup portion: the steps added by an
+    extra iteration never repartition or broadcast V."""
+    builder = lambda n: build_gnmf_program((512, 384), 0.02, factors=8, iterations=n)
+    two = {str(s) for s in DMacPlanner(builder(2), WORKERS).plan().communicating_steps()}
+    three = DMacPlanner(builder(3), WORKERS).plan().communicating_steps()
+    added = [s for s in three if str(s) not in two]
+    assert added, "the extra iteration must add communicating steps"
+    for step in added:
+        source = getattr(step, "source", None)
+        assert source is None or source.name != "V", step
+
+
+def test_pagerank_per_iteration_delta_is_rank_sized():
+    """Only the (broadcast) rank vector travels per iteration."""
+    from repro.core.estimator import SizeEstimator
+
+    nodes = 256
+    builder = lambda n: build_pagerank_program(nodes, 0.05, iterations=n)
+    program = builder(1)
+    rank_bytes = SizeEstimator(program).nbytes("rank")
+    delta = predicted(builder, 3) - predicted(builder, 2)
+    link_bytes = SizeEstimator(program).nbytes("link")
+    assert delta <= (WORKERS + 1) * rank_bytes
+    assert delta < link_bytes

@@ -1,0 +1,108 @@
+"""Tests for the strategy catalog (Figure 2) and the cost model (Section 4.1)."""
+
+import pytest
+
+from repro.core.cost import dependency_cost, output_cost
+from repro.core.dependency import DependencyType
+from repro.core.strategies import (
+    CPMM,
+    RMM1,
+    RMM2,
+    SOURCE_STRATEGY,
+    candidate_strategies,
+)
+from repro.errors import PlanError
+from repro.lang.program import (
+    AggregateOp,
+    CellwiseOp,
+    LoadOp,
+    MatMulOp,
+    Operand,
+    RandomOp,
+    ScalarComputeOp,
+    ScalarMatrixOp,
+)
+from repro.matrix.schemes import Scheme
+
+R, C, B = Scheme.ROW, Scheme.COL, Scheme.BROADCAST
+
+
+class TestCatalog:
+    def test_matmul_has_figure2_strategies(self):
+        strategies = candidate_strategies(MatMulOp("c", Operand("a"), Operand("b")))
+        assert [s.name for s in strategies] == ["rmm1", "rmm2", "cpmm"]
+
+    def test_rmm1_shapes(self):
+        assert RMM1.input_schemes == (B, C)
+        assert RMM1.output_schemes == (C,)
+        assert not RMM1.shuffles_output
+
+    def test_rmm2_shapes(self):
+        assert RMM2.input_schemes == (R, B)
+        assert RMM2.output_schemes == (R,)
+
+    def test_cpmm_shapes(self):
+        assert CPMM.input_schemes == (C, R)
+        assert set(CPMM.output_schemes) == {R, C}
+        assert CPMM.shuffles_output
+
+    def test_cpmm_is_the_only_flexible_matmul(self):
+        flexible = [
+            s for s in candidate_strategies(MatMulOp("c", Operand("a"), Operand("b")))
+            if len(s.output_schemes) > 1
+        ]
+        assert [s.name for s in flexible] == ["cpmm"]
+
+    def test_cellwise_requires_aligned_schemes(self):
+        for strategy in candidate_strategies(
+            CellwiseOp("c", "add", Operand("a"), Operand("b"))
+        ):
+            assert strategy.input_schemes[0] is strategy.input_schemes[1]
+            assert strategy.output_schemes == (strategy.input_schemes[0],)
+
+    def test_scalar_preserves_scheme(self):
+        for strategy in candidate_strategies(ScalarMatrixOp("c", "multiply", Operand("a"), 2.0)):
+            assert strategy.output_schemes == (strategy.input_schemes[0],)
+
+    def test_aggregate_accepts_any_scheme(self):
+        schemes = {
+            s.input_schemes[0]
+            for s in candidate_strategies(AggregateOp("s", "sum", Operand("a")))
+        }
+        assert schemes == {R, C, B}
+
+    def test_sources_are_flexible(self):
+        for op in (LoadOp("v", 2, 2, 0.5), RandomOp("w", 2, 2, 0)):
+            (strategy,) = candidate_strategies(op)
+            assert strategy is SOURCE_STRATEGY
+            assert set(strategy.output_schemes) == {R, C}
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(PlanError):
+            candidate_strategies(ScalarComputeOp("s"))
+
+
+class TestCostModel:
+    def test_free_dependencies_cost_zero(self):
+        for dep in (
+            DependencyType.REFERENCE,
+            DependencyType.TRANSPOSE,
+            DependencyType.EXTRACT,
+            DependencyType.EXTRACT_TRANSPOSE,
+        ):
+            assert dependency_cost(dep, 1000, 4) == 0
+
+    def test_partition_costs_matrix_size(self):
+        assert dependency_cost(DependencyType.PARTITION, 1000, 4) == 1000
+        assert dependency_cost(DependencyType.TRANSPOSE_PARTITION, 1000, 4) == 1000
+
+    def test_broadcast_costs_n_times_size(self):
+        assert dependency_cost(DependencyType.BROADCAST, 1000, 4) == 4000
+        assert dependency_cost(DependencyType.TRANSPOSE_BROADCAST, 1000, 20) == 20000
+
+    def test_cpmm_output_costs_n_times_size(self):
+        assert output_cost(CPMM, 500, 4) == 2000
+
+    def test_rmm_output_is_free(self):
+        assert output_cost(RMM1, 500, 4) == 0
+        assert output_cost(RMM2, 500, 4) == 0

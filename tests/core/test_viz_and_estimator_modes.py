@@ -1,0 +1,124 @@
+"""Tests for DOT plan export and the average-case estimator mode."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.core.estimator import SizeEstimator
+from repro.core.planner import DMacPlanner
+from repro.core.stages import schedule_stages
+from repro.core.viz import plan_to_dot
+from repro.errors import PlanError
+from repro.lang.program import ProgramBuilder
+from repro.programs import build_gnmf_program
+from repro.session import DMacSession
+
+
+class TestPlanToDot:
+    def gnmf_plan(self):
+        program = build_gnmf_program((64, 48), 0.1, factors=4, iterations=1)
+        return schedule_stages(DMacPlanner(program, 4).plan())
+
+    def test_valid_dot_structure(self):
+        dot = plan_to_dot(self.gnmf_plan())
+        assert dot.startswith("digraph plan {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_stages_become_clusters(self):
+        plan = self.gnmf_plan()
+        dot = plan_to_dot(plan)
+        for stage in range(1, plan.num_stages + 1):
+            assert f"cluster_stage_{stage}" in dot
+
+    def test_comm_edges_highlighted(self):
+        dot = plan_to_dot(self.gnmf_plan())
+        assert "color=red" in dot
+
+    def test_every_instance_appears(self):
+        plan = self.gnmf_plan()
+        dot = plan_to_dot(plan)
+        from repro.core.plan import SourceStep
+
+        for step in plan.steps:
+            if isinstance(step, SourceStep):
+                assert str(step.output) in dot
+
+    def test_schedules_unstaged_plan(self):
+        program = build_gnmf_program((32, 24), 0.2, factors=4, iterations=1)
+        plan = DMacPlanner(program, 4).plan()  # not staged yet
+        assert "cluster_stage_1" in plan_to_dot(plan)
+
+    def test_scalar_aggregates_rendered_as_boxes(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (8, 8))
+        s = pb.scalar("total", a.sum())
+        pb.scalar_output(s)
+        pb.output(pb.assign("B", a * s))
+        plan = schedule_stages(DMacPlanner(pb.build(), 4).plan())
+        assert "shape=box" in plan_to_dot(plan)
+
+
+class TestEstimatorModes:
+    def program(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (200, 200), sparsity=0.01)
+        b = pb.load("B", (200, 200), sparsity=0.01)
+        pb.assign("P", a @ b)
+        pb.output(pb.assign("M", a * b))
+        return pb.build()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PlanError):
+            SizeEstimator(self.program(), mode="optimistic")
+
+    def test_average_below_worst_for_sparse_products(self):
+        program = self.program()
+        worst = SizeEstimator(program, "worst")
+        average = SizeEstimator(program, "average")
+        assert average.sparsity("P") < worst.sparsity("P")
+        assert average.sparsity("M") < worst.sparsity("M")
+
+    def test_average_equals_worst_for_dense(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (50, 50), sparsity=1.0)
+        pb.output(pb.assign("P", a @ a))
+        program = pb.build()
+        assert SizeEstimator(program, "average").sparsity("P") == pytest.approx(1.0)
+
+    def test_average_mode_plans_still_execute_correctly(self, rng):
+        from tests.conftest import random_sparse
+
+        array_a = random_sparse(rng, 60, 60, 0.05)
+        array_b = random_sparse(rng, 60, 60, 0.05)
+        pb = ProgramBuilder()
+        a = pb.load("A", (60, 60), sparsity=0.05)
+        b = pb.load("B", (60, 60), sparsity=0.05)
+        pb.output(pb.assign("P", a @ b @ a))
+        program = pb.build()
+        worst = DMacSession(
+            ClusterConfig(4, 1, block_size=16), estimation_mode="worst"
+        ).run(program, {"A": array_a, "B": array_b})
+        average = DMacSession(
+            ClusterConfig(4, 1, block_size=16), estimation_mode="average"
+        ).run(program, {"A": array_a, "B": array_b})
+        np.testing.assert_allclose(worst.matrices["P"], average.matrices["P"], atol=1e-9)
+
+    def test_average_is_not_an_upper_bound(self, rng):
+        """Why the paper chose worst-case: the average estimate can be beaten
+        by correlated non-zeros (here: a dense column stripe)."""
+        pb = ProgramBuilder()
+        a = pb.load("A", (40, 40), sparsity=0.1)
+        pb.output(pb.assign("P", a @ a))
+        program = pb.build()
+        array = np.zeros((40, 40))
+        array[:, :4] = 1.0  # 10% of entries, but structured
+        array[:4, :] = 1.0
+        from repro.baselines.rlocal import run_local
+
+        result = run_local(program, {"A": array})
+        true_sparsity = np.count_nonzero(result.matrices["P"]) / result.matrices["P"].size
+        average = SizeEstimator(program, "average").sparsity("P")
+        worst = SizeEstimator(program, "worst").sparsity("P")
+        assert true_sparsity > average  # misestimated
+        assert true_sparsity <= worst  # the paper's bound still holds

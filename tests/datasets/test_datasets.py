@@ -1,0 +1,124 @@
+"""Tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PAPER_GRAPHS,
+    dense_random,
+    graph_like,
+    netflix_like,
+    row_normalize,
+    scaled_rows_series,
+    sparse_random,
+)
+from repro.errors import ReproError
+
+
+class TestSparseRandom:
+    def test_target_sparsity(self):
+        out = sparse_random(100, 100, 0.1, seed=1)
+        assert np.count_nonzero(out) == 1000
+
+    def test_values_strictly_positive(self):
+        out = sparse_random(50, 50, 0.2, seed=2)
+        assert (out[out != 0] > 0).all()
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            sparse_random(20, 20, 0.3, seed=5), sparse_random(20, 20, 0.3, seed=5)
+        )
+
+    def test_ensure_coverage(self):
+        out = sparse_random(200, 10, 0.01, seed=3, ensure_coverage=True)
+        assert (out.sum(axis=1) > 0).all()
+        assert (out.sum(axis=0) > 0).all()
+
+    def test_dense_random_is_full(self):
+        assert np.count_nonzero(dense_random(20, 20, seed=1)) == 400
+
+    def test_rejects_bad_sparsity(self):
+        with pytest.raises(ReproError):
+            sparse_random(10, 10, 2.0)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ReproError):
+            sparse_random(0, 10, 0.5)
+
+    def test_scaled_series_nnz_grows_linearly(self):
+        series = scaled_rows_series(100, 50, 0.1, (1.0, 2.0, 4.0), seed=1)
+        nnzs = [nnz for nnz, __ in series]
+        assert nnzs[1] == pytest.approx(2 * nnzs[0], rel=0.15)
+        assert nnzs[2] == pytest.approx(4 * nnzs[0], rel=0.15)
+        # columns fixed, rows grow
+        assert all(mat.shape[1] == 50 for __, mat in series)
+
+
+class TestGraphLike:
+    def test_all_paper_graphs_generate(self):
+        for name in PAPER_GRAPHS:
+            adjacency = graph_like(name, scale=2e-5, seed=1)
+            assert adjacency.shape[0] == adjacency.shape[1]
+            assert np.count_nonzero(adjacency) > 0
+
+    def test_node_edge_ratio_preserved(self):
+        spec = PAPER_GRAPHS["LiveJournal"]
+        adjacency = graph_like("LiveJournal", scale=2e-4, seed=2)
+        nodes = adjacency.shape[0]
+        edges = np.count_nonzero(adjacency)
+        assert edges / nodes == pytest.approx(spec.average_degree, rel=0.5)
+
+    def test_no_self_loops(self):
+        adjacency = graph_like("soc-pokec", scale=1e-4, seed=3)
+        assert np.trace(adjacency) == 0
+
+    def test_binary_entries(self):
+        adjacency = graph_like("cit-Patents", scale=1e-4, seed=4)
+        assert set(np.unique(adjacency)) <= {0.0, 1.0}
+
+    def test_unknown_graph_rejected(self):
+        with pytest.raises(ReproError):
+            graph_like("friendster")
+
+    def test_degree_distribution_is_skewed(self):
+        adjacency = graph_like("LiveJournal", scale=5e-4, seed=5)
+        degrees = adjacency.sum(axis=1)
+        assert degrees.max() > 4 * max(degrees.mean(), 1.0)
+
+    def test_row_normalize(self):
+        adjacency = graph_like("soc-pokec", scale=1e-4, seed=6)
+        link = row_normalize(adjacency)
+        sums = link.sum(axis=1)
+        nonzero = sums > 0
+        np.testing.assert_allclose(sums[nonzero], 1.0)
+
+    def test_row_normalize_keeps_dangling_rows_zero(self):
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = 1.0
+        link = row_normalize(adjacency)
+        assert link[1].sum() == 0.0
+
+
+class TestNetflixLike:
+    def test_aspect_ratio(self):
+        ratings = netflix_like(scale=1e-3, seed=1)
+        rows, cols = ratings.shape
+        assert rows / cols == pytest.approx(480189 / 17770, rel=0.5)
+
+    def test_ratings_in_range(self):
+        ratings = netflix_like(scale=1e-3, seed=2)
+        values = ratings[ratings != 0]
+        assert values.min() >= 1.0 and values.max() <= 5.0
+
+    def test_sparsity_close_to_netflix(self):
+        ratings = netflix_like(scale=3e-3, seed=3, ensure_coverage=False)
+        assert ratings.size * 0.005 < np.count_nonzero(ratings) < ratings.size * 0.03
+
+    def test_coverage_guarantee(self):
+        ratings = netflix_like(scale=1e-3, seed=4)
+        assert (ratings.sum(axis=1) > 0).all()
+        assert (ratings.sum(axis=0) > 0).all()
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ReproError):
+            netflix_like(scale=0.0)

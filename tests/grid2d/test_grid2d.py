@@ -1,0 +1,218 @@
+"""Tests for the 2-D block-cyclic extension (layout + SUMMA)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import SchemeError, ShapeError
+from repro.grid2d import (
+    BlockCyclicPartitioner,
+    Grid2DMatrix,
+    GridLayout,
+    one_d_imbalance,
+    summa_matmul,
+    summa_predicted_bytes,
+    summa_stage_count,
+)
+from repro.rdd.context import ClusterContext
+from tests.conftest import random_sparse
+
+
+@pytest.fixture
+def ctx():
+    return ClusterContext(ClusterConfig(num_workers=4, threads_per_worker=1))
+
+
+class TestGridLayout:
+    def test_near_square(self):
+        assert GridLayout.near_square(4) == GridLayout(2, 2)
+        assert GridLayout.near_square(8) == GridLayout(2, 4)
+        assert GridLayout.near_square(7) == GridLayout(1, 7)
+
+    def test_cyclic_ownership(self):
+        layout = GridLayout(2, 2)
+        assert layout.owner((0, 0)) == 0
+        assert layout.owner((0, 1)) == 1
+        assert layout.owner((1, 0)) == 2
+        assert layout.owner((3, 5)) == layout.owner((1, 1))
+
+    def test_cell_roundtrip(self):
+        layout = GridLayout(2, 3)
+        for worker in range(6):
+            row, col = layout.cell(worker)
+            assert row * 3 + col == worker
+
+    def test_cell_out_of_range(self):
+        with pytest.raises(SchemeError):
+            GridLayout(2, 2).cell(4)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(SchemeError):
+            GridLayout(0, 2)
+
+    def test_partitioner_equality(self):
+        assert BlockCyclicPartitioner(GridLayout(2, 2)) == BlockCyclicPartitioner(
+            GridLayout(2, 2)
+        )
+        assert BlockCyclicPartitioner(GridLayout(2, 2)) != BlockCyclicPartitioner(
+            GridLayout(1, 4)
+        )
+
+
+class TestGrid2DMatrix:
+    def test_roundtrip(self, ctx, rng):
+        array = rng.random((40, 28))
+        matrix = Grid2DMatrix.from_numpy(ctx, array, 8)
+        np.testing.assert_array_equal(matrix.to_numpy(), array)
+
+    def test_load_is_free(self, ctx, rng):
+        Grid2DMatrix.from_numpy(ctx, rng.random((16, 16)), 4)
+        assert ctx.ledger.total_bytes == 0
+
+    def test_blocks_live_on_their_owner(self, ctx, rng):
+        matrix = Grid2DMatrix.from_numpy(ctx, rng.random((40, 40)), 4)
+        for worker in range(4):
+            for key in matrix.worker_grid(worker):
+                assert matrix.layout.owner(key) == worker
+
+    def test_grid_larger_than_cluster_rejected(self, ctx, rng):
+        with pytest.raises(SchemeError):
+            Grid2DMatrix.from_numpy(ctx, rng.random((8, 8)), 4, GridLayout(3, 3))
+
+    def test_2d_balances_a_skewed_matrix_better_than_1d(self, ctx, rng):
+        """The paper's motivation for 2-D: better balance.  A matrix whose
+        mass concentrates in a few block rows is badly skewed under Row
+        partitioning but evened out by cyclic 2-D placement."""
+        array = np.zeros((64, 64))
+        array[:8, :] = rng.random((8, 64))  # all mass in block-row 0
+        two_d = Grid2DMatrix.from_numpy(ctx, array, 8, GridLayout(2, 2)).imbalance()
+        one_d = one_d_imbalance(ctx, array, 8, row_scheme=True)
+        assert two_d < one_d
+
+
+class TestSumma:
+    @pytest.mark.parametrize("layout", [GridLayout(2, 2), GridLayout(1, 4), GridLayout(4, 1)])
+    def test_correctness(self, ctx, rng, layout):
+        a, b = rng.random((40, 32)), rng.random((32, 24))
+        ga = Grid2DMatrix.from_numpy(ctx, a, 8, layout)
+        gb = Grid2DMatrix.from_numpy(ctx, b, 8, layout)
+        np.testing.assert_allclose(summa_matmul(ga, gb).to_numpy(), a @ b, atol=1e-9)
+
+    def test_sparse_operands(self, ctx, rng):
+        a = random_sparse(rng, 32, 32, 0.2)
+        b = random_sparse(rng, 32, 16, 0.4)
+        ga = Grid2DMatrix.from_numpy(ctx, a, 8)
+        gb = Grid2DMatrix.from_numpy(ctx, b, 8)
+        np.testing.assert_allclose(summa_matmul(ga, gb).to_numpy(), a @ b, atol=1e-9)
+
+    def test_metered_bytes_match_prediction(self, ctx, rng):
+        ga = Grid2DMatrix.from_numpy(ctx, rng.random((32, 32)), 8)
+        gb = Grid2DMatrix.from_numpy(ctx, rng.random((32, 32)), 8)
+        predicted = summa_predicted_bytes(ga, gb)
+        mark = ctx.ledger.snapshot()
+        summa_matmul(ga, gb)
+        assert ctx.ledger.snapshot() - mark == predicted
+
+    def test_result_is_block_cyclic(self, ctx, rng):
+        ga = Grid2DMatrix.from_numpy(ctx, rng.random((32, 32)), 8)
+        gb = Grid2DMatrix.from_numpy(ctx, rng.random((32, 32)), 8)
+        result = summa_matmul(ga, gb)
+        for worker in range(4):
+            for key in result.worker_grid(worker):
+                assert result.layout.owner(key) == worker
+
+    def test_mismatched_layouts_rejected(self, ctx, rng):
+        ga = Grid2DMatrix.from_numpy(ctx, rng.random((16, 16)), 4, GridLayout(2, 2))
+        gb = Grid2DMatrix.from_numpy(ctx, rng.random((16, 16)), 4, GridLayout(1, 4))
+        with pytest.raises(ShapeError):
+            summa_matmul(ga, gb)
+
+    def test_shape_mismatch_rejected(self, ctx, rng):
+        ga = Grid2DMatrix.from_numpy(ctx, rng.random((16, 8)), 4)
+        gb = Grid2DMatrix.from_numpy(ctx, rng.random((16, 8)), 4)
+        with pytest.raises(ShapeError):
+            summa_matmul(ga, gb)
+
+    def test_stage_count_is_inner_panels(self, ctx, rng):
+        ga = Grid2DMatrix.from_numpy(ctx, rng.random((32, 24)), 8)
+        assert summa_stage_count(ga) == 3  # ceil(24 / 8)
+
+    def test_flops_attributed(self, ctx, rng):
+        ga = Grid2DMatrix.from_numpy(ctx, rng.random((32, 32)), 8)
+        gb = Grid2DMatrix.from_numpy(ctx, rng.random((32, 32)), 8)
+        summa_matmul(ga, gb)
+        assert sum(e.stats.flops for e in ctx.engines) >= 2 * 32 * 32 * 32
+
+
+class TestTradeoffVsOneD:
+    def test_summa_beats_rmm_on_square_matrices(self, ctx, rng):
+        """Square x square on 4 workers: SUMMA's (sqrt(K)-1)(|A|+|B|) beats
+        RMM's K x |operand| and CPMM's K x |C|."""
+        from repro.core.optimal import optimal_cost
+        from repro.lang.program import ProgramBuilder
+
+        n = 64
+        a, b = rng.random((n, n)), rng.random((n, n))
+        ga = Grid2DMatrix.from_numpy(ctx, a, 16, GridLayout(2, 2))
+        gb = Grid2DMatrix.from_numpy(ctx, b, 16, GridLayout(2, 2))
+        summa_bytes = summa_predicted_bytes(ga, gb)
+
+        pb = ProgramBuilder()
+        left = pb.load("A", (n, n))
+        right = pb.load("B", (n, n))
+        pb.output(pb.assign("C", left @ right))
+        one_d_bytes = optimal_cost(pb.build(), 4)
+        assert summa_bytes < one_d_bytes
+
+    def test_rmm_beats_summa_on_skinny_operand(self, ctx, rng):
+        """A tall-skinny right operand: broadcasting it (1-D RMM) moves far
+        less than SUMMA's panel traffic over the big left operand."""
+        from repro.core.optimal import optimal_cost
+        from repro.lang.program import ProgramBuilder
+
+        a, b = rng.random((256, 256)), rng.random((256, 4))
+        ga = Grid2DMatrix.from_numpy(ctx, a, 32, GridLayout(2, 2))
+        gb = Grid2DMatrix.from_numpy(ctx, b, 32, GridLayout(2, 2))
+        summa_bytes = summa_predicted_bytes(ga, gb)
+
+        pb = ProgramBuilder()
+        left = pb.load("A", (256, 256))
+        right = pb.load("B", (256, 4))
+        pb.output(pb.assign("C", left @ right))
+        one_d_bytes = optimal_cost(pb.build(), 4)
+        assert one_d_bytes < summa_bytes
+
+
+class TestLayoutVariants:
+    def test_six_worker_grid(self, rng):
+        ctx6 = ClusterContext(ClusterConfig(num_workers=6, threads_per_worker=1))
+        layout = GridLayout.near_square(6)
+        assert layout == GridLayout(2, 3)
+        a, b = rng.random((24, 24)), rng.random((24, 24))
+        ga = Grid2DMatrix.from_numpy(ctx6, a, 4, layout)
+        gb = Grid2DMatrix.from_numpy(ctx6, b, 4, layout)
+        np.testing.assert_allclose(summa_matmul(ga, gb).to_numpy(), a @ b, atol=1e-9)
+
+    def test_nine_worker_square_grid(self, rng):
+        ctx9 = ClusterContext(ClusterConfig(num_workers=9, threads_per_worker=1))
+        layout = GridLayout.near_square(9)
+        assert layout == GridLayout(3, 3)
+        a, b = rng.random((18, 18)), rng.random((18, 18))
+        ga = Grid2DMatrix.from_numpy(ctx9, a, 3, layout)
+        gb = Grid2DMatrix.from_numpy(ctx9, b, 3, layout)
+        np.testing.assert_allclose(summa_matmul(ga, gb).to_numpy(), a @ b, atol=1e-9)
+
+    def test_worker_bytes_sum_to_matrix_size(self, ctx, rng):
+        from repro.rdd.sizeof import model_sizeof
+
+        array = rng.random((32, 32))
+        matrix = Grid2DMatrix.from_numpy(ctx, array, 8)
+        per_worker = matrix.worker_bytes()
+        total = sum(model_sizeof(b) for __, b in matrix.rdd.collect())
+        assert sum(per_worker) == total
+
+    def test_imbalance_of_uniform_matrix_near_one(self, ctx, rng):
+        matrix = Grid2DMatrix.from_numpy(
+            ctx, rng.random((64, 64)), 8, GridLayout(2, 2), storage="dense"
+        )
+        assert matrix.imbalance() == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,129 @@
+"""Tests for the expression AST and operator overloading."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.lang.expr import (
+    AggExpr,
+    CellwiseExpr,
+    MatMulExpr,
+    MatrixRefExpr,
+    ScalarBinaryExpr,
+    ScalarConst,
+    ScalarMatrixExpr,
+    ScalarRefExpr,
+    ScalarUnaryExpr,
+    TransposeExpr,
+    as_scalar_expr,
+)
+
+A = MatrixRefExpr("A")
+B = MatrixRefExpr("B")
+
+
+class TestMatrixOverloads:
+    def test_matmul(self):
+        expr = A @ B
+        assert isinstance(expr, MatMulExpr)
+        assert expr.left is A and expr.right is B
+
+    def test_matmul_rejects_scalar(self):
+        with pytest.raises(ProgramError):
+            A @ 2.0  # type: ignore[operator]
+
+    def test_cellwise_multiply(self):
+        assert isinstance(A * B, CellwiseExpr)
+        assert (A * B).op == "multiply"
+
+    def test_cellwise_all_ops(self):
+        assert (A + B).op == "add"
+        assert (A - B).op == "subtract"
+        assert (A / B).op == "divide"
+
+    def test_scalar_multiply(self):
+        expr = A * 0.85
+        assert isinstance(expr, ScalarMatrixExpr)
+        assert expr.scalar == ScalarConst(0.85)
+
+    def test_reflected_scalar_multiply(self):
+        expr = 0.85 * A
+        assert isinstance(expr, ScalarMatrixExpr)
+        assert expr.op == "multiply"
+
+    def test_reflected_subtract_rejected(self):
+        with pytest.raises(ProgramError):
+            1.0 - A
+
+    def test_reflected_divide_rejected(self):
+        with pytest.raises(ProgramError):
+            1.0 / A
+
+    def test_negation(self):
+        expr = -A
+        assert isinstance(expr, ScalarMatrixExpr)
+        assert expr.scalar == ScalarConst(-1.0)
+
+    def test_transpose(self):
+        assert isinstance(A.T, TransposeExpr)
+
+    def test_double_transpose_cancels(self):
+        assert A.T.T is A
+
+
+class TestAggregates:
+    def test_sum(self):
+        expr = A.sum()
+        assert isinstance(expr, AggExpr)
+        assert expr.kind == "sum"
+
+    def test_sq_sum(self):
+        assert A.sq_sum().kind == "sqsum"
+
+    def test_value(self):
+        assert A.value().kind == "value"
+
+    def test_norm2_is_sqrt_of_sqsum(self):
+        expr = A.norm2()
+        assert isinstance(expr, ScalarUnaryExpr)
+        assert expr.op == "sqrt"
+        assert isinstance(expr.child, AggExpr)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ProgramError):
+            AggExpr("median", A)
+
+
+class TestScalarExpressions:
+    def test_arithmetic(self):
+        s = A.sum()
+        expr = s / 2.0 + 1.0
+        assert isinstance(expr, ScalarBinaryExpr)
+
+    def test_reflected_arithmetic(self):
+        expr = 2.0 / A.sum()
+        assert isinstance(expr, ScalarBinaryExpr)
+        assert expr.left == ScalarConst(2.0)
+
+    def test_scalar_times_matrix(self):
+        expr = A.sum() * B
+        assert isinstance(expr, ScalarMatrixExpr)
+        assert expr.child is B
+
+    def test_negate(self):
+        expr = -A.sum()
+        assert isinstance(expr, ScalarUnaryExpr)
+        assert expr.op == "negate"
+
+    def test_as_scalar_expr(self):
+        assert as_scalar_expr(2) == ScalarConst(2.0)
+        assert as_scalar_expr(ScalarRefExpr("x")) == ScalarRefExpr("x")
+        assert as_scalar_expr("nope") is None
+        assert as_scalar_expr(True) is None  # bools are not scalars
+
+    def test_bad_binary_op(self):
+        with pytest.raises(ProgramError):
+            ScalarBinaryExpr("pow", ScalarConst(1.0), ScalarConst(2.0))
+
+    def test_bad_unary_op(self):
+        with pytest.raises(ProgramError):
+            ScalarUnaryExpr("log", ScalarConst(1.0))

@@ -1,0 +1,242 @@
+"""Tests for program building: flattening, versioning, reordering."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.lang.program import (
+    AggregateOp,
+    CellwiseOp,
+    MatMulOp,
+    ProgramBuilder,
+    ScalarComputeOp,
+    ScalarMatrixOp,
+    op_input_names,
+)
+
+
+class TestSources:
+    def test_load_records_dims_and_sparsity(self):
+        pb = ProgramBuilder()
+        pb.load("V", (100, 50), sparsity=0.01)
+        prog = pb.build()
+        assert prog.dims["V"] == (100, 50)
+        assert prog.input_sparsity["V"] == 0.01
+
+    def test_load_rejects_bad_sparsity(self):
+        with pytest.raises(ProgramError):
+            ProgramBuilder().load("V", (10, 10), sparsity=1.5)
+
+    def test_load_rejects_bad_dims(self):
+        with pytest.raises(ProgramError):
+            ProgramBuilder().load("V", (0, 10))
+
+    def test_reserved_version_character(self):
+        with pytest.raises(ProgramError):
+            ProgramBuilder().load("V@2", (10, 10))
+
+
+class TestFlattening:
+    def test_binary_decomposition(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 4))
+        b = pb.load("B", (4, 4))
+        pb.assign("C", a @ b @ a)
+        ops = [op for op in pb.build().ops if isinstance(op, MatMulOp)]
+        assert len(ops) == 2  # two binary multiplications
+
+    def test_transpose_marks_operand_not_operator(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 6))
+        b = pb.load("B", (4, 5))
+        pb.assign("C", a.T @ b)
+        matmul = next(op for op in pb.build().ops if isinstance(op, MatMulOp))
+        assert matmul.left.transposed
+        assert not matmul.right.transposed
+
+    def test_matmul_dim_check(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 6))
+        b = pb.load("B", (5, 4))
+        with pytest.raises(ProgramError):
+            pb.assign("C", a @ b)
+
+    def test_cellwise_dim_check(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 6))
+        b = pb.load("B", (6, 4))
+        with pytest.raises(ProgramError):
+            pb.assign("C", a + b)
+
+    def test_cellwise_with_transposed_operand(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 6))
+        b = pb.load("B", (6, 4))
+        pb.assign("C", a + b.T)  # dims match via transpose
+        cellwise = next(op for op in pb.build().ops if isinstance(op, CellwiseOp))
+        assert cellwise.right.transposed
+
+    def test_unknown_ref_rejected(self):
+        from repro.lang.expr import MatrixRefExpr
+
+        pb = ProgramBuilder()
+        with pytest.raises(ProgramError):
+            pb.assign("C", MatrixRefExpr("ghost") @ MatrixRefExpr("ghost"))
+
+    def test_dims_of_transposed_operand(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 6))
+        pb.assign("B", a.T @ a)
+        prog = pb.build()
+        matmul = next(op for op in prog.ops if isinstance(op, MatMulOp))
+        assert prog.dims_of(matmul.left) == (6, 4)
+
+
+class TestVersioning:
+    def test_reassignment_creates_versions(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 4))
+        x = pb.assign("X", a @ a)
+        x = pb.assign("X", x @ a)
+        prog = pb.build()
+        assert "X" in prog.dims and "X@2" in prog.dims
+        assert prog.bindings["X"] == "X@2"
+
+    def test_plain_alias(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 4))
+        alias = pb.assign("B", a)
+        assert alias.name == "A"
+        assert pb.build().bindings["B"] == "A"
+
+    def test_transposed_assignment_emits_identity_op(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 6))
+        out = pb.assign("B", a.T)
+        prog = pb.build()
+        assert prog.dims[out.name] == (6, 4)
+        identity = next(op for op in prog.ops if isinstance(op, ScalarMatrixOp))
+        assert identity.operand.transposed
+
+
+class TestMultiplicationsFirst:
+    def test_ready_matmuls_precede_cellwise(self):
+        pb = ProgramBuilder()
+        v = pb.load("V", (10, 8))
+        w = pb.random("W", (10, 3))
+        h = pb.random("H", (3, 8))
+        pb.assign("H", h * (w.T @ v) / (w.T @ w @ h))
+        ops = pb.build().ops
+        kinds = [type(op).__name__ for op in ops if type(op).__name__ in ("MatMulOp", "CellwiseOp")]
+        # all three multiplications come before both cell-wise operators
+        assert kinds[:3] == ["MatMulOp"] * 3
+        assert kinds[3:] == ["CellwiseOp", "CellwiseOp"]
+
+    def test_dependencies_respected(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 4))
+        pb.assign("X", (a + a) @ a)  # the add must run before the matmul
+        ops = pb.build().ops
+        produced = set()
+        for op in ops:
+            for name in op_input_names(op):
+                if name.startswith("_t") or "@" in name:
+                    assert name in produced
+            produced.add(op.output)
+
+
+class TestScalars:
+    def test_aggregate_statement(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 4))
+        s = pb.scalar("total", a.sum())
+        prog = pb.build()
+        agg = next(op for op in prog.ops if isinstance(op, AggregateOp))
+        assert agg.output == s.name == "total"
+
+    def test_scalar_arithmetic_emits_compute_op(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 4))
+        pb.scalar("half", a.sum() / 2.0)
+        assert any(isinstance(op, ScalarComputeOp) for op in pb.build().ops)
+
+    def test_constant_folding(self):
+        pb = ProgramBuilder()
+        pb.load("A", (4, 4))
+        pb.scalar("k", (ProgramBuilder and 2.0) * 3.0 + 1.0)  # pure literals
+        ops = pb.build().ops
+        compute = next(op for op in ops if isinstance(op, ScalarComputeOp))
+        from repro.lang.expr import ScalarConst
+
+        assert compute.expr == ScalarConst(7.0)
+
+    def test_value_requires_1x1(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 4))
+        with pytest.raises(ProgramError):
+            pb.scalar("v", a.value())
+
+    def test_value_on_1x1_product(self):
+        pb = ProgramBuilder()
+        p = pb.load("p", (5, 1))
+        q = pb.load("q", (5, 1))
+        pb.scalar("alpha", (p.T @ q).value())
+        assert any(isinstance(op, AggregateOp) and op.kind == "value" for op in pb.build().ops)
+
+    def test_scalar_used_in_matrix_op(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 4))
+        s = pb.scalar("s", a.sum())
+        pb.assign("B", a * s)
+        op = next(op for op in pb.build().ops if isinstance(op, ScalarMatrixOp))
+        assert op.scalar == "s"
+
+    def test_unknown_scalar_rejected(self):
+        from repro.lang.expr import ScalarRefExpr
+
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 4))
+        with pytest.raises(ProgramError):
+            pb.assign("B", a * ScalarRefExpr("ghost"))
+
+    def test_scalar_division_by_zero_folds_to_error(self):
+        from repro.lang.expr import ScalarConst
+
+        pb = ProgramBuilder()
+        pb.load("A", (4, 4))
+        with pytest.raises(ProgramError):
+            pb.scalar("bad", ScalarConst(1.0) / (ScalarConst(2.0) - 2.0))
+
+
+class TestOutputs:
+    def test_output_by_handle(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 4))
+        x = pb.assign("X", a @ a)
+        pb.output(x)
+        assert pb.build().outputs == ("X",)
+
+    def test_output_by_user_name_resolves_version(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 4))
+        pb.assign("X", a @ a)
+        pb.assign("X", a + a)
+        pb.output("X")
+        assert pb.build().outputs == ("X@2",)
+
+    def test_output_unknown_rejected(self):
+        with pytest.raises(ProgramError):
+            ProgramBuilder().output("ghost")
+
+    def test_scalar_output(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 4))
+        s = pb.scalar("s", a.sum())
+        pb.scalar_output(s)
+        assert pb.build().scalar_outputs == ("s",)
+
+    def test_describe_lists_every_op(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 4))
+        pb.assign("X", a @ a + a)
+        prog = pb.build()
+        assert len(prog.describe().splitlines()) == len(prog.ops)

@@ -1,0 +1,95 @@
+"""Tests for MatrixProgram JSON serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ProgramError
+from repro.lang.program import ProgramBuilder
+from repro.lang.serialize import program_from_json, program_to_json
+from repro.programs import (
+    build_cf_program,
+    build_gnmf_program,
+    build_linreg_program,
+    build_pagerank_program,
+    build_svd_program,
+)
+
+
+def all_application_programs():
+    svd_program, __ = build_svd_program((40, 20), 0.3, rank=3)
+    return [
+        build_gnmf_program((40, 30), 0.2, factors=4, iterations=2),
+        build_pagerank_program(32, 0.1, iterations=2),
+        build_linreg_program((50, 10), 0.2, iterations=2),
+        build_cf_program((10, 40), 0.1),
+        svd_program,
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("index", range(5))
+    def test_application_programs_round_trip(self, index):
+        program = all_application_programs()[index]
+        restored = program_from_json(program_to_json(program))
+        assert restored == program
+
+    def test_rowagg_and_scalars_round_trip(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (10, 8), sparsity=0.3)
+        s = pb.scalar("s", (a * a).sum().sqrt() / 2.0 + 1.0)
+        pb.scalar_output(s)
+        pb.output(pb.assign("R", a.row_sums() * s))
+        pb.output(pb.assign("C", a.T.col_sums()))
+        program = pb.build()
+        assert program_from_json(program_to_json(program)) == program
+
+    def test_restored_program_executes_identically(self, rng):
+        from repro import ClusterConfig, DMacSession
+
+        program = build_gnmf_program((32, 24), 0.2, factors=4, iterations=2)
+        restored = program_from_json(program_to_json(program))
+        data = rng.random((32, 24))
+        data[data < 0.8] = 0.0
+        data[data != 0] += 0.1
+        first = DMacSession(ClusterConfig(4, 1, block_size=8)).run(program, {"V": data})
+        second = DMacSession(ClusterConfig(4, 1, block_size=8)).run(restored, {"V": data})
+        for name in program.outputs:
+            np.testing.assert_array_equal(first.matrices[name], second.matrices[name])
+
+    def test_indentation_option(self):
+        program = build_pagerank_program(16, 0.1, iterations=1)
+        pretty = program_to_json(program, indent=2)
+        assert "\n" in pretty
+        assert program_from_json(pretty) == program
+
+
+class TestValidation:
+    def test_rejects_non_json(self):
+        with pytest.raises(ProgramError):
+            program_from_json("not json at all {")
+
+    def test_rejects_wrong_format_tag(self):
+        with pytest.raises(ProgramError):
+            program_from_json(json.dumps({"format": "something-else", "version": 1}))
+
+    def test_rejects_wrong_version(self):
+        program = build_pagerank_program(8, 0.1, iterations=1)
+        payload = json.loads(program_to_json(program))
+        payload["version"] = 99
+        with pytest.raises(ProgramError):
+            program_from_json(json.dumps(payload))
+
+    def test_rejects_unknown_operator(self):
+        program = build_pagerank_program(8, 0.1, iterations=1)
+        payload = json.loads(program_to_json(program))
+        payload["ops"][0]["op"] = "teleport"
+        with pytest.raises(ProgramError):
+            program_from_json(json.dumps(payload))
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ProgramError):
+            program_from_json(
+                json.dumps({"format": "repro.matrix-program", "version": 1})
+            )

@@ -1,0 +1,123 @@
+"""Tests for the memory tracker and result-buffer pool."""
+
+import threading
+
+import pytest
+
+from repro.errors import MemoryLimitExceeded
+from repro.localexec.pool import MemoryTracker, ResultBufferPool
+
+
+class TestMemoryTracker:
+    def test_allocate_release(self):
+        tracker = MemoryTracker()
+        tracker.allocate(100)
+        assert tracker.current_bytes == 100
+        tracker.release(40)
+        assert tracker.current_bytes == 60
+
+    def test_peak_is_high_water_mark(self):
+        tracker = MemoryTracker()
+        tracker.allocate(100)
+        tracker.release(100)
+        tracker.allocate(30)
+        assert tracker.peak_bytes == 100
+        assert tracker.current_bytes == 30
+
+    def test_limit_enforced(self):
+        tracker = MemoryTracker(limit_bytes=50)
+        tracker.allocate(40)
+        with pytest.raises(MemoryLimitExceeded):
+            tracker.allocate(20)
+        # The failed allocation is not recorded.
+        assert tracker.current_bytes == 40
+
+    def test_release_never_goes_negative(self):
+        tracker = MemoryTracker()
+        tracker.release(10)
+        assert tracker.current_bytes == 0
+
+    def test_negative_amounts_rejected(self):
+        tracker = MemoryTracker()
+        with pytest.raises(ValueError):
+            tracker.allocate(-1)
+        with pytest.raises(ValueError):
+            tracker.release(-1)
+
+    def test_reset_peak(self):
+        tracker = MemoryTracker()
+        tracker.allocate(100)
+        tracker.release(90)
+        tracker.reset_peak()
+        assert tracker.peak_bytes == 10
+
+    def test_thread_safety(self):
+        tracker = MemoryTracker()
+
+        def worker():
+            for __ in range(1000):
+                tracker.allocate(1)
+                tracker.release(1)
+
+        threads = [threading.Thread(target=worker) for __ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tracker.current_bytes == 0
+
+
+class TestResultBufferPool:
+    def test_acquire_charges_tracker(self):
+        tracker = MemoryTracker()
+        pool = ResultBufferPool(tracker)
+        block = pool.acquire(10, 10)
+        assert tracker.current_bytes == block.model_nbytes
+
+    def test_release_then_acquire_reuses_block(self):
+        tracker = MemoryTracker()
+        pool = ResultBufferPool(tracker)
+        block = pool.acquire(5, 5)
+        block.data[0, 0] = 9.0
+        pool.release(block)
+        again = pool.acquire(5, 5)
+        assert again is block
+        assert again.data[0, 0] == 0.0  # zeroed on reuse
+
+    def test_pooled_blocks_stay_charged(self):
+        tracker = MemoryTracker()
+        pool = ResultBufferPool(tracker)
+        block = pool.acquire(5, 5)
+        pool.release(block)
+        assert tracker.current_bytes == block.model_nbytes
+        assert pool.cached_blocks == 1
+
+    def test_eviction_past_cap_releases_memory(self):
+        tracker = MemoryTracker()
+        pool = ResultBufferPool(tracker, max_per_shape=1)
+        a, b = pool.acquire(4, 4), pool.acquire(4, 4)
+        pool.release(a)
+        pool.release(b)  # beyond the cap: freed
+        assert pool.cached_blocks == 1
+        assert tracker.current_bytes == a.model_nbytes
+
+    def test_different_shapes_pooled_separately(self):
+        tracker = MemoryTracker()
+        pool = ResultBufferPool(tracker)
+        a = pool.acquire(2, 3)
+        pool.release(a)
+        b = pool.acquire(3, 2)
+        assert b is not a
+
+    def test_drain_frees_everything(self):
+        tracker = MemoryTracker()
+        pool = ResultBufferPool(tracker)
+        pool.release(pool.acquire(4, 4))
+        pool.release(pool.acquire(2, 2))
+        pool.drain()
+        assert pool.cached_blocks == 0
+        assert tracker.current_bytes == 0
+
+    def test_rejects_negative_cap(self):
+        with pytest.raises(ValueError):
+            ResultBufferPool(MemoryTracker(), max_per_shape=-1)

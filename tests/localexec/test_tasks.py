@@ -1,0 +1,61 @@
+"""Tests for task cutting (In-Place vs Buffer granularity)."""
+
+import numpy as np
+
+from repro.blocks import split
+from repro.localexec.tasks import buffered_matmul_tasks, inplace_matmul_tasks
+
+
+def grids(rng, m=8, k=8, n=8, block=4):
+    a = split(rng.random((m, k)), block, storage="dense")
+    b = split(rng.random((k, n)), block, storage="dense")
+    return a, b
+
+
+class TestInPlaceTasks:
+    def test_one_task_per_result_block(self, rng):
+        a, b = grids(rng)
+        tasks = inplace_matmul_tasks(a, b)
+        assert len(tasks) == 4  # 2x2 result grid
+        assert {t.result_key for t in tasks} == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_pairs_cover_inner_dimension(self, rng):
+        a, b = grids(rng)
+        for task in inplace_matmul_tasks(a, b):
+            assert len(task.pairs) == 2  # two inner blocks
+
+    def test_result_shape_recorded(self, rng):
+        a, b = grids(rng, m=10, n=6, block=4)
+        tasks = {t.result_key: t for t in inplace_matmul_tasks(a, b)}
+        assert tasks[(2, 1)].result_shape == (2, 2)
+
+    def test_missing_inner_blocks_skipped(self, rng):
+        a, b = grids(rng)
+        del a[(0, 1)]  # drop one inner block of block-row 0
+        tasks = {t.result_key: t for t in inplace_matmul_tasks(a, b)}
+        assert len(tasks[(0, 0)].pairs) == 1
+        assert len(tasks[(1, 0)].pairs) == 2
+
+    def test_empty_intersection_yields_no_tasks(self, rng):
+        a, b = grids(rng)
+        only_k0 = {key: blk for key, blk in a.items() if key[1] == 0}
+        only_k1 = {key: blk for key, blk in b.items() if key[0] == 1}
+        assert inplace_matmul_tasks(only_k0, only_k1) == []
+
+
+class TestBufferTasks:
+    def test_one_task_per_partial_product(self, rng):
+        a, b = grids(rng)
+        tasks = buffered_matmul_tasks(a, b)
+        # MA x NA x NB = 2 x 2 x 2 partial multiplications
+        assert len(tasks) == 8
+
+    def test_buffer_task_count_exceeds_inplace(self, rng):
+        a, b = grids(rng, k=16)
+        assert len(buffered_matmul_tasks(a, b)) > len(inplace_matmul_tasks(a, b))
+
+    def test_deterministic_order(self, rng):
+        a, b = grids(rng)
+        first = [(t.result_key) for t in buffered_matmul_tasks(a, b)]
+        second = [(t.result_key) for t in buffered_matmul_tasks(a, b)]
+        assert first == second

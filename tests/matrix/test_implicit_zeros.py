@@ -1,0 +1,99 @@
+"""Regression tests for implicit-zero handling: all-zero blocks are dropped
+from RDDs, but operations with ``f(0) != 0`` must still act on them."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.matrix.distributed import DistributedMatrix
+from repro.matrix.primitives import scalar_op_matrix, unary_op_matrix
+from repro.matrix.schemes import Scheme
+from repro.rdd.context import ClusterContext
+
+
+@pytest.fixture
+def ctx():
+    return ClusterContext(ClusterConfig(num_workers=4, threads_per_worker=1))
+
+
+def matrix_with_dropped_blocks(ctx, scheme=Scheme.ROW):
+    """A 16x16 matrix whose only non-zeros sit in one corner block: the
+    other 15 blocks are dropped from the RDD."""
+    array = np.zeros((16, 16))
+    array[0, 0] = 2.0
+    matrix = DistributedMatrix.from_numpy(ctx, array, 4, scheme)
+    assert len(matrix.driver_grid()) == 1  # precondition: blocks dropped
+    return array, matrix
+
+
+class TestUnaryOnDroppedBlocks:
+    @pytest.mark.parametrize("scheme", [Scheme.ROW, Scheme.COL])
+    def test_sigmoid_fills_implicit_zeros(self, ctx, scheme):
+        array, matrix = matrix_with_dropped_blocks(ctx, scheme)
+        result = unary_op_matrix("sigmoid", matrix)
+        np.testing.assert_allclose(result.to_numpy(), 1 / (1 + np.exp(-array)))
+
+    def test_exp_fills_implicit_zeros(self, ctx):
+        array, matrix = matrix_with_dropped_blocks(ctx)
+        result = unary_op_matrix("exp", matrix)
+        np.testing.assert_allclose(result.to_numpy(), np.exp(array))
+
+    def test_broadcast_scheme_also_completed(self, ctx):
+        from repro.matrix.primitives import broadcast_matrix
+
+        array, matrix = matrix_with_dropped_blocks(ctx)
+        replica = broadcast_matrix(matrix)
+        result = unary_op_matrix("sigmoid", replica)
+        np.testing.assert_allclose(result.to_numpy(), 1 / (1 + np.exp(-array)))
+
+    def test_zero_preserving_funcs_skip_materialisation(self, ctx):
+        __, matrix = matrix_with_dropped_blocks(ctx)
+        result = unary_op_matrix("abs", matrix)
+        # no reason to materialise: dropped blocks stay dropped
+        assert len(result.driver_grid()) == 1
+
+    def test_ragged_edge_blocks_get_right_shape(self, ctx):
+        array = np.zeros((10, 7))  # 4-blocks: ragged edges (2x3 block at corner)
+        array[0, 0] = 1.0
+        matrix = DistributedMatrix.from_numpy(ctx, array, 4)
+        result = unary_op_matrix("exp", matrix)
+        np.testing.assert_allclose(result.to_numpy(), np.exp(array))
+
+
+class TestScalarAddOnDroppedBlocks:
+    def test_add_shifts_implicit_zeros(self, ctx):
+        array, matrix = matrix_with_dropped_blocks(ctx)
+        result = scalar_op_matrix("add", matrix, 1.5)
+        np.testing.assert_allclose(result.to_numpy(), array + 1.5)
+
+    def test_subtract_shifts_implicit_zeros(self, ctx):
+        array, matrix = matrix_with_dropped_blocks(ctx)
+        result = scalar_op_matrix("subtract", matrix, 0.25)
+        np.testing.assert_allclose(result.to_numpy(), array - 0.25)
+
+    def test_multiply_leaves_dropped_blocks_alone(self, ctx):
+        __, matrix = matrix_with_dropped_blocks(ctx)
+        result = scalar_op_matrix("multiply", matrix, 3.0)
+        assert len(result.driver_grid()) == 1
+
+    def test_add_zero_is_structure_preserving(self, ctx):
+        __, matrix = matrix_with_dropped_blocks(ctx)
+        result = scalar_op_matrix("add", matrix, 0.0)
+        assert len(result.driver_grid()) == 1
+
+
+class TestEndToEnd:
+    def test_program_over_dropped_blocks(self, ctx, rng):
+        """sigmoid(V @ w) with w = 0: the product's blocks are all zero and
+        dropped; the sigmoid must still produce the all-0.5 matrix."""
+        from repro.lang.program import ProgramBuilder
+        from repro.session import DMacSession
+
+        pb = ProgramBuilder()
+        v = pb.load("V", (32, 8))
+        w = pb.full("w", (8, 1), 0.0)
+        pb.output(pb.assign("p", (v @ w).sigmoid()))
+        result = DMacSession(ClusterConfig(4, 1, block_size=8)).run(
+            pb.build(), {"V": rng.random((32, 8))}
+        )
+        np.testing.assert_allclose(result.matrices["p"], np.full((32, 1), 0.5))

@@ -1,0 +1,80 @@
+"""Tests for distributed-matrix persistence."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import ReproError
+from repro.matrix.distributed import DistributedMatrix
+from repro.matrix.io import save_matrix, load_matrix
+from repro.matrix.primitives import broadcast_matrix
+from repro.matrix.schemes import Scheme
+from repro.rdd.context import ClusterContext
+from tests.conftest import random_sparse
+
+
+@pytest.fixture
+def ctx():
+    return ClusterContext(ClusterConfig(num_workers=4, threads_per_worker=1))
+
+
+class TestRoundTrip:
+    def test_dense_roundtrip(self, ctx, rng, tmp_path):
+        array = rng.random((20, 14))
+        matrix = DistributedMatrix.from_numpy(ctx, array, 4)
+        save_matrix(tmp_path / "m.npz", matrix)
+        loaded = load_matrix(ctx, tmp_path / "m.npz", block_size=4)
+        np.testing.assert_array_equal(loaded.to_numpy(), array)
+
+    def test_sparse_roundtrip(self, ctx, rng, tmp_path):
+        array = random_sparse(rng, 30, 22, 0.1)
+        matrix = DistributedMatrix.from_numpy(ctx, array, 8)
+        save_matrix(tmp_path / "m.npz", matrix)
+        loaded = load_matrix(ctx, tmp_path / "m.npz", block_size=8)
+        np.testing.assert_array_equal(loaded.to_numpy(), array)
+
+    def test_reload_with_different_block_size_and_scheme(self, ctx, rng, tmp_path):
+        array = random_sparse(rng, 24, 24, 0.2)
+        matrix = DistributedMatrix.from_numpy(ctx, array, 4)
+        save_matrix(tmp_path / "m.npz", matrix)
+        loaded = load_matrix(ctx, tmp_path / "m.npz", block_size=6, scheme=Scheme.COL)
+        assert loaded.block_size == 6
+        assert loaded.scheme is Scheme.COL
+        np.testing.assert_array_equal(loaded.to_numpy(), array)
+
+    def test_broadcast_matrix_saves_one_copy(self, ctx, rng, tmp_path):
+        array = rng.random((12, 12))
+        replica = broadcast_matrix(DistributedMatrix.from_numpy(ctx, array, 4))
+        save_matrix(tmp_path / "m.npz", replica)
+        loaded = load_matrix(ctx, tmp_path / "m.npz", block_size=4)
+        np.testing.assert_array_equal(loaded.to_numpy(), array)
+
+    def test_all_zero_matrix(self, ctx, tmp_path):
+        matrix = DistributedMatrix.from_numpy(ctx, np.zeros((8, 8)), 4)
+        save_matrix(tmp_path / "z.npz", matrix)
+        loaded = load_matrix(ctx, tmp_path / "z.npz", block_size=4)
+        assert np.all(loaded.to_numpy() == 0)
+
+    def test_load_is_free(self, ctx, rng, tmp_path):
+        array = rng.random((12, 12))
+        save_matrix(tmp_path / "m.npz", DistributedMatrix.from_numpy(ctx, array, 4))
+        mark = ctx.ledger.snapshot()
+        load_matrix(ctx, tmp_path / "m.npz", block_size=4)
+        assert ctx.ledger.snapshot() == mark
+
+    def test_bare_name_gets_npz_suffix(self, ctx, rng, tmp_path):
+        array = rng.random((6, 6))
+        save_matrix(tmp_path / "bare", DistributedMatrix.from_numpy(ctx, array, 4))
+        loaded = load_matrix(ctx, tmp_path / "bare", block_size=4)
+        np.testing.assert_array_equal(loaded.to_numpy(), array)
+
+
+class TestValidation:
+    def test_missing_file(self, ctx, tmp_path):
+        with pytest.raises(ReproError):
+            load_matrix(ctx, tmp_path / "ghost.npz", block_size=4)
+
+    def test_foreign_npz_rejected(self, ctx, tmp_path):
+        np.savez(tmp_path / "other.npz", data=np.zeros(3))
+        with pytest.raises(ReproError):
+            load_matrix(ctx, tmp_path / "other.npz", block_size=4)

@@ -1,0 +1,66 @@
+"""Tests for partition schemes and the Table 1 constraints."""
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.matrix.schemes import Scheme, contain, equal_b, equal_rc, oppose
+from repro.rdd.partitioner import ColumnPartitioner, RowPartitioner
+
+R, C, B = Scheme.ROW, Scheme.COL, Scheme.BROADCAST
+ALL = (R, C, B)
+
+
+class TestSchemeProperties:
+    def test_one_dimensional(self):
+        assert R.is_one_dimensional and C.is_one_dimensional
+        assert not B.is_one_dimensional
+
+    def test_opposite(self):
+        assert R.opposite is C
+        assert C.opposite is R
+        assert B.opposite is B
+
+    def test_partitioner_types(self):
+        assert isinstance(R.partitioner(4), RowPartitioner)
+        assert isinstance(C.partitioner(4), ColumnPartitioner)
+
+    def test_broadcast_has_no_partitioner(self):
+        with pytest.raises(SchemeError):
+            B.partitioner(4)
+
+    def test_str(self):
+        assert str(R) == "r" and str(C) == "c" and str(B) == "b"
+
+
+class TestConstraints:
+    """The four constraints of Table 1, checked over all 9 scheme pairs."""
+
+    def test_equal_b(self):
+        assert equal_b(B, B)
+        assert not any(equal_b(a, b) for a in ALL for b in ALL if (a, b) != (B, B))
+
+    def test_equal_rc(self):
+        truths = {(R, R), (C, C)}
+        for a in ALL:
+            for b in ALL:
+                assert equal_rc(a, b) == ((a, b) in truths)
+
+    def test_oppose(self):
+        truths = {(R, C), (C, R)}
+        for a in ALL:
+            for b in ALL:
+                assert oppose(a, b) == ((a, b) in truths)
+
+    def test_contain(self):
+        truths = {(B, R), (B, C)}
+        for a in ALL:
+            for b in ALL:
+                assert contain(a, b) == ((a, b) in truths)
+
+    def test_every_pair_satisfies_exactly_one_family(self):
+        """Each (out, in) pair maps to exactly one Table 2 condition per
+        transposed/untransposed family."""
+        for a in ALL:
+            for b in ALL:
+                untransposed = [oppose(a, b), contain(b, a), equal_rc(a, b) or equal_b(a, b), contain(a, b)]
+                assert sum(untransposed) == 1, (a, b)

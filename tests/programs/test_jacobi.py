@@ -1,0 +1,118 @@
+"""Tests for the Jacobi solver application."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rlocal import run_local
+from repro.config import ClusterConfig
+from repro.core.plan import ExtendedStep
+from repro.core.planner import DMacPlanner
+from repro.errors import ProgramError
+from repro.programs import build_jacobi_program, split_system
+from repro.session import DMacSession
+
+
+def diagonally_dominant_system(rng, n=40, density=0.2):
+    a = rng.random((n, n)) * (rng.random((n, n)) < density)
+    np.fill_diagonal(a, np.abs(a).sum(axis=1) + 1.0)  # strictly dominant
+    b = rng.random((n, 1))
+    return a, b
+
+
+class TestCorrectness:
+    def test_matches_numpy_reference(self, rng):
+        a, b = diagonally_dominant_system(rng)
+        remainder, dinv, rhs = split_system(a, b)
+        density = np.count_nonzero(remainder) / remainder.size
+        program = build_jacobi_program(40, density, iterations=5)
+        result = DMacSession(ClusterConfig(4, 1, block_size=8)).run(
+            program, {"R": remainder, "dinv": dinv, "b": rhs}
+        )
+        x = np.zeros((40, 1))
+        for __ in range(5):
+            x = dinv * (rhs - remainder @ x)
+        np.testing.assert_allclose(result.matrices[program.bindings["x"]], x, atol=1e-10)
+
+    def test_converges_to_solution(self, rng):
+        a, b = diagonally_dominant_system(rng)
+        remainder, dinv, rhs = split_system(a, b)
+        program = build_jacobi_program(40, 0.3, iterations=120)
+        result = run_local(program, {"R": remainder, "dinv": dinv, "b": rhs})
+        exact = np.linalg.solve(a, b)
+        np.testing.assert_allclose(
+            result.matrices[program.bindings["x"]], exact, atol=1e-8
+        )
+        assert result.scalars["delta2"] < 1e-16
+
+    def test_residual_decreases(self, rng):
+        a, b = diagonally_dominant_system(rng)
+        remainder, dinv, rhs = split_system(a, b)
+        inputs = {"R": remainder, "dinv": dinv, "b": rhs}
+        short = run_local(build_jacobi_program(40, 0.3, iterations=3), inputs)
+        long = run_local(build_jacobi_program(40, 0.3, iterations=30), inputs)
+        assert long.scalars["delta2"] < short.scalars["delta2"]
+
+    def test_distributed_matches_local(self, rng):
+        a, b = diagonally_dominant_system(rng, n=32)
+        remainder, dinv, rhs = split_system(a, b)
+        program = build_jacobi_program(32, 0.3, iterations=8)
+        inputs = {"R": remainder, "dinv": dinv, "b": rhs}
+        dist = DMacSession(ClusterConfig(4, 1, block_size=8)).run(program, inputs)
+        local = run_local(program, inputs)
+        np.testing.assert_allclose(
+            dist.matrices[program.bindings["x"]],
+            local.matrices[program.bindings["x"]],
+            atol=1e-12,
+        )
+
+
+class TestPlanShape:
+    def test_r_never_moves_after_load(self):
+        program = build_jacobi_program(128, 0.1, iterations=6)
+        plan = DMacPlanner(program, 4).plan()
+        moves = [
+            s
+            for s in plan.steps
+            if isinstance(s, ExtendedStep) and s.communicates and s.source.name == "R"
+        ]
+        assert moves == []
+
+    def test_no_transposes_anywhere(self):
+        """Jacobi's defining plan property: pure Reference dependencies."""
+        program = build_jacobi_program(128, 0.1, iterations=6)
+        plan = DMacPlanner(program, 4).plan()
+        transposes = [
+            s
+            for s in plan.steps
+            if isinstance(s, ExtendedStep) and s.kind == "transpose"
+        ]
+        assert transposes == []
+
+    def test_dmac_beats_systemml(self, rng):
+        a, b = diagonally_dominant_system(rng, n=64)
+        remainder, dinv, rhs = split_system(a, b)
+        density = np.count_nonzero(remainder) / remainder.size
+        program = build_jacobi_program(64, density, iterations=6)
+        inputs = {"R": remainder, "dinv": dinv, "b": rhs}
+        dmac = DMacSession(ClusterConfig(4, 1, block_size=16)).run(program, inputs)
+        systemml = DMacSession(ClusterConfig(4, 1, block_size=16)).run_systemml(
+            program, inputs
+        )
+        assert dmac.comm_bytes < systemml.comm_bytes
+        np.testing.assert_allclose(
+            dmac.matrices[program.bindings["x"]],
+            systemml.matrices[program.bindings["x"]],
+            atol=1e-10,
+        )
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ProgramError):
+            build_jacobi_program(0, 0.5)
+        with pytest.raises(ProgramError):
+            build_jacobi_program(10, 0.5, iterations=0)
+
+    def test_zero_diagonal_rejected(self):
+        with pytest.raises(ProgramError):
+            split_system(np.zeros((3, 3)), np.ones(3))

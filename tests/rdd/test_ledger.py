@@ -1,0 +1,71 @@
+"""Tests for the communication ledger."""
+
+import pytest
+
+from repro.rdd.ledger import CommunicationLedger
+
+
+class TestRecording:
+    def test_total_accumulates(self):
+        ledger = CommunicationLedger()
+        ledger.record("shuffle", 100)
+        ledger.record("broadcast", 50)
+        assert ledger.total_bytes == 150
+
+    def test_zero_byte_transfers_not_recorded(self):
+        ledger = CommunicationLedger()
+        ledger.record("shuffle", 0)
+        assert ledger.records() == []
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CommunicationLedger().record("teleport", 10)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            CommunicationLedger().record("shuffle", -1)
+
+    def test_bytes_by_kind(self):
+        ledger = CommunicationLedger()
+        ledger.record("shuffle", 10)
+        ledger.record("shuffle", 20)
+        ledger.record("broadcast", 5)
+        assert ledger.bytes_by_kind() == {"shuffle": 30, "broadcast": 5}
+
+
+class TestScoping:
+    def test_scope_tags_records(self):
+        ledger = CommunicationLedger()
+        with ledger.scope("stage-1"):
+            ledger.record("shuffle", 10)
+        ledger.record("shuffle", 5)
+        assert ledger.bytes_by_scope() == {"stage-1": 10, "": 5}
+
+    def test_nested_scopes_join(self):
+        ledger = CommunicationLedger()
+        with ledger.scope("stage-2"):
+            with ledger.scope("partition(W)"):
+                ledger.record("shuffle", 7)
+        assert ledger.bytes_by_scope() == {"stage-2/partition(W)": 7}
+
+    def test_scope_restored_after_exception(self):
+        ledger = CommunicationLedger()
+        with pytest.raises(RuntimeError):
+            with ledger.scope("oops"):
+                raise RuntimeError
+        assert ledger.current_scope() == ""
+
+
+class TestSnapshots:
+    def test_snapshot_delta(self):
+        ledger = CommunicationLedger()
+        ledger.record("shuffle", 10)
+        mark = ledger.snapshot()
+        ledger.record("shuffle", 25)
+        assert ledger.snapshot() - mark == 25
+
+    def test_reset(self):
+        ledger = CommunicationLedger()
+        ledger.record("shuffle", 10)
+        ledger.reset()
+        assert ledger.total_bytes == 0

@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "gnmf"])
+        assert args.app == "gnmf"
+        assert args.workers == 4
+        assert not args.compare
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "kmeans"])
+
+    def test_plan_dot_flag(self):
+        args = build_parser().parse_args(["plan", "gnmf", "--dot"])
+        assert args.dot
+
+
+class TestRunCommand:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "gnmf", "--scale", "1.5e-3", "--iterations", "1", "--factors", "4"],
+            ["run", "pagerank", "--scale", "1e-4", "--iterations", "2"],
+            ["run", "linreg", "--rows", "200", "--features", "20", "--iterations", "2"],
+            ["run", "cf", "--scale", "1e-3"],
+            ["run", "svd", "--scale", "1.5e-3", "--rank", "3"],
+        ],
+    )
+    def test_every_app_runs(self, argv, capsys):
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "DMac" in out
+        assert "communication" in out
+
+    def test_compare_runs_baseline(self, capsys):
+        assert main(
+            ["run", "gnmf", "--scale", "1.5e-3", "--iterations", "1",
+             "--factors", "4", "--compare"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SystemML-S baseline" in out
+        assert "x DMac" in out
+
+    def test_svd_prints_singular_values(self, capsys):
+        main(["run", "svd", "--scale", "1.5e-3", "--rank", "3"])
+        assert "singular values" in capsys.readouterr().out
+
+
+class TestPlanCommand:
+    def test_plan_listing(self, capsys):
+        assert main(["plan", "gnmf", "--iterations", "1", "--factors", "4",
+                     "--scale", "1.5e-3"]) == 0
+        out = capsys.readouterr().out
+        assert "-- stage 1 --" in out
+        assert "predicted" in out
+
+    def test_plan_dot(self, capsys):
+        assert main(["plan", "pagerank", "--scale", "1e-4", "--iterations", "1",
+                     "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph plan {")
+
+    def test_workers_flag_respected(self, capsys):
+        main(["plan", "gnmf", "--iterations", "1", "--factors", "4",
+              "--scale", "1.5e-3", "--workers", "2"])
+        assert "stage" in capsys.readouterr().out
+
+
+class TestScriptCommand:
+    def write_script(self, tmp_path, text):
+        path = tmp_path / "prog.dml"
+        path.write_text(text)
+        return str(path)
+
+    def test_runs_script_with_npy_binding(self, tmp_path, capsys):
+        import numpy as np
+
+        np.save(tmp_path / "A.npy", np.random.default_rng(0).random((8, 8)))
+        script = self.write_script(
+            tmp_path, "A = load(8, 8)\nB = A %*% A\noutput(B)\n"
+        )
+        assert main(["script", script, "--bind", f"A={tmp_path / 'A.npy'}"]) == 0
+        out = capsys.readouterr().out
+        assert "matrix B" in out
+
+    def test_runs_script_with_repro_npz_binding(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.config import ClusterConfig
+        from repro.matrix.distributed import DistributedMatrix
+        from repro.matrix.io import save_matrix
+        from repro.rdd.context import ClusterContext
+
+        ctx = ClusterContext(ClusterConfig(num_workers=2))
+        array = np.random.default_rng(1).random((6, 6))
+        save_matrix(tmp_path / "A.npz", DistributedMatrix.from_numpy(ctx, array, 3))
+        script = self.write_script(tmp_path, "A = load(6, 6)\nB = A + A\noutput(B)\n")
+        assert main(["script", script, "--bind", f"A={tmp_path / 'A.npz'}"]) == 0
+        assert "matrix B" in capsys.readouterr().out
+
+    def test_scalar_outputs_printed(self, tmp_path, capsys):
+        script = self.write_script(
+            tmp_path, "A = random(4, 4)\ns = sum(A)\noutputScalar(s)\n"
+        )
+        assert main(["script", script]) == 0
+        assert "scalar s" in capsys.readouterr().out
+
+    def test_unknown_binding_rejected(self, tmp_path):
+        script = self.write_script(tmp_path, "A = random(4, 4)\noutput(A)\n")
+        with pytest.raises(SystemExit):
+            main(["script", script, "--bind", "ghost=/nonexistent.npy"])
+
+
+def test_jacobi_app_runs(capsys):
+    assert main(["run", "jacobi", "--rows", "60", "--iterations", "5"]) == 0
+    assert "DMac jacobi" in capsys.readouterr().out

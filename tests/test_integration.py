@@ -1,0 +1,140 @@
+"""End-to-end integration tests across the whole stack: sessions, all five
+applications, DMac vs SystemML-S comparability, scalability shapes."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, DMacSession
+from repro.baselines.rlocal import run_local
+from repro.datasets import graph_like, netflix_like, row_normalize, sparse_random
+from repro.programs import (
+    build_cf_program,
+    build_gnmf_program,
+    build_linreg_program,
+    build_pagerank_program,
+    build_svd_program,
+    singular_values,
+)
+
+
+def fresh(workers=4, block=32):
+    return DMacSession(ClusterConfig(num_workers=workers, threads_per_worker=1, block_size=block))
+
+
+class TestAllApplicationsAgree:
+    """DMac, SystemML-S and single-machine numpy must produce the same
+    numbers for every application -- only the communication differs."""
+
+    def test_gnmf(self):
+        data = netflix_like(scale=1.5e-3, seed=1)
+        density = np.count_nonzero(data) / data.size
+        program = build_gnmf_program(data.shape, density, factors=6, iterations=3)
+        dmac = fresh().run(program, {"V": data})
+        systemml = fresh().run_systemml(program, {"V": data})
+        local = run_local(program, {"V": data})
+        for name in program.outputs:
+            np.testing.assert_allclose(dmac.matrices[name], local.matrices[name], atol=1e-8)
+            np.testing.assert_allclose(systemml.matrices[name], local.matrices[name], atol=1e-8)
+        assert dmac.comm_bytes < systemml.comm_bytes
+
+    def test_pagerank(self):
+        link = row_normalize(graph_like("soc-pokec", scale=2e-4, seed=2))
+        density = np.count_nonzero(link) / link.size
+        program = build_pagerank_program(link.shape[0], density, iterations=4)
+        dmac = fresh().run(program, {"link": link})
+        systemml = fresh().run_systemml(program, {"link": link})
+        name = program.bindings["rank"]
+        np.testing.assert_allclose(dmac.matrices[name], systemml.matrices[name], atol=1e-9)
+        assert dmac.comm_bytes < systemml.comm_bytes
+
+    def test_linreg(self):
+        design = sparse_random(300, 40, 0.1, seed=3)
+        target = sparse_random(300, 1, 1.0, seed=4)
+        program = build_linreg_program((300, 40), 0.1, iterations=4)
+        inputs = {"V": design, "y": target}
+        dmac = fresh().run(program, inputs)
+        systemml = fresh().run_systemml(program, inputs)
+        name = program.bindings["w"]
+        np.testing.assert_allclose(dmac.matrices[name], systemml.matrices[name], atol=1e-7)
+        assert dmac.comm_bytes < systemml.comm_bytes
+
+    def test_cf(self):
+        ratings = netflix_like(scale=1e-3, seed=5).T
+        density = np.count_nonzero(ratings) / ratings.size
+        program = build_cf_program(ratings.shape, density)
+        dmac = fresh().run(program, {"R": ratings})
+        systemml = fresh().run_systemml(program, {"R": ratings})
+        name = program.bindings["predict"]
+        np.testing.assert_allclose(dmac.matrices[name], systemml.matrices[name], atol=1e-9)
+        assert dmac.comm_bytes <= systemml.comm_bytes
+
+    def test_svd(self):
+        data = sparse_random(100, 30, 0.3, seed=6)
+        program, names = build_svd_program((100, 30), 0.3, rank=6)
+        dmac = fresh().run(program, {"V": data})
+        estimated = singular_values(dmac.scalars, names)
+        true = np.linalg.svd(data, compute_uv=False)
+        assert estimated[0] == pytest.approx(true[0], rel=1e-3)
+
+
+class TestScalabilityShapes:
+    def test_gnmf_gap_grows_with_data(self):
+        """Figure 10(a): the DMac/SystemML-S gap widens as V grows."""
+        gaps = []
+        for rows in (64, 256):
+            data = sparse_random(rows, 64, 0.05, seed=7, ensure_coverage=True)
+            density = np.count_nonzero(data) / data.size
+            program = build_gnmf_program((rows, 64), density, factors=4, iterations=2)
+            dmac = fresh(block=16).run(program, {"V": data})
+            systemml = fresh(block=16).run_systemml(program, {"V": data})
+            gaps.append(systemml.comm_bytes - dmac.comm_bytes)
+        assert gaps[1] > gaps[0]
+
+    def test_more_workers_shorter_simulated_time(self):
+        """Figure 10(c): compute time shrinks with the worker count."""
+        data = sparse_random(256, 64, 0.1, seed=8, ensure_coverage=True)
+        density = np.count_nonzero(data) / data.size
+        program = build_gnmf_program((256, 64), density, factors=4, iterations=2)
+        few = fresh(workers=2, block=16).run(program, {"V": data})
+        many = fresh(workers=8, block=16).run(program, {"V": data})
+        assert many.time.compute_seconds < few.time.compute_seconds
+
+
+class TestHeuristicAblation:
+    def test_heuristics_never_hurt(self):
+        data = netflix_like(scale=1.5e-3, seed=9)
+        density = np.count_nonzero(data) / data.size
+        program = build_gnmf_program(data.shape, density, factors=6, iterations=2)
+        full = DMacSession(ClusterConfig(4, 1, block_size=32)).run(program, {"V": data})
+        bare_session = DMacSession(
+            ClusterConfig(4, 1, block_size=32),
+            pull_up_broadcast=False,
+            re_assignment=False,
+        )
+        bare = bare_session.run(program, {"V": data})
+        assert full.comm_bytes <= bare.comm_bytes
+        name = program.bindings["H"]
+        np.testing.assert_allclose(full.matrices[name], bare.matrices[name], atol=1e-8)
+
+
+class TestSessionBehaviour:
+    def test_plan_reuse(self):
+        data = sparse_random(64, 32, 0.2, seed=10, ensure_coverage=True)
+        program = build_gnmf_program((64, 32), 0.2, factors=4, iterations=1)
+        session = fresh(block=16)
+        plan = session.plan(program)
+        first = session.run(program, {"V": data}, plan=plan)
+        second = session.run(program, {"V": data}, plan=plan)
+        np.testing.assert_allclose(
+            first.matrices[program.bindings["H"]],
+            second.matrices[program.bindings["H"]],
+        )
+        assert first.comm_bytes == second.comm_bytes
+
+    def test_metrics_are_per_run_deltas(self):
+        data = sparse_random(64, 32, 0.2, seed=11, ensure_coverage=True)
+        program = build_gnmf_program((64, 32), 0.2, factors=4, iterations=1)
+        session = fresh(block=16)
+        first = session.run(program, {"V": data})
+        second = session.run(program, {"V": data})
+        assert second.comm_bytes == pytest.approx(first.comm_bytes, rel=0.01)

@@ -1,0 +1,189 @@
+"""Robustness and edge-case tests across the stack: degenerate shapes,
+resource-limit failures, extreme cluster configurations."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, DMacSession, MemoryLimitExceeded
+from repro.baselines.rlocal import run_local
+from repro.datasets import sparse_random
+from repro.lang.program import ProgramBuilder
+from repro.programs import build_gnmf_program
+
+
+def session(workers=4, block=8, **kwargs):
+    return DMacSession(
+        ClusterConfig(num_workers=workers, threads_per_worker=1, block_size=block, **kwargs)
+    )
+
+
+class TestDegenerateShapes:
+    def test_1x1_matrices(self, rng):
+        pb = ProgramBuilder()
+        a = pb.load("A", (1, 1))
+        b = pb.load("B", (1, 1))
+        pb.output(pb.assign("C", a @ b + a))
+        result = session().run(pb.build(), {"A": np.array([[3.0]]), "B": np.array([[4.0]])})
+        assert result.matrices["C"][0, 0] == pytest.approx(15.0)
+
+    def test_single_row_vector_pipeline(self, rng):
+        pb = ProgramBuilder()
+        v = pb.load("v", (1, 50))
+        m = pb.load("M", (50, 50))
+        pb.output(pb.assign("r", v @ m))
+        arrays = {"v": rng.random((1, 50)), "M": rng.random((50, 50))}
+        result = session().run(pb.build(), arrays)
+        np.testing.assert_allclose(result.matrices["r"], arrays["v"] @ arrays["M"], atol=1e-9)
+
+    def test_block_size_larger_than_matrix(self, rng):
+        pb = ProgramBuilder()
+        a = pb.load("A", (5, 5))
+        pb.output(pb.assign("B", a @ a))
+        array = rng.random((5, 5))
+        result = session(block=64).run(pb.build(), {"A": array})
+        np.testing.assert_allclose(result.matrices["B"], array @ array, atol=1e-10)
+
+    def test_all_zero_input(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (16, 16), sparsity=0.0)
+        b = pb.load("B", (16, 16))
+        pb.output(pb.assign("C", a @ b))
+        result = session().run(
+            pb.build(), {"A": np.zeros((16, 16)), "B": np.ones((16, 16))}
+        )
+        assert np.all(result.matrices["C"] == 0.0)
+
+    def test_more_workers_than_block_rows(self, rng):
+        """K=8 workers but only 2 block rows: some workers stay idle but
+        results are unaffected."""
+        pb = ProgramBuilder()
+        a = pb.load("A", (16, 16))
+        pb.output(pb.assign("B", a + a))
+        array = rng.random((16, 16))
+        result = session(workers=8).run(pb.build(), {"A": array})
+        np.testing.assert_allclose(result.matrices["B"], 2 * array)
+
+    def test_single_worker_cluster_matches_multi(self, rng):
+        data = sparse_random(48, 32, 0.2, seed=5, ensure_coverage=True)
+        program = build_gnmf_program((48, 32), 0.2, factors=4, iterations=2)
+        solo = session(workers=1).run(program, {"V": data})
+        quad = session(workers=4).run(program, {"V": data})
+        for name in program.outputs:
+            np.testing.assert_allclose(solo.matrices[name], quad.matrices[name], atol=1e-9)
+
+    def test_single_worker_moves_zero_bytes(self, rng):
+        data = sparse_random(48, 32, 0.2, seed=5, ensure_coverage=True)
+        program = build_gnmf_program((48, 32), 0.2, factors=4, iterations=2)
+        result = session(workers=1).run(program, {"V": data})
+        assert result.comm_bytes == 0
+
+
+class TestResourceFailures:
+    def test_memory_limit_propagates_from_distributed_run(self, rng):
+        """A worker exceeding its budget mid-program surfaces the error."""
+        pb = ProgramBuilder()
+        a = pb.load("A", (64, 64))
+        pb.output(pb.assign("B", a @ a))
+        with pytest.raises(MemoryLimitExceeded):
+            session(block=8, memory_limit_bytes=2000).run(
+                pb.build(), {"A": rng.random((64, 64))}
+            )
+
+    def test_generous_limit_is_harmless(self, rng):
+        pb = ProgramBuilder()
+        a = pb.load("A", (32, 32))
+        pb.output(pb.assign("B", a @ a))
+        array = rng.random((32, 32))
+        result = session(block=8, memory_limit_bytes=10**9).run(pb.build(), {"A": array})
+        np.testing.assert_allclose(result.matrices["B"], array @ array, atol=1e-9)
+
+
+class TestNumericalEdges:
+    def test_division_produces_inf_not_crash(self):
+        """Cell-wise division by a zero denominator mirrors numpy (inf),
+        matching the single-machine baseline bit-for-bit."""
+        pb = ProgramBuilder()
+        a = pb.load("A", (4, 4))
+        b = pb.load("B", (4, 4))
+        pb.output(pb.assign("C", a / b))
+        num = np.ones((4, 4))
+        den = np.ones((4, 4))
+        den[0, 0] = 0.0
+        result = session(block=2).run(pb.build(), {"A": num, "B": den})
+        reference = run_local(pb.build(), {"A": num, "B": den})
+        np.testing.assert_array_equal(result.matrices["C"], reference.matrices["C"])
+        assert np.isinf(result.matrices["C"][0, 0])
+
+    def test_large_magnitude_values(self, rng):
+        pb = ProgramBuilder()
+        a = pb.load("A", (8, 8))
+        pb.output(pb.assign("B", a @ a))
+        array = rng.random((8, 8)) * 1e150
+        result = session(block=4).run(pb.build(), {"A": array})
+        np.testing.assert_allclose(
+            result.matrices["B"], array @ array, rtol=1e-12
+        )
+
+    def test_negative_values_in_sparse_blocks(self, rng):
+        array = sparse_random(20, 20, 0.3, seed=9) - 0.5
+        array[np.abs(array) < 1e-9] = 0.0
+        pb = ProgramBuilder()
+        a = pb.load("A", (20, 20), sparsity=float(np.count_nonzero(array)) / 400)
+        pb.output(pb.assign("B", a.T @ a))
+        result = session(block=4).run(pb.build(), {"A": array})
+        np.testing.assert_allclose(result.matrices["B"], array.T @ array, atol=1e-9)
+
+
+class TestProgramReuse:
+    def test_same_program_on_different_data(self, rng):
+        pb = ProgramBuilder()
+        a = pb.load("A", (16, 16))
+        pb.output(pb.assign("B", a @ a))
+        program = pb.build()
+        s = session()
+        plan = s.plan(program)
+        for seed in (1, 2, 3):
+            array = np.random.default_rng(seed).random((16, 16))
+            result = s.run(program, {"A": array}, plan=plan)
+            np.testing.assert_allclose(result.matrices["B"], array @ array, atol=1e-9)
+
+    def test_program_is_immutable_after_build(self):
+        pb = ProgramBuilder()
+        a = pb.load("A", (8, 8))
+        pb.output(pb.assign("B", a + a))
+        program = pb.build()
+        with pytest.raises(Exception):
+            program.ops += ()  # frozen dataclass: no reassignment
+
+
+class TestConcurrencyDeterminism:
+    def test_many_threads_identical_results(self, rng):
+        """The In-Place engine's task decomposition is deterministic: the
+        thread count never changes the produced numbers (accumulation order
+        within a task is fixed)."""
+        from repro.blocks import assemble, split
+        from repro.localexec import LocalEngine
+
+        a = rng.random((60, 60))
+        b = rng.random((60, 60))
+        ga, gb = split(a, 10), split(b, 10)
+        baseline = None
+        for threads in (1, 2, 8, 16):
+            engine = LocalEngine(threads=threads, inplace=True)
+            product = assemble(engine.matmul_grids(ga, gb), (60, 60), 10)
+            if baseline is None:
+                baseline = product
+            else:
+                np.testing.assert_array_equal(product, baseline)
+
+    def test_peak_memory_by_worker_reported(self, rng):
+        from repro.programs import build_gnmf_program
+
+        data = sparse_random(64, 48, 0.1, seed=1, ensure_coverage=True)
+        program = build_gnmf_program((64, 48), 0.1, factors=4, iterations=1)
+        s = session(block=16)
+        s.run(program, {"V": data})
+        peaks = s.context.peak_memory_by_worker()
+        assert len(peaks) == 4
+        assert max(peaks) == s.context.peak_memory_bytes()
+        assert all(p >= 0 for p in peaks)
