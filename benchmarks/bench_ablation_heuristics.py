@@ -13,7 +13,6 @@ isolating.  Four planner variants over the paper's applications:
 
 from __future__ import annotations
 
-import pytest
 
 from harness import bench_clock, density, fmt_bytes, report
 from repro import ClusterConfig, DMacSession

@@ -14,11 +14,10 @@ predicted against physically metered communication:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from harness import bench_clock, density, fmt_bytes, report
 from repro import ClusterConfig, DMacSession
-from repro.datasets import netflix_like, sparse_random
+from repro.datasets import netflix_like
 from repro.lang.program import ProgramBuilder
 from repro.programs import build_cf_program, build_gnmf_program
 

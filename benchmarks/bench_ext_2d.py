@@ -17,7 +17,6 @@ This benchmark quantifies both sides on the shared substrate:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from harness import fmt_bytes, report
 from repro.config import ClusterConfig

@@ -9,7 +9,6 @@ iteration, while SystemML-S repartitions the link matrix every time.
 
 from __future__ import annotations
 
-import pytest
 
 from harness import bench_clock, density, fmt_bytes, fmt_secs, report
 from repro import ClusterConfig, DMacSession

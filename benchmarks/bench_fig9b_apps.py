@@ -10,7 +10,6 @@ repartitions the dense R R^T intermediate).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from harness import bench_clock, density, fmt_bytes, report
 from repro import ClusterConfig, DMacSession

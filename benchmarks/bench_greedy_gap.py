@@ -10,7 +10,6 @@ dependency-oriented greedy is "communication efficient".
 
 from __future__ import annotations
 
-import pytest
 
 from harness import fmt_bytes, report
 from repro.core.optimal import optimal_cost, paper_cost_of_plan

@@ -10,7 +10,6 @@ same rate.
 
 from __future__ import annotations
 
-import pytest
 
 from harness import bench_clock, density, fmt_bytes, report
 from repro import ClusterConfig, DMacSession

@@ -1,6 +1,27 @@
-"""Make the benchmark harness importable when pytest runs benchmarks/."""
+"""Make the benchmark harness importable when pytest runs benchmarks/,
+and statically verify every DMac plan a benchmark generates."""
 
 import pathlib
 import sys
 
+import pytest
+
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+
+@pytest.fixture(autouse=True)
+def _lint_benchmark_plans(monkeypatch):
+    """Every plan generated through a session during a benchmark must be
+    free of error-severity lint findings (harness.assert_plan_clean)."""
+    from harness import assert_plan_clean
+    from repro.session import DMacSession
+
+    original = DMacSession.plan
+
+    def linted_plan(self, program):
+        plan = original(self, program)
+        assert_plan_clean(plan, self.config, self.estimation_mode)
+        return plan
+
+    monkeypatch.setattr(DMacSession, "plan", linted_plan)
+    yield

@@ -80,3 +80,24 @@ def density(array) -> float:
     import numpy as np
 
     return float(np.count_nonzero(array)) / array.size
+
+
+def assert_plan_clean(plan, config=None, estimation_mode: str = "worst") -> None:
+    """Fail the benchmark if its plan has error-severity lint findings.
+
+    Every benchmarked DMac plan must uphold the paper's static invariants
+    (scheme constraints, stage purity, ledger agreement, memory bounds) --
+    a benchmark of an invalid plan measures nothing.
+    """
+    from repro.lint import LintContext, lint_plan
+
+    context = (
+        LintContext.from_config(config, estimation_mode)
+        if config is not None
+        else LintContext()
+    )
+    report = lint_plan(plan, context)
+    if report.has_errors:
+        raise AssertionError(
+            "benchmark plan failed static analysis:\n" + report.format_human()
+        )

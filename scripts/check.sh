@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# One-stop local gate: style, tier-1 tests, and the analyzer self-test.
+# Mirrors .github/workflows/ci.yml so a green run here means a green CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests benchmarks examples
+else
+    echo "== ruff not installed; skipping style check =="
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q
+
+echo "== analyzer self-test =="
+PYTHONPATH=src python -m repro lint --selftest
+
+echo "== lint examples =="
+for script in examples/*.py examples/*.dml; do
+    [ -e "$script" ] || continue
+    echo "-- $script"
+    PYTHONPATH=src python -m repro lint "$script"
+done
+
+echo "All checks passed."

@@ -7,11 +7,19 @@ Examples::
     python -m repro linreg --rows 2000 --features 80
     python -m repro plan gnmf --iterations 1          # Figure-3-style listing
     python -m repro plan gnmf --dot > plan.dot        # Graphviz export
+    python -m repro lint examples/gnmf.dml            # static analysis
+    python -m repro lint gnmf --format json
+    python -m repro lint --selftest                   # prove the rules fire
+
+Exit codes: 0 on success, 1 when the lint reports error-severity findings,
+2 when a program fails to parse.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Sequence
 
@@ -27,6 +35,7 @@ from repro.datasets import (
     row_normalize,
     sparse_random,
 )
+from repro.errors import ProgramError
 from repro.programs import (
     build_cf_program,
     build_gnmf_program,
@@ -37,6 +46,13 @@ from repro.programs import (
     build_svd_program,
     singular_values,
 )
+
+#: Exit codes shared by the plan/lint subcommands.
+EXIT_OK = 0
+EXIT_LINT_ERRORS = 1
+EXIT_PARSE_ERROR = 2
+
+APPS = ("gnmf", "pagerank", "linreg", "logreg", "jacobi", "cf", "svd")
 
 
 def _density(array: np.ndarray) -> float:
@@ -184,21 +200,115 @@ def _cmd_script(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_plan_target(args: argparse.Namespace, target: str):
+    """An app name or a ``.dml`` path -> its program (ProgramError on a
+    script that fails to parse)."""
+    if target in APPS:
+        args.app = target
+        program, __, ___ = _workload(args)
+        return program
+    if target.endswith(".dml") or os.path.sep in target or os.path.exists(target):
+        from repro.lang.dml import parse_program
+
+        try:
+            with open(target, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise ProgramError(f"cannot read {target}: {exc}") from exc
+        return parse_program(source)
+    raise SystemExit(
+        f"unknown target {target!r}: expected one of {', '.join(APPS)} "
+        f"or a .dml script path"
+    )
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
-    program, __, ___ = _workload(args)
+    try:
+        program = _resolve_plan_target(args, args.app)
+    except ProgramError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
     session = _session(args)
     plan = session.plan(program)
     if args.dot:
         print(plan_to_dot(plan, title=f"DMac plan: {args.app}"))
+    elif args.format == "json":
+        print(json.dumps(
+            {
+                "target": args.app,
+                "predicted_bytes": plan.predicted_bytes,
+                "num_stages": plan.num_stages,
+                "outputs": {k: str(v) for k, v in plan.outputs.items()},
+                "steps": [
+                    {"stage": step.stage, "communicates": step.communicates,
+                     "description": str(step)}
+                    for step in plan.steps
+                ],
+            },
+            indent=2,
+        ))
     else:
         print(f"# {args.app}")
         print(format_statistics(explain(plan, args.workers)))
         print(plan.describe())
-    return 0
+    return EXIT_OK
 
 
-def _add_app_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("app", choices=["gnmf", "pagerank", "linreg", "logreg", "jacobi", "cf", "svd"])
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        LintContext,
+        format_selftest,
+        lint_path,
+        lint_plan,
+        plan_for,
+        run_selftest,
+    )
+
+    if args.selftest:
+        results = run_selftest()
+        print(format_selftest(results))
+        return EXIT_OK if all(r.passed for r in results) else EXIT_LINT_ERRORS
+    if args.target is None:
+        print("lint: a target (app name or script path) is required "
+              "unless --selftest is given", file=sys.stderr)
+        return EXIT_PARSE_ERROR
+    context = LintContext(
+        num_workers=args.workers,
+        threads_per_worker=args.threads,
+        block_size=args.block_size,
+        memory_limit_bytes=args.memory_limit,
+    )
+    suppress = tuple(args.suppress or ())
+    try:
+        if args.target in APPS:
+            args.app = args.target
+            program, __, ___ = _workload(args)
+            report = lint_plan(plan_for(program, context), context, suppress)
+        elif os.path.exists(args.target):
+            report = lint_path(args.target, context, suppress)
+        else:
+            print(
+                f"unknown lint target {args.target!r}: expected one of "
+                f"{', '.join(APPS)} or an existing .dml/.py file",
+                file=sys.stderr,
+            )
+            return EXIT_PARSE_ERROR
+    except ProgramError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
+    except ValueError as exc:  # e.g. unknown rule id in --suppress
+        print(f"lint: {exc}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
+    if args.format == "json":
+        print(report.to_json_string())
+    else:
+        print(report.format_human())
+    return EXIT_LINT_ERRORS if report.has_errors else EXIT_OK
+
+
+def _add_app_args(parser: argparse.ArgumentParser, positional: bool = True) -> None:
+    if positional:
+        parser.add_argument("app", choices=list(APPS))
     parser.add_argument("--scale", type=float, default=3e-3,
                         help="dataset scale factor (gnmf/pagerank/cf/svd)")
     parser.add_argument("--graph", choices=sorted(PAPER_GRAPHS), default="soc-pokec",
@@ -225,10 +335,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=_cmd_run)
 
     plan = sub.add_parser("plan", help="print the DMac plan for an application")
-    _add_app_args(plan)
+    plan.add_argument("app", metavar="app|script.dml",
+                      help=f"one of {', '.join(APPS)}, or a .dml script path")
+    _add_app_args(plan, positional=False)
     _add_cluster_args(plan)
     plan.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    plan.add_argument("--format", choices=["text", "json"], default="text",
+                      help="report format (default: text)")
     plan.set_defaults(func=_cmd_plan)
+
+    lint = sub.add_parser(
+        "lint", help="statically analyse a program's plan without executing it"
+    )
+    lint.add_argument("target", nargs="?", metavar="app|script.dml|builder.py",
+                      help=f"one of {', '.join(APPS)}, or a .dml/.py file")
+    _add_app_args(lint, positional=False)
+    _add_cluster_args(lint)
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="report format (default: text)")
+    lint.add_argument("--memory-limit", type=int, default=None,
+                      help="per-worker memory budget in bytes (enables DM106)")
+    lint.add_argument("--suppress", action="append", metavar="RULE",
+                      help="suppress a rule id (repeatable), e.g. DM202")
+    lint.add_argument("--selftest", action="store_true",
+                      help="corrupt a reference plan once per rule and "
+                           "verify each rule fires")
+    lint.set_defaults(func=_cmd_lint)
 
     script = sub.add_parser("script", help="run a DML-style script file")
     script.add_argument("path", help="script file (see repro.lang.dml)")

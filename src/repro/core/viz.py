@@ -4,11 +4,17 @@ Nodes are matrix instances (ellipses, like the paper's figure), edges are
 the operators; communicating edges are drawn bold/red and stages become
 clusters, so ``dot -Tsvg plan.dot`` reproduces the paper's plan diagrams
 for any program.
+
+Pass lint ``diagnostics`` (a :class:`repro.lint.LintReport` or any iterable
+of :class:`repro.lint.Diagnostic`) to turn the diagram into a lint report:
+instances that carry findings are filled (salmon for errors, khaki for
+warnings) and their labels list the rule ids.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Iterable
 
 from repro.core.plan import (
     AggregateStep,
@@ -26,10 +32,19 @@ from repro.core.plan import (
 from repro.core.stages import schedule_stages
 
 
-def plan_to_dot(plan: Plan, title: str = "DMac execution plan") -> str:
-    """Render a plan as a Graphviz DOT document (stages as clusters)."""
+def plan_to_dot(
+    plan: Plan,
+    title: str = "DMac execution plan",
+    diagnostics: Iterable | None = None,
+) -> str:
+    """Render a plan as a Graphviz DOT document (stages as clusters).
+
+    With ``diagnostics``, nodes named by a finding's subject are coloured
+    by its severity and annotated with the rule id(s).
+    """
     if plan.num_stages == 0:
         schedule_stages(plan)
+    findings = _findings_by_subject(diagnostics)
 
     node_ids: dict[MatrixInstance, str] = {}
     node_stage: dict[MatrixInstance, int] = {}
@@ -86,7 +101,7 @@ def plan_to_dot(plan: Plan, title: str = "DMac execution plan") -> str:
     by_stage: dict[int, list[str]] = defaultdict(list)
     for instance, ident in node_ids.items():
         by_stage[node_stage[instance]].append(
-            f'{ident} [label="{instance}" shape=ellipse]'
+            _node_declaration(ident, instance, findings.get(str(instance)))
         )
     for declaration, stage in scalar_nodes:
         by_stage[stage].append(declaration)
@@ -111,3 +126,26 @@ def plan_to_dot(plan: Plan, title: str = "DMac execution plan") -> str:
 
 def _edge_style(communicates: bool) -> str:
     return ' color=red penwidth=2' if communicates else ""
+
+
+def _findings_by_subject(diagnostics: Iterable | None) -> dict[str, list]:
+    """Group lint findings by their subject instance's string form."""
+    grouped: dict[str, list] = {}
+    for diagnostic in diagnostics or ():
+        if diagnostic.subject is not None:
+            grouped.setdefault(diagnostic.subject, []).append(diagnostic)
+    return grouped
+
+
+def _node_declaration(ident: str, instance, findings: list | None) -> str:
+    """One DOT node; findings colour it and stack rule ids in the label."""
+    if not findings:
+        return f'{ident} [label="{instance}" shape=ellipse]'
+    rules = sorted({d.rule for d in findings})
+    severities = {d.severity.value for d in findings}
+    color = "lightsalmon" if "error" in severities else "khaki"
+    label = f"{instance}\\n{', '.join(rules)}"
+    return (
+        f'{ident} [label="{label}" shape=ellipse '
+        f'style=filled fillcolor={color}]'
+    )

@@ -28,6 +28,11 @@ class PlanError(ReproError):
     """The planner could not produce a valid execution plan."""
 
 
+class LintError(PlanError):
+    """Static analysis found error-severity findings in a plan
+    (raised by sessions configured with ``lint="error"``)."""
+
+
 class ExecutionError(ReproError):
     """A plan failed during distributed execution."""
 

@@ -1,0 +1,738 @@
+"""The rule catalog: DMac's static invariants and inefficiency lints.
+
+Two families, mirroring the paper's correctness and cost claims:
+
+* ``DM1xx`` -- **invariant violations** (error severity).  A plan that
+  trips one of these would compute a wrong answer, break a guarantee the
+  paper proves (Table-2 scheme constraints, Section-5.2 communication-free
+  stages, the Eq-2/Eq-3 memory bounds), or blow a declared resource budget.
+* ``DM2xx`` -- **inefficiency lints** (warning severity).  The plan is
+  executable but provably wasteful under the Section-4.1 dependency-
+  oriented cost model: bytes are moved (or work is done) that a better
+  plan would not move.
+
+Every rule is registered in :data:`RULES` with its id, severity, family,
+one-line title, the paper section it enforces, and a generic fix hint; the
+rule catalog in ``docs/linting.md`` and the ``--selftest`` harness are both
+driven off this registry, so a rule cannot exist without being documented
+and exercised.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Callable, Iterable, Iterator
+
+from repro.blocks.memory import max_block_size
+from repro.core.dependency import classify, is_communication
+from repro.core.plan import (
+    CellwiseStep,
+    ExtendedStep,
+    MatMulStep,
+    Plan,
+    RowAggStep,
+    ScalarMatrixStep,
+    SourceStep,
+    UnaryStep,
+)
+from repro.core.strategies import (
+    COLSUM_STRATEGIES,
+    MATMUL_STRATEGIES,
+    ROWSUM_STRATEGIES,
+    SOURCE_STRATEGY,
+    Strategy,
+)
+from repro.lang.program import (
+    CellwiseOp,
+    MatMulOp,
+    MatrixProgram,
+    OpNode,
+    op_input_names,
+)
+from repro.lint.diagnostics import Diagnostic, LintContext, Severity
+from repro.lint.facts import PlanFacts, step_output
+from repro.matrix.schemes import Scheme
+
+_EXTENDED_KINDS = ("partition", "broadcast", "transpose", "extract")
+
+_MATMUL_BY_NAME: dict[str, Strategy] = {s.name: s for s in MATMUL_STRATEGIES}
+_ROWAGG_BY_NAME: dict[str, Strategy] = {
+    s.name: s for s in ROWSUM_STRATEGIES + COLSUM_STRATEGIES
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class LintInput:
+    """Everything a rule may inspect.  ``plan``/``facts`` are ``None`` when
+    only the program AST is being analysed."""
+
+    program: MatrixProgram
+    context: LintContext
+    plan: Plan | None = None
+    facts: PlanFacts | None = None
+
+
+RuleCheck = Callable[[LintInput], Iterable[Diagnostic]]
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One registered diagnostic rule."""
+
+    id: str
+    severity: Severity
+    family: str  # "invariant" | "inefficiency"
+    title: str
+    paper: str  # the paper section / equation the rule enforces
+    hint: str
+    check: RuleCheck
+
+    def diagnostic(
+        self,
+        message: str,
+        step: int | None = None,
+        subject: object = None,
+        hint: str | None = None,
+    ) -> Diagnostic:
+        return Diagnostic(
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+            hint=self.hint if hint is None else hint,
+            step=step,
+            subject=None if subject is None else str(subject),
+        )
+
+
+#: All registered rules, by id (insertion-ordered: DM1xx then DM2xx).
+RULES: dict[str, Rule] = {}
+
+
+def rule(
+    id: str,
+    *,
+    severity: Severity,
+    family: str,
+    title: str,
+    paper: str,
+    hint: str = "",
+) -> Callable[[RuleCheck], RuleCheck]:
+    """Register a rule check function under ``id``."""
+
+    def decorate(check: RuleCheck) -> RuleCheck:
+        if id in RULES:
+            raise ValueError(f"duplicate rule id {id!r}")
+        RULES[id] = Rule(id, severity, family, title, paper, hint, check)
+        return check
+
+    return decorate
+
+
+def _rule(id: str) -> Rule:
+    return RULES[id]
+
+
+# ---------------------------------------------------------------------------
+# Invariant violations (DM1xx, error severity)
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "DM101",
+    severity=Severity.ERROR,
+    family="invariant",
+    title="shape mismatch",
+    paper="Section 4 (operator decomposition infers exact dimensions)",
+    hint="rebuild the program through ProgramBuilder so dimensions are "
+    "inferred, or fix the corrupted step's operand instances",
+)
+def check_shapes(inputs: LintInput) -> Iterator[Diagnostic]:
+    """Abstract shape interpretation must agree with declared dimensions."""
+    this = _rule("DM101")
+    program = inputs.program
+    for op in program.ops:
+        yield from _check_op_shapes(this, program, op)
+    facts = inputs.facts
+    if facts is None:
+        return
+    for index, step in enumerate(facts.plan.steps):
+        if isinstance(step, MatMulStep):
+            left = facts.shapes.get(step.left)
+            right = facts.shapes.get(step.right)
+            if left and right and left[1] != right[0]:
+                yield this.diagnostic(
+                    f"matmul inner dimensions differ: {left[0]}x{left[1]} @ "
+                    f"{right[0]}x{right[1]}",
+                    step=index,
+                    subject=step.output,
+                )
+        elif isinstance(step, CellwiseStep):
+            left = facts.shapes.get(step.left)
+            right = facts.shapes.get(step.right)
+            if left and right and left != right:
+                yield this.diagnostic(
+                    f"cell-wise {step.op.op} over unequal shapes "
+                    f"{left} and {right}",
+                    step=index,
+                    subject=step.output,
+                )
+        output = step_output(step)
+        if output is None:
+            continue
+        interpreted = facts.shapes.get(output)
+        declared = facts.declared_shape(output)
+        if declared is None:
+            yield this.diagnostic(
+                f"instance {output} has no declared dimensions in the program",
+                step=index,
+                subject=output,
+            )
+        elif interpreted is not None and interpreted != declared:
+            yield this.diagnostic(
+                f"instance {output} flows with shape {interpreted} but the "
+                f"program declares {declared}",
+                step=index,
+                subject=output,
+            )
+
+
+def _check_op_shapes(
+    this: Rule, program: MatrixProgram, op: OpNode
+) -> Iterator[Diagnostic]:
+    dims = {}
+    for operand in op.matrix_inputs():
+        if operand.name not in program.dims:
+            yield this.diagnostic(
+                f"operator {op.output!r} reads {operand} which has no "
+                f"declared dimensions",
+                subject=op.output,
+            )
+            return
+        dims[operand] = program.dims_of(operand)
+    if isinstance(op, MatMulOp):
+        (lr, lc), (rr, rc) = dims[op.left], dims[op.right]
+        if lc != rr:
+            yield this.diagnostic(
+                f"operator {op.output!r}: matmul inner dimensions differ: "
+                f"{lr}x{lc} @ {rr}x{rc}",
+                subject=op.output,
+            )
+    elif isinstance(op, CellwiseOp):
+        if dims[op.left] != dims[op.right]:
+            yield this.diagnostic(
+                f"operator {op.output!r}: cell-wise {op.op} over unequal "
+                f"shapes {dims[op.left]} and {dims[op.right]}",
+                subject=op.output,
+            )
+
+
+@rule(
+    "DM102",
+    severity=Severity.ERROR,
+    family="invariant",
+    title="scheme-constraint violation",
+    paper="Table 2 / Section 3.1 (per-strategy scheme constraints)",
+    hint="every strategy fixes its operand schemes (Figure 2); regenerate "
+    "the plan or repair the strategy/instance binding",
+)
+def check_schemes(inputs: LintInput) -> Iterator[Diagnostic]:
+    """Every step's instances must satisfy its operator's scheme contract."""
+    this = _rule("DM102")
+    if inputs.facts is None:
+        return
+    for index, step in enumerate(inputs.facts.plan.steps):
+        if isinstance(step, ExtendedStep):
+            yield from _check_extended_schemes(this, index, step)
+        elif isinstance(step, SourceStep):
+            if step.output.transposed or step.output.scheme not in (
+                SOURCE_STRATEGY.output_schemes
+            ):
+                yield this.diagnostic(
+                    f"source must materialise untransposed Row or Column, "
+                    f"got {step.output}",
+                    step=index,
+                    subject=step.output,
+                )
+        elif isinstance(step, MatMulStep):
+            strategy = _MATMUL_BY_NAME.get(step.strategy)
+            if strategy is None:
+                yield this.diagnostic(
+                    f"unknown matmul strategy {step.strategy!r}",
+                    step=index,
+                    subject=step.output,
+                )
+                continue
+            expected = strategy.input_schemes
+            got = (step.left.scheme, step.right.scheme)
+            if got != expected:
+                yield this.diagnostic(
+                    f"{strategy.name} requires input schemes "
+                    f"({expected[0]}, {expected[1]}), got ({got[0]}, {got[1]})",
+                    step=index,
+                    subject=step.output,
+                )
+            if step.output.scheme not in strategy.output_schemes:
+                yield this.diagnostic(
+                    f"{strategy.name} cannot produce scheme "
+                    f"{step.output.scheme}",
+                    step=index,
+                    subject=step.output,
+                )
+        elif isinstance(step, RowAggStep):
+            strategy = _ROWAGG_BY_NAME.get(step.strategy)
+            if strategy is None or not step.strategy.startswith(step.op.kind):
+                yield this.diagnostic(
+                    f"unknown {step.op.kind} strategy {step.strategy!r}",
+                    step=index,
+                    subject=step.output,
+                )
+                continue
+            if step.source.scheme is not strategy.input_schemes[0]:
+                yield this.diagnostic(
+                    f"{strategy.name} requires input scheme "
+                    f"{strategy.input_schemes[0]}, got {step.source.scheme}",
+                    step=index,
+                    subject=step.output,
+                )
+            if step.output.scheme not in strategy.output_schemes:
+                yield this.diagnostic(
+                    f"{strategy.name} cannot produce scheme "
+                    f"{step.output.scheme}",
+                    step=index,
+                    subject=step.output,
+                )
+        elif isinstance(step, CellwiseStep):
+            schemes = {step.left.scheme, step.right.scheme, step.output.scheme}
+            if len(schemes) != 1:
+                yield this.diagnostic(
+                    f"cell-wise operands and output must share one scheme, "
+                    f"got ({step.left.scheme}, {step.right.scheme}) -> "
+                    f"{step.output.scheme}",
+                    step=index,
+                    subject=step.output,
+                )
+        elif isinstance(step, (ScalarMatrixStep, UnaryStep)):
+            if step.output.scheme is not step.source.scheme:
+                yield this.diagnostic(
+                    f"element-wise step must preserve the scheme, got "
+                    f"{step.source.scheme} -> {step.output.scheme}",
+                    step=index,
+                    subject=step.output,
+                )
+
+
+def _check_extended_schemes(
+    this: Rule, index: int, step: ExtendedStep
+) -> Iterator[Diagnostic]:
+    source, target = step.source, step.target
+    if step.kind not in _EXTENDED_KINDS:
+        yield this.diagnostic(
+            f"unknown extended operator {step.kind!r}", step=index, subject=target
+        )
+        return
+    if source.name != target.name:
+        yield this.diagnostic(
+            f"{step.kind} must stay within one logical matrix, got "
+            f"{source.name!r} -> {target.name!r}",
+            step=index,
+            subject=target,
+        )
+        return
+    if step.kind == "transpose":
+        if target.transposed == source.transposed:
+            yield this.diagnostic(
+                f"transpose must flip the transposed flag: {source} -> {target}",
+                step=index,
+                subject=target,
+            )
+        if target.scheme is not source.scheme.opposite:
+            yield this.diagnostic(
+                f"a local transpose flips Row<->Column (and keeps Broadcast): "
+                f"{source} -> {target}",
+                step=index,
+                subject=target,
+            )
+        return
+    if target.transposed != source.transposed:
+        yield this.diagnostic(
+            f"{step.kind} cannot change the transposed flag: {source} -> {target}",
+            step=index,
+            subject=target,
+        )
+    if step.kind == "partition":
+        if not (source.scheme.is_one_dimensional and target.scheme.is_one_dimensional):
+            yield this.diagnostic(
+                f"partition repartitions between one-dimensional schemes, "
+                f"got {source.scheme} -> {target.scheme}",
+                step=index,
+                subject=target,
+            )
+    elif step.kind == "broadcast":
+        if not source.scheme.is_one_dimensional or target.scheme is not Scheme.BROADCAST:
+            yield this.diagnostic(
+                f"broadcast replicates a one-dimensional layout, got "
+                f"{source.scheme} -> {target.scheme}",
+                step=index,
+                subject=target,
+            )
+    elif step.kind == "extract":
+        if source.scheme is not Scheme.BROADCAST or not target.scheme.is_one_dimensional:
+            yield this.diagnostic(
+                f"extract pulls a one-dimensional slice out of a replica, "
+                f"got {source.scheme} -> {target.scheme}",
+                step=index,
+                subject=target,
+            )
+
+
+@rule(
+    "DM103",
+    severity=Severity.ERROR,
+    family="invariant",
+    title="wide edge inside a stage",
+    paper="Section 5.2 (stages are communication-free)",
+    hint="re-run the stage scheduler (repro.core.stages.schedule_stages) "
+    "instead of assigning stage numbers by hand",
+)
+def check_stage_purity(inputs: LintInput) -> Iterator[Diagnostic]:
+    """No step may consume data that only becomes available -- through a
+    communicating edge -- in the same or a later stage."""
+    this = _rule("DM103")
+    facts = inputs.facts
+    if facts is None:
+        return
+    for index, step in enumerate(facts.plan.steps):
+        for instance in step.inputs():
+            available = facts.available_stage.get(instance)
+            if available is not None and available > step.stage:
+                yield this.diagnostic(
+                    f"step runs in stage {step.stage} but input {instance} "
+                    f"is only available from stage {available}: a "
+                    f"communicating edge was scheduled inside a stage",
+                    step=index,
+                    subject=instance,
+                )
+
+
+@rule(
+    "DM104",
+    severity=Severity.ERROR,
+    family="invariant",
+    title="cost-model / dependency-class disagreement",
+    paper="Section 4.1 (dependency-oriented cost model)",
+    hint="plan.predicted_bytes must equal the sum of per-step charges; "
+    "regenerate the plan rather than editing steps in place",
+)
+def check_ledger_agreement(inputs: LintInput) -> Iterator[Diagnostic]:
+    """The plan's predicted bytes must decompose exactly over its
+    communicating steps under the declared dependency classes."""
+    this = _rule("DM104")
+    facts = inputs.facts
+    if facts is None:
+        return
+    workers = inputs.context.num_workers
+    total = 0
+    for step in facts.plan.steps:
+        if isinstance(step, ExtendedStep) and step.communicates:
+            nbytes = facts.nbytes(step.source.name)
+            total += (workers - 1) * nbytes if step.kind == "broadcast" else nbytes
+        elif isinstance(step, (MatMulStep, RowAggStep)) and step.communicates:
+            total += (workers - 1) * facts.nbytes(step.output.name)
+    if total != facts.plan.predicted_bytes:
+        yield this.diagnostic(
+            f"plan declares {facts.plan.predicted_bytes} predicted bytes but "
+            f"its communicating steps account for {total} "
+            f"(delta {facts.plan.predicted_bytes - total:+d}) at "
+            f"{workers} workers",
+        )
+
+
+@rule(
+    "DM105",
+    severity=Severity.ERROR,
+    family="invariant",
+    title="block size exceeds the Equation-3 bound",
+    paper="Section 5.3, Equation 3 (m <= sqrt(MN / LK))",
+    hint="drop the explicit block_size (the engine auto-tunes just under "
+    "the bound) or choose one below it",
+)
+def check_block_size(inputs: LintInput) -> Iterator[Diagnostic]:
+    """A configured block size must leave every local thread a task."""
+    this = _rule("DM105")
+    context = inputs.context
+    if context.block_size is None or not inputs.program.dims:
+        return
+    rows, cols = max(
+        inputs.program.dims.values(), key=lambda shape: shape[0] * shape[1]
+    )
+    bound = max_block_size(
+        rows, cols, context.num_workers, context.threads_per_worker
+    )
+    if context.block_size > bound:
+        yield this.diagnostic(
+            f"block size {context.block_size} exceeds the Equation-3 bound "
+            f"{bound} for the {rows}x{cols} matrix at {context.num_workers} "
+            f"workers x {context.threads_per_worker} threads: some threads "
+            f"would starve",
+        )
+
+
+@rule(
+    "DM106",
+    severity=Severity.ERROR,
+    family="invariant",
+    title="broadcast exceeds the per-worker memory budget",
+    paper="Section 5.3, Equation 2 (per-worker memory model)",
+    hint="let the planner repartition instead of replicating, or raise "
+    "memory_limit_bytes",
+)
+def check_broadcast_budget(inputs: LintInput) -> Iterator[Diagnostic]:
+    """Every replica must fit the declared per-worker memory budget."""
+    this = _rule("DM106")
+    facts = inputs.facts
+    budget = inputs.context.memory_limit_bytes
+    if facts is None or budget is None:
+        return
+    for instance, index in facts.producer.items():
+        if instance.scheme is not Scheme.BROADCAST:
+            continue
+        nbytes = facts.nbytes(instance.name)
+        if nbytes > budget:
+            yield this.diagnostic(
+                f"replica {instance} weighs ~{nbytes} bytes on every worker, "
+                f"above the {budget}-byte budget",
+                step=index,
+                subject=instance,
+            )
+
+
+@rule(
+    "DM107",
+    severity=Severity.ERROR,
+    family="invariant",
+    title="dangling dataflow",
+    paper="Section 4.2 (plans are topologically ordered DAGs)",
+    hint="plan steps must be topologically ordered and outputs must be "
+    "materialised; regenerate the plan",
+)
+def check_dataflow(inputs: LintInput) -> Iterator[Diagnostic]:
+    """Instances must be produced before use; program outputs must exist."""
+    this = _rule("DM107")
+    facts = inputs.facts
+    if facts is None:
+        return
+    for index, instance in facts.unproduced:
+        yield this.diagnostic(
+            f"step consumes {instance} before any step produces it",
+            step=index,
+            subject=instance,
+        )
+    for name, instance in facts.plan.outputs.items():
+        if instance not in facts.producer:
+            yield this.diagnostic(
+                f"program output {name!r} maps to {instance}, which no step "
+                f"produces",
+                subject=instance,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Inefficiency lints (DM2xx, warning severity)
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "DM201",
+    severity=Severity.WARNING,
+    family="inefficiency",
+    title="redundant repartition",
+    paper="Table 2 (Reference dependencies are free)",
+    hint="drop the partition step: the data is already laid out that way",
+)
+def check_redundant_repartition(inputs: LintInput) -> Iterator[Diagnostic]:
+    """A repartition whose source already has the target layout moves every
+    byte of the matrix for nothing."""
+    this = _rule("DM201")
+    facts = inputs.facts
+    if facts is None:
+        return
+    for index, step in enumerate(facts.plan.steps):
+        if not isinstance(step, ExtendedStep) or step.kind != "partition":
+            continue
+        transposed_access = step.source.transposed != step.target.transposed
+        if step.source.scheme.is_one_dimensional and not is_communication(
+            classify(step.source.scheme, step.target.scheme, transposed_access)
+        ):
+            yield this.diagnostic(
+                f"repartition of {step.source} to its current scheme "
+                f"{step.target.scheme} shuffles "
+                f"~{facts.nbytes(step.source.name)} bytes for nothing",
+                step=index,
+                subject=step.target,
+            )
+
+
+@rule(
+    "DM202",
+    severity=Severity.WARNING,
+    family="inefficiency",
+    title="dead operator",
+    paper="Section 4 (every operator should feed an output)",
+    hint="remove the operator, or mark its result as a program output",
+)
+def check_dead_operators(inputs: LintInput) -> Iterator[Diagnostic]:
+    """Work whose result nothing consumes is wasted compute (and possibly
+    wasted communication)."""
+    this = _rule("DM202")
+    facts = inputs.facts
+    if facts is None:
+        yield from _check_dead_program_ops(this, inputs.program)
+        return
+    live_names = set(inputs.program.outputs)
+    for instance, index in facts.producer.items():
+        if instance.name in live_names:
+            continue
+        if not facts.consumers.get(instance):
+            yield this.diagnostic(
+                f"instance {instance} is produced but never consumed",
+                step=index,
+                subject=instance,
+            )
+    live_scalars = set(inputs.program.scalar_outputs)
+    for name, index in facts.scalar_producer.items():
+        if name not in live_scalars and not facts.scalar_consumers.get(name):
+            yield this.diagnostic(
+                f"scalar {name!r} is computed but never consumed",
+                step=index,
+                subject=name,
+            )
+
+
+def _check_dead_program_ops(
+    this: Rule, program: MatrixProgram
+) -> Iterator[Diagnostic]:
+    consumed: set[str] = set()
+    for op in program.ops:
+        consumed.update(op_input_names(op))
+    live = consumed | set(program.outputs) | set(program.scalar_outputs)
+    for op in program.ops:
+        if op.output not in live:
+            yield this.diagnostic(
+                f"operator {op.output!r} ({type(op).__name__}) is never "
+                f"consumed and is not an output",
+                subject=op.output,
+            )
+
+
+@rule(
+    "DM203",
+    severity=Severity.WARNING,
+    family="inefficiency",
+    title="transpose of transpose",
+    paper="Section 4.2.1 (extended operators should be canonical chains)",
+    hint="drop both transpose steps and read the original instance",
+)
+def check_transpose_of_transpose(inputs: LintInput) -> Iterator[Diagnostic]:
+    """Two chained local transposes cancel; the second recreates the first
+    step's input layout."""
+    this = _rule("DM203")
+    facts = inputs.facts
+    if facts is None:
+        return
+    steps = facts.plan.steps
+    for index, step in enumerate(steps):
+        if not isinstance(step, ExtendedStep) or step.kind != "transpose":
+            continue
+        producer_index = facts.producer.get(step.source)
+        if producer_index is None:
+            continue
+        producer = steps[producer_index]
+        if (
+            isinstance(producer, ExtendedStep)
+            and producer.kind == "transpose"
+            and producer.source == step.target
+        ):
+            yield this.diagnostic(
+                f"transpose of transpose: {producer.source} -> "
+                f"{producer.target} -> {step.target} round-trips to the "
+                f"original layout",
+                step=index,
+                subject=step.target,
+            )
+
+
+@rule(
+    "DM204",
+    severity=Severity.WARNING,
+    family="inefficiency",
+    title="CPMM chosen where RMM is strictly cheaper",
+    paper="Section 4.1, Equation 1 (strategy choice by communication cost)",
+    hint="choose rmm1/rmm2 for this multiplication; its output shuffle "
+    "alone outweighs replicating an operand",
+)
+def check_cpmm_vs_rmm(inputs: LintInput) -> Iterator[Diagnostic]:
+    """CPMM's output shuffle costs ``K x |C|`` no matter how its inputs are
+    laid out; when even the *worst-case* RMM total (broadcast one operand,
+    repartition the other) beats that floor, CPMM can never win."""
+    this = _rule("DM204")
+    facts = inputs.facts
+    if facts is None:
+        return
+    workers = inputs.context.num_workers
+    for index, step in enumerate(facts.plan.steps):
+        if not isinstance(step, MatMulStep) or step.strategy != "cpmm":
+            continue
+        left = facts.nbytes(step.left.name)
+        right = facts.nbytes(step.right.name)
+        out = facts.nbytes(step.output.name)
+        cpmm_floor = workers * out
+        rmm_ceiling = min(workers * left + right, workers * right + left)
+        if rmm_ceiling < cpmm_floor:
+            yield this.diagnostic(
+                f"cpmm shuffles at least {cpmm_floor} bytes "
+                f"(K x |{step.output.name}|) but replication-based "
+                f"multiplication costs at most {rmm_ceiling} here",
+                step=index,
+                subject=step.output,
+            )
+
+
+@rule(
+    "DM205",
+    severity=Severity.WARNING,
+    family="inefficiency",
+    title="re-broadcast of an unchanged matrix",
+    paper="Section 4.2.2, Heuristic 1 (replicas are created once)",
+    hint="reuse the existing replica (register it and Extract from it) "
+    "instead of broadcasting the same version again",
+)
+def check_rebroadcast(inputs: LintInput) -> Iterator[Diagnostic]:
+    """Matrix versions are immutable (SSA): broadcasting the same version
+    twice pays ``(K-1) x |A|`` again for bytes every worker already holds."""
+    this = _rule("DM205")
+    facts = inputs.facts
+    if facts is None:
+        return
+    seen: Counter = Counter()
+    for index, step in enumerate(facts.plan.steps):
+        if not isinstance(step, ExtendedStep) or step.kind != "broadcast":
+            continue
+        key = (step.source.name, step.source.transposed)
+        seen[key] += 1
+        if seen[key] > 1:
+            yield this.diagnostic(
+                f"{step.source} is broadcast again (occurrence "
+                f"{seen[key]}); loop-invariant replicas should be created "
+                f"once and reused across iterations",
+                step=index,
+                subject=step.target,
+            )
+
+
+def invariant_rules() -> list[Rule]:
+    return [r for r in RULES.values() if r.family == "invariant"]
+
+
+def inefficiency_rules() -> list[Rule]:
+    return [r for r in RULES.values() if r.family == "inefficiency"]

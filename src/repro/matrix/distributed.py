@@ -18,7 +18,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.blocks import assemble, grid_shape, split
-from repro.blocks.ops import Block
 from repro.errors import ShapeError
 from repro.localexec.engine import Grid
 from repro.matrix.schemes import Scheme

@@ -31,7 +31,10 @@ class Partitioner(abc.ABC):
         """Partition index for ``key``."""
 
     def __eq__(self, other: object) -> bool:
-        return type(self) is type(other) and self.num_partitions == other.num_partitions  # type: ignore[attr-defined]
+        return (
+            type(self) is type(other)
+            and self.num_partitions == other.num_partitions  # type: ignore[attr-defined]
+        )
 
     def __hash__(self) -> int:
         return hash((type(self).__name__, self.num_partitions))

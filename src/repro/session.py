@@ -20,6 +20,8 @@ Typical use::
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
 from repro.baselines.systemml import SystemMLSExecutor
@@ -28,8 +30,14 @@ from repro.core.executor import ExecutionResult, PlanExecutor
 from repro.core.plan import Plan
 from repro.core.planner import DMacPlanner
 from repro.core.stages import schedule_stages
+from repro.errors import LintError, PlanError
 from repro.lang.program import MatrixProgram
 from repro.rdd.context import ClusterContext
+
+#: Session lint modes: "off" skips analysis, "warn" prints findings to
+#: stderr, "error" additionally refuses to execute plans with error-severity
+#: findings (raising :class:`repro.errors.LintError`).
+LINT_MODES = ("off", "warn", "error")
 
 
 class DMacSession:
@@ -47,12 +55,18 @@ class DMacSession:
         pull_up_broadcast: bool = True,
         re_assignment: bool = True,
         estimation_mode: str = "worst",
+        lint: str = "off",
     ) -> None:
+        if lint not in LINT_MODES:
+            raise PlanError(
+                f"unknown lint mode {lint!r} (choose from {LINT_MODES})"
+            )
         self.config = config or ClusterConfig()
         self.context = ClusterContext(self.config)
         self.pull_up_broadcast = pull_up_broadcast
         self.re_assignment = re_assignment
         self.estimation_mode = estimation_mode
+        self.lint = lint
 
     def plan(self, program: MatrixProgram) -> Plan:
         """Generate and stage-schedule the DMac plan for a program."""
@@ -72,10 +86,31 @@ class DMacSession:
         plan: Plan | None = None,
         trace: bool = False,
     ) -> ExecutionResult:
-        """Plan (unless a plan is supplied) and execute under DMac."""
+        """Plan (unless a plan is supplied) and execute under DMac.
+
+        With ``lint="warn"`` or ``lint="error"``, the plan is statically
+        analysed first; error mode refuses to execute a plan carrying
+        error-severity findings.
+        """
         plan = plan or self.plan(program)
+        if self.lint != "off":
+            self._lint(plan)
         executor = PlanExecutor(self.context, self.config.block_size)
         return executor.execute(plan, inputs, trace=trace)
+
+    def _lint(self, plan: Plan) -> None:
+        from repro.lint import LintContext, lint_plan
+
+        report = lint_plan(
+            plan, LintContext.from_config(self.config, self.estimation_mode)
+        )
+        if not report.diagnostics:
+            return
+        if self.lint == "error" and report.has_errors:
+            raise LintError(
+                "plan failed static analysis:\n" + report.format_human()
+            )
+        print(report.format_human(), file=sys.stderr)
 
     def run_systemml(
         self,

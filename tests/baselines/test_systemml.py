@@ -7,8 +7,7 @@ from repro.baselines.systemml import SystemMLSExecutor
 from repro.config import ClusterConfig
 from repro.core.estimator import SizeEstimator
 from repro.errors import ExecutionError
-from repro.lang.program import MatMulOp, Operand, ProgramBuilder
-from repro.matrix.schemes import Scheme
+from repro.lang.program import MatMulOp, ProgramBuilder
 from repro.rdd.context import ClusterContext
 
 

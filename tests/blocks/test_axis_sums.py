@@ -2,7 +2,6 @@
 uses ``np.add.reduceat``, whose empty-column behaviour needs pinning)."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -1,8 +1,7 @@
 """Tests for plan statistics / explain."""
 
-import pytest
 
-from repro.core.analysis import PlanStatistics, explain, format_statistics
+from repro.core.analysis import explain, format_statistics
 from repro.core.planner import DMacPlanner
 from repro.lang.program import ProgramBuilder
 from repro.programs import build_gnmf_program, build_linreg_program

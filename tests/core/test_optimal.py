@@ -1,6 +1,5 @@
 """Tests for the exhaustive planner and the greedy-vs-optimal comparison."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

@@ -5,7 +5,7 @@ import pytest
 
 from repro.config import ClusterConfig
 from repro.core.executor import PlanExecutor
-from repro.core.plan import ExtendedStep, MatMulStep, SourceStep
+from repro.core.plan import ExtendedStep, SourceStep
 from repro.core.planner import DMacPlanner
 from repro.core.stages import schedule_stages
 from repro.errors import PlanError

@@ -9,9 +9,7 @@ from repro.core.plan import RowAggStep
 from repro.core.planner import DMacPlanner
 from repro.core.stages import schedule_stages, validate_stage_invariant
 from repro.errors import ProgramError
-from repro.lang.program import ProgramBuilder, RowAggOp
-from repro.matrix.schemes import Scheme
-from repro.rdd.context import ClusterContext
+from repro.lang.program import ProgramBuilder
 from repro.session import DMacSession
 from tests.conftest import random_sparse
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.plan import CellwiseStep, ExtendedStep, MatMulStep
+from repro.core.plan import CellwiseStep
 from repro.core.planner import DMacPlanner
 from repro.core.stages import schedule_stages, validate_stage_invariant
 from repro.lang.program import ProgramBuilder
@@ -105,7 +105,6 @@ class TestStageInvariant:
     def test_gnmf_iteration_stage_count_matches_paper_scale(self):
         """Figure 3: one GNMF iteration schedules into a handful (~5) of
         stages, not one per operator."""
-        from repro.lang.program import MatMulOp
         from repro.programs import build_gnmf_program
 
         program = build_gnmf_program((64, 48), 0.1, factors=4, iterations=1)

@@ -8,7 +8,7 @@ from repro.baselines.rlocal import run_local
 from repro.datasets import sparse_random
 from repro.errors import ProgramError
 from repro.lang.dml import load_names, parse_program
-from repro.lang.program import CellwiseOp, MatMulOp, RowAggOp, UnaryMatrixOp
+from repro.lang.program import CellwiseOp, MatMulOp, UnaryMatrixOp
 
 
 def run_script(script, inputs=None, block=8, workers=4):
@@ -147,7 +147,8 @@ class TestLoops:
 
     def test_nested_loops(self):
         program = parse_program(
-            "A = random(2, 2)\nfor (i in 1:2) {\n  for (j in 1:2) {\n    A = A * 2\n  }\n}\noutput(A)"
+            "A = random(2, 2)\nfor (i in 1:2) {\n  for (j in 1:2) {\n"
+            "    A = A * 2\n  }\n}\noutput(A)"
         )
         assert sum(isinstance(op, CellwiseOp) for op in program.ops) == 0
         assert program.bindings["A"] == "A@4"  # alias + 4 updates: A..A@4

@@ -1,0 +1,155 @@
+"""The session lint hook, report/diagnostic plumbing, and DOT rendering
+of findings."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import ClusterConfig, DMacSession, ProgramBuilder
+from repro.core.viz import plan_to_dot
+from repro.errors import LintError, PlanError
+from repro.lint import (
+    Diagnostic,
+    LintContext,
+    LintReport,
+    Severity,
+    lint_plan,
+    plan_for,
+)
+from repro.lint.selftest import CORRUPTIONS, reference_program
+
+
+def small_program():
+    pb = ProgramBuilder()
+    a = pb.random("A", (12, 12))
+    pb.output(pb.assign("B", a @ a))
+    return pb.build()
+
+
+def corrupted_plan(session):
+    """A plan whose predicted-bytes ledger disagrees with its steps (DM104)."""
+    plan = session.plan(small_program())
+    plan.predicted_bytes += 999
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Session hook
+# ---------------------------------------------------------------------------
+
+
+class TestSessionHook:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(PlanError, match="lint mode"):
+            DMacSession(ClusterConfig(), lint="strict")
+
+    def test_error_mode_refuses_bad_plan(self):
+        session = DMacSession(ClusterConfig(num_workers=3), lint="error")
+        with pytest.raises(LintError, match="DM104"):
+            session.run(small_program(), plan=corrupted_plan(session))
+
+    def test_error_mode_runs_clean_plan(self):
+        session = DMacSession(ClusterConfig(num_workers=3), lint="error")
+        result = session.run(small_program())
+        assert "B" in result.matrices
+
+    def test_warn_mode_prints_but_runs(self, capsys):
+        session = DMacSession(ClusterConfig(num_workers=3), lint="warn")
+        result = session.run(small_program(), plan=corrupted_plan(session))
+        assert "B" in result.matrices
+        assert "DM104" in capsys.readouterr().err
+
+    def test_off_mode_is_silent(self, capsys):
+        session = DMacSession(ClusterConfig(num_workers=3), lint="off")
+        session.run(small_program(), plan=corrupted_plan(session))
+        assert capsys.readouterr().err == ""
+
+
+# ---------------------------------------------------------------------------
+# Report plumbing
+# ---------------------------------------------------------------------------
+
+
+def sample_report():
+    return LintReport(
+        diagnostics=[
+            Diagnostic("DM201", Severity.WARNING, "late warning", step=9),
+            Diagnostic("DM101", Severity.ERROR, "late error", step=5,
+                       subject="W@3", hint="fix the shapes"),
+            Diagnostic("DM104", Severity.ERROR, "plan-wide error"),
+        ]
+    )
+
+
+class TestReport:
+    def test_sorted_orders_errors_first_then_by_step(self):
+        ordered = sample_report().sorted()
+        assert [d.rule for d in ordered] == ["DM104", "DM101", "DM201"]
+
+    def test_json_round_trips(self):
+        payload = json.loads(sample_report().to_json_string())
+        assert payload["errors"] == 2 and payload["warnings"] == 1
+        first = payload["diagnostics"][0]
+        assert first == {
+            "rule": "DM104",
+            "severity": "error",
+            "message": "plan-wide error",
+            "hint": "",
+            "step": None,
+            "subject": None,
+        }
+
+    def test_format_human_shows_location_and_hint(self):
+        text = sample_report().format_human()
+        assert "error: DM101 [step 5, W@3] late error" in text
+        assert "hint: fix the shapes" in text
+        assert "2 error(s), 1 warning(s)" in text
+
+    def test_location_defaults_to_plan(self):
+        assert Diagnostic("DM104", Severity.ERROR, "x").location() == "plan"
+
+    def test_suppression_removes_findings_and_fails_on_unknown(self):
+        context = LintContext()
+        plan = plan_for(reference_program(), context)
+        tight = dataclasses.replace(context, memory_limit_bytes=1)
+        assert "DM106" in lint_plan(plan, tight).rule_ids()
+        report = lint_plan(plan, tight, suppress=("DM106",))
+        assert "DM106" not in report.rule_ids()
+        assert report.suppressed == ("DM106",)
+        with pytest.raises(ValueError, match="DM999"):
+            lint_plan(plan, tight, suppress=("DM999",))
+
+
+# ---------------------------------------------------------------------------
+# DOT rendering of findings
+# ---------------------------------------------------------------------------
+
+
+class TestVizDiagnostics:
+    def test_clean_plan_has_no_highlighting(self):
+        context = LintContext()
+        plan = plan_for(reference_program(), context)
+        dot = plan_to_dot(plan, diagnostics=lint_plan(plan, context))
+        assert "lightsalmon" not in dot and "khaki" not in dot
+
+    def test_error_findings_color_their_subjects(self):
+        context = LintContext()
+        plan = plan_for(reference_program(), context)
+        corruption = next(c for c in CORRUPTIONS if c.rule == "DM106")
+        bad_plan, bad_context = corruption.apply(plan, context)
+        report = lint_plan(bad_plan, bad_context)
+        dot = plan_to_dot(bad_plan, diagnostics=report)
+        assert "lightsalmon" in dot
+        assert "DM106" in dot
+
+    def test_warning_findings_use_warning_color(self):
+        context = LintContext()
+        plan = plan_for(reference_program(), context)
+        corruption = next(c for c in CORRUPTIONS if c.rule == "DM205")
+        bad_plan, bad_context = corruption.apply(plan, context)
+        report = lint_plan(bad_plan, bad_context)
+        assert not report.errors
+        dot = plan_to_dot(bad_plan, diagnostics=report)
+        assert "khaki" in dot
+        assert "DM205" in dot

@@ -1,6 +1,5 @@
 """Tests for task cutting (In-Place vs Buffer granularity)."""
 
-import numpy as np
 
 from repro.blocks import split
 from repro.localexec.tasks import buffered_matmul_tasks, inplace_matmul_tasks

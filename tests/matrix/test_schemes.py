@@ -62,5 +62,10 @@ class TestConstraints:
         transposed/untransposed family."""
         for a in ALL:
             for b in ALL:
-                untransposed = [oppose(a, b), contain(b, a), equal_rc(a, b) or equal_b(a, b), contain(a, b)]
+                untransposed = [
+                    oppose(a, b),
+                    contain(b, a),
+                    equal_rc(a, b) or equal_b(a, b),
+                    contain(a, b),
+                ]
                 assert sum(untransposed) == 1, (a, b)

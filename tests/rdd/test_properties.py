@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 from repro.config import ClusterConfig
 from repro.rdd.context import ClusterContext
 from repro.rdd.partitioner import ColumnPartitioner, HashPartitioner, RowPartitioner
-from repro.rdd.shuffle import shuffle
 from repro.rdd.sizeof import RECORD_OVERHEAD_BYTES, model_sizeof
 
 

@@ -1,11 +1,9 @@
 """Tests for the cluster-size advisor and the execution trace."""
 
-import numpy as np
 import pytest
 
 from repro import ClusterConfig, DMacSession
 from repro.advisor import (
-    WorkerAdvice,
     advise_workers,
     best_worker_count,
     estimate_program_flops,

@@ -5,7 +5,6 @@ import ast
 import pathlib
 import re
 
-import pytest
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
