@@ -34,6 +34,8 @@ EXPERIMENTS = {
     "estimator": "bench_estimator_modes.py",
     "ext2d": "bench_ext_2d.py",
     "ranksweep": "bench_rank_sweep.py",
+    "shufflesizeof": "bench_shuffle_sizeof.py",
+    "runtimesmoke": "bench_runtime_smoke.py",
 }
 
 

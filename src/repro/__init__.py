@@ -33,6 +33,7 @@ from repro.lang.program import MatrixProgram, ProgramBuilder
 from repro.matrix.distributed import DistributedMatrix
 from repro.matrix.schemes import Scheme
 from repro.rdd.context import ClusterContext
+from repro.runtime.graph import StageGraph
 from repro.session import DMacSession
 
 __version__ = "1.0.0"
@@ -58,5 +59,6 @@ __all__ = [
     "Scheme",
     "SchemeError",
     "ShapeError",
+    "StageGraph",
     "__version__",
 ]

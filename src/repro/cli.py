@@ -7,6 +7,7 @@ Examples::
     python -m repro linreg --rows 2000 --features 80
     python -m repro plan gnmf --iterations 1          # Figure-3-style listing
     python -m repro plan gnmf --dot > plan.dot        # Graphviz export
+    python -m repro stages gnmf --iterations 2        # runtime stage graph
     python -m repro lint examples/gnmf.dml            # static analysis
     python -m repro lint gnmf --format json
     python -m repro lint --selftest                   # prove the rules fire
@@ -254,6 +255,22 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_stages(args: argparse.Namespace) -> int:
+    try:
+        program = _resolve_plan_target(args, args.app)
+    except ProgramError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
+    session = _session(args)
+    graph = session.stage_graph(program)
+    if args.format == "json":
+        print(json.dumps({"target": args.app, **graph.to_json_dict()}, indent=2))
+    else:
+        print(f"# {args.app}")
+        print(graph.describe())
+    return EXIT_OK
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         LintContext,
@@ -343,6 +360,17 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--format", choices=["text", "json"], default="text",
                       help="report format (default: text)")
     plan.set_defaults(func=_cmd_plan)
+
+    stages = sub.add_parser(
+        "stages", help="print the runtime's stage graph for an application"
+    )
+    stages.add_argument("app", metavar="app|script.dml",
+                        help=f"one of {', '.join(APPS)}, or a .dml script path")
+    _add_app_args(stages, positional=False)
+    _add_cluster_args(stages)
+    stages.add_argument("--format", choices=["text", "json"], default="text",
+                        help="report format (default: text)")
+    stages.set_defaults(func=_cmd_stages)
 
     lint = sub.add_parser(
         "lint", help="statically analyse a program's plan without executing it"

@@ -62,6 +62,9 @@ class ClusterConfig:
             :class:`repro.errors.MemoryLimitExceeded`, which reproduces the
             paper's "Buffer cannot run Wikipedia in 48 GB" observation.
         clock: simulated clock parameters.
+        max_concurrent_stages: how many independent stage-graph nodes the
+            runtime may dispatch at once; ``None`` uses the scheduler
+            default, ``1`` forces the historical serial order.
     """
 
     num_workers: int = 4
@@ -70,6 +73,7 @@ class ClusterConfig:
     inplace: bool = True
     memory_limit_bytes: int | None = None
     clock: ClockConfig = dataclasses.field(default_factory=ClockConfig)
+    max_concurrent_stages: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -80,3 +84,7 @@ class ClusterConfig:
             )
         if self.block_size is not None and self.block_size < 1:
             raise ClusterError(f"block_size must be >= 1, got {self.block_size}")
+        if self.max_concurrent_stages is not None and self.max_concurrent_stages < 1:
+            raise ClusterError(
+                f"max_concurrent_stages must be >= 1, got {self.max_concurrent_stages}"
+            )

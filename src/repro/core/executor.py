@@ -1,359 +1,25 @@
-"""Plan executor: runs a staged plan on the simulated cluster.
+"""Compatibility shim: the executor now lives in :mod:`repro.runtime`.
 
-Steps are executed in plan order (which is topological by construction).
-Every extended operator maps 1:1 onto a physical primitive of
-:mod:`repro.matrix.primitives`; compute steps dispatch to the strategy the
-planner chose.  The executor also
-
-* picks the block size (the configured one, or the Equation-3 automatic
-  choice based on the program's largest matrix),
-* charges the simulated clock: per-step compute time is the slowest
-  worker's flop delta, plus one scheduling-latency charge per stage,
-* frees distributed matrices after their last use (liveness computed from
-  the plan), keeping long iterative runs bounded in memory.
+The historical serial step loop was split into the runtime package --
+stage graph, concurrent scheduler, operator registry, pluggable backend,
+refcounted resources.  This module keeps the old import surface
+(``repro.core.executor.PlanExecutor`` et al.) alive for existing callers.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import math
-import time
-
-import numpy as np
-
-from repro.blocks.memory import choose_block_size
-from repro.core.plan import (
-    AggregateStep,
-    CellwiseStep,
-    ExtendedStep,
-    MatMulStep,
-    MatrixInstance,
-    Plan,
-    RowAggStep,
-    ScalarComputeStep,
-    ScalarMatrixStep,
-    SourceStep,
-    Step,
-    UnaryStep,
+from repro.runtime.executor import (
+    ExecutionResult,
+    ExecutionState,
+    PlanExecutor,
+    StepTrace,
+    evaluate_scalar,
 )
-from repro.core.stages import schedule_stages
-from repro.errors import ExecutionError
-from repro.lang.expr import (
-    ScalarBinaryExpr,
-    ScalarConst,
-    ScalarExpr,
-    ScalarRefExpr,
-    ScalarUnaryExpr,
-)
-from repro.lang.program import FullOp, LoadOp, RandomOp
-from repro.matrix.distributed import DistributedMatrix
-from repro.matrix.primitives import (
-    broadcast_matrix,
-    cellwise_op,
-    col_sums,
-    cpmm,
-    extract,
-    local_transpose,
-    matrix_sq_sum,
-    matrix_sum,
-    repartition,
-    rmm1,
-    rmm2,
-    row_sums,
-    scalar_op_matrix,
-    unary_op_matrix,
-)
-from repro.rdd.clock import TimeBreakdown
-from repro.rdd.context import ClusterContext
 
-
-@dataclasses.dataclass(frozen=True)
-class StepTrace:
-    """Per-step record collected when executing with ``trace=True``."""
-
-    step: str
-    stage: int
-    comm_bytes: int
-    flops: int
-    wall_seconds: float
-
-
-@dataclasses.dataclass
-class ExecutionResult:
-    """Everything a run produced and what it cost."""
-
-    matrices: dict[str, np.ndarray]  # program outputs, by version name
-    scalars: dict[str, float]  # requested driver scalars
-    comm_bytes: int  # metered cross-worker traffic of this run
-    time: TimeBreakdown  # simulated seconds (network/compute/overhead)
-    num_stages: int
-    peak_memory_bytes: int  # largest per-worker model-byte peak
-    wall_seconds: float  # real elapsed time of the in-process run
-    trace: list[StepTrace] | None = None  # per-step records (trace=True)
-
-    @property
-    def simulated_seconds(self) -> float:
-        return self.time.total_seconds
-
-    def comm_by_stage(self) -> dict[int, int]:
-        """Measured bytes per stage (requires a traced run)."""
-        if self.trace is None:
-            raise ExecutionError("run with trace=True to get per-stage traffic")
-        out: dict[int, int] = {}
-        for record in self.trace:
-            out[record.stage] = out.get(record.stage, 0) + record.comm_bytes
-        return out
-
-
-class PlanExecutor:
-    """Executes DMac plans on a :class:`ClusterContext`."""
-
-    def __init__(self, context: ClusterContext, block_size: int | None = None) -> None:
-        self.context = context
-        self.block_size = block_size if block_size is not None else context.config.block_size
-
-    def execute(
-        self,
-        plan: Plan,
-        inputs: dict[str, np.ndarray] | None = None,
-        trace: bool = False,
-    ) -> ExecutionResult:
-        """Run ``plan``; ``inputs`` binds LoadOp names to driver arrays.
-        With ``trace=True`` the result carries a per-step record of bytes,
-        flops and wall time."""
-        inputs = inputs or {}
-        if plan.num_stages == 0:
-            schedule_stages(plan)
-        block_size = self._resolve_block_size(plan)
-        last_use = _liveness(plan)
-        env: dict[MatrixInstance, DistributedMatrix] = {}
-        scalars: dict[str, float] = {}
-
-        context = self.context
-        bytes_before = context.ledger.snapshot()
-        time_before = context.clock.elapsed
-        wall_start = time.perf_counter()
-        context.clock.advance_stage_overhead(plan.num_stages)
-
-        step_traces: list[StepTrace] | None = [] if trace else None
-        for index, step in enumerate(plan.steps):
-            snapshot = context.flops_snapshot()
-            step_bytes = context.ledger.snapshot()
-            step_wall = time.perf_counter()
-            with context.ledger.scope(f"stage-{step.stage}"):
-                with context.ledger.scope(str(step)):
-                    self._run_step(step, env, scalars, inputs, block_size)
-            context.charge_compute_since(snapshot)
-            if step_traces is not None:
-                current = context.flops_snapshot()
-                flops = sum(
-                    (current[w][0] - snapshot[w][0]) + (current[w][1] - snapshot[w][1])
-                    for w in current
-                )
-                step_traces.append(
-                    StepTrace(
-                        step=str(step),
-                        stage=step.stage,
-                        comm_bytes=context.ledger.snapshot() - step_bytes,
-                        flops=flops,
-                        wall_seconds=time.perf_counter() - step_wall,
-                    )
-                )
-            for instance in step.inputs():
-                if last_use.get(instance) == index:
-                    env.pop(instance, None)
-
-        matrices = {}
-        for name, instance in plan.outputs.items():
-            matrix = env.get(instance)
-            if matrix is None:
-                raise ExecutionError(f"output instance {instance} was freed or never built")
-            array = matrix.to_numpy()
-            matrices[name] = array.T if instance.transposed else array
-
-        wall_seconds = time.perf_counter() - wall_start
-        time_after = context.clock.elapsed
-        return ExecutionResult(
-            matrices=matrices,
-            scalars={name: scalars[name] for name in plan.program.scalar_outputs},
-            comm_bytes=context.ledger.snapshot() - bytes_before,
-            time=TimeBreakdown(
-                network_seconds=time_after.network_seconds - time_before.network_seconds,
-                compute_seconds=time_after.compute_seconds - time_before.compute_seconds,
-                overhead_seconds=time_after.overhead_seconds
-                - time_before.overhead_seconds,
-            ),
-            num_stages=plan.num_stages,
-            peak_memory_bytes=context.peak_memory_bytes(),
-            wall_seconds=wall_seconds,
-            trace=step_traces,
-        )
-
-    # -- step dispatch -----------------------------------------------------
-
-    def _run_step(
-        self,
-        step: Step,
-        env: dict[MatrixInstance, DistributedMatrix],
-        scalars: dict[str, float],
-        inputs: dict[str, np.ndarray],
-        block_size: int,
-    ) -> None:
-        context = self.context
-        if isinstance(step, SourceStep):
-            env[step.output] = self._materialise_source(step, inputs, block_size)
-        elif isinstance(step, ExtendedStep):
-            source = _lookup(env, step.source)
-            if step.kind == "partition":
-                result = repartition(source, step.target.scheme)
-            elif step.kind == "broadcast":
-                result = broadcast_matrix(source)
-            elif step.kind == "transpose":
-                result = local_transpose(source)
-            elif step.kind == "extract":
-                result = extract(source, step.target.scheme)
-            else:
-                raise ExecutionError(f"unknown extended operator {step.kind!r}")
-            if result.scheme is not step.target.scheme:  # pragma: no cover - guard
-                raise ExecutionError(
-                    f"{step.kind} produced {result.scheme}, plan expected {step.target}"
-                )
-            env[step.target] = result
-        elif isinstance(step, MatMulStep):
-            left, right = _lookup(env, step.left), _lookup(env, step.right)
-            if step.strategy == "rmm1":
-                result = rmm1(left, right)
-            elif step.strategy == "rmm2":
-                result = rmm2(left, right)
-            elif step.strategy == "cpmm":
-                result = cpmm(left, right, output_scheme=step.output.scheme)
-            else:
-                raise ExecutionError(f"unknown matmul strategy {step.strategy!r}")
-            env[step.output] = result
-        elif isinstance(step, CellwiseStep):
-            left, right = _lookup(env, step.left), _lookup(env, step.right)
-            env[step.output] = cellwise_op(step.op.op, left, right)
-        elif isinstance(step, ScalarMatrixStep):
-            source = _lookup(env, step.source)
-            scalar = step.op.scalar
-            value = scalars[scalar] if isinstance(scalar, str) else float(scalar)
-            env[step.output] = scalar_op_matrix(step.op.op, source, value)
-        elif isinstance(step, UnaryStep):
-            env[step.output] = unary_op_matrix(step.op.func, _lookup(env, step.source))
-        elif isinstance(step, RowAggStep):
-            source = _lookup(env, step.source)
-            aggregate = row_sums if step.op.kind == "rowsum" else col_sums
-            result = aggregate(source, output_scheme=step.output.scheme) \
-                if step.communicates else aggregate(source)
-            if result.scheme is not step.output.scheme:  # pragma: no cover - guard
-                raise ExecutionError(
-                    f"{step.op.kind} produced {result.scheme}, plan expected {step.output}"
-                )
-            env[step.output] = result
-        elif isinstance(step, AggregateStep):
-            source = _lookup(env, step.source)
-            if step.op.kind == "sum":
-                scalars[step.op.output] = matrix_sum(source)
-            elif step.op.kind == "sqsum":
-                scalars[step.op.output] = matrix_sq_sum(source)
-            elif step.op.kind == "value":
-                scalars[step.op.output] = source.value()
-            else:
-                raise ExecutionError(f"unknown aggregation {step.op.kind!r}")
-        elif isinstance(step, ScalarComputeStep):
-            scalars[step.op.output] = evaluate_scalar(step.op.expr, scalars)
-        else:  # pragma: no cover - all step kinds enumerated
-            raise ExecutionError(f"unknown plan step {type(step).__name__}")
-
-    def _materialise_source(
-        self,
-        step: SourceStep,
-        inputs: dict[str, np.ndarray],
-        block_size: int,
-    ) -> DistributedMatrix:
-        op = step.op
-        scheme = step.output.scheme
-        if isinstance(op, LoadOp):
-            if op.output not in inputs:
-                raise ExecutionError(f"no input array bound for load {op.output!r}")
-            array = np.asarray(inputs[op.output], dtype=np.float64)
-            if array.shape != (op.rows, op.cols):
-                raise ExecutionError(
-                    f"input {op.output!r} has shape {array.shape}, "
-                    f"program declared {(op.rows, op.cols)}"
-                )
-            return DistributedMatrix.from_numpy(
-                self.context, array, block_size, scheme
-            )
-        if isinstance(op, RandomOp):
-            return DistributedMatrix.random(
-                self.context, op.rows, op.cols, block_size, scheme, seed=op.seed
-            )
-        if isinstance(op, FullOp):
-            array = np.full((op.rows, op.cols), op.value, dtype=np.float64)
-            return DistributedMatrix.from_numpy(
-                self.context, array, block_size, scheme, storage="dense"
-            )
-        raise ExecutionError(f"unknown source operator {type(op).__name__}")
-
-    def _resolve_block_size(self, plan: Plan) -> int:
-        if self.block_size is not None:
-            return self.block_size
-        rows, cols = max(
-            plan.program.dims.values(), key=lambda shape: shape[0] * shape[1]
-        )
-        config = self.context.config
-        return choose_block_size(
-            rows, cols, config.num_workers, config.threads_per_worker
-        )
-
-
-def _lookup(
-    env: dict[MatrixInstance, DistributedMatrix], instance: MatrixInstance
-) -> DistributedMatrix:
-    matrix = env.get(instance)
-    if matrix is None:
-        raise ExecutionError(f"plan step consumes {instance} but it is not materialised")
-    return matrix
-
-
-def _liveness(plan: Plan) -> dict[MatrixInstance, int]:
-    """Last step index at which each instance is read.  Output instances are
-    pinned (never freed)."""
-    last_use: dict[MatrixInstance, int] = {}
-    for index, step in enumerate(plan.steps):
-        for instance in step.inputs():
-            last_use[instance] = index
-    for instance in plan.outputs.values():
-        last_use[instance] = len(plan.steps)
-    return last_use
-
-
-def evaluate_scalar(expr: ScalarExpr, scalars: dict[str, float]) -> float:
-    """Evaluate a driver-side scalar expression against computed scalars."""
-    if isinstance(expr, ScalarConst):
-        return expr.value
-    if isinstance(expr, ScalarRefExpr):
-        if expr.name not in scalars:
-            raise ExecutionError(f"scalar {expr.name!r} referenced before computation")
-        return scalars[expr.name]
-    if isinstance(expr, ScalarBinaryExpr):
-        left = evaluate_scalar(expr.left, scalars)
-        right = evaluate_scalar(expr.right, scalars)
-        if expr.op == "add":
-            return left + right
-        if expr.op == "subtract":
-            return left - right
-        if expr.op == "multiply":
-            return left * right
-        if right == 0:
-            raise ExecutionError("scalar division by zero at run time")
-        return left / right
-    if isinstance(expr, ScalarUnaryExpr):
-        child = evaluate_scalar(expr.child, scalars)
-        if expr.op == "negate":
-            return -child
-        if child < 0:
-            raise ExecutionError(f"sqrt of negative value {child}")
-        return math.sqrt(child)
-    raise ExecutionError(f"unknown scalar expression {type(expr).__name__}")
+__all__ = [
+    "ExecutionResult",
+    "ExecutionState",
+    "PlanExecutor",
+    "StepTrace",
+    "evaluate_scalar",
+]

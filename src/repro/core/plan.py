@@ -53,12 +53,31 @@ class MatrixInstance:
 
 @dataclasses.dataclass
 class Step:
-    """Base plan step.  ``stage`` is assigned by the stage scheduler."""
+    """Base plan step.  ``stage`` is assigned by the stage scheduler.
+
+    Every step kind answers the same four structural questions --
+    :meth:`inputs`, :meth:`scalar_inputs`, :meth:`output_instance` and
+    :meth:`scalar_output` -- so the stage scheduler, the stage graph and
+    the operator registry can traverse plans without per-kind switches.
+    """
 
     stage: int = dataclasses.field(default=0, init=False)
 
     def inputs(self) -> tuple[MatrixInstance, ...]:
         return ()
+
+    def scalar_inputs(self) -> tuple[str, ...]:
+        """Driver scalars this step reads (by name)."""
+        op = getattr(self, "op", None)
+        return op.scalar_inputs() if op is not None else ()
+
+    def output_instance(self) -> MatrixInstance | None:
+        """The matrix instance this step produces, if any."""
+        return None
+
+    def scalar_output(self) -> str | None:
+        """The driver scalar this step produces, if any."""
+        return None
 
     @property
     def communicates(self) -> bool:
@@ -71,6 +90,9 @@ class SourceStep(Step):
 
     op: Union[LoadOp, RandomOp, FullOp]
     output: MatrixInstance
+
+    def output_instance(self) -> MatrixInstance | None:
+        return self.output
 
     def __str__(self) -> str:
         kind = type(self.op).__name__.replace("Op", "").lower()
@@ -87,6 +109,9 @@ class ExtendedStep(Step):
 
     def inputs(self) -> tuple[MatrixInstance, ...]:
         return (self.source,)
+
+    def output_instance(self) -> MatrixInstance | None:
+        return self.target
 
     @property
     def communicates(self) -> bool:
@@ -109,6 +134,9 @@ class MatMulStep(Step):
     def inputs(self) -> tuple[MatrixInstance, ...]:
         return (self.left, self.right)
 
+    def output_instance(self) -> MatrixInstance | None:
+        return self.output
+
     @property
     def communicates(self) -> bool:
         return self.strategy == "cpmm"  # the aggregation shuffle
@@ -127,6 +155,9 @@ class CellwiseStep(Step):
     def inputs(self) -> tuple[MatrixInstance, ...]:
         return (self.left, self.right)
 
+    def output_instance(self) -> MatrixInstance | None:
+        return self.output
+
     def __str__(self) -> str:
         return f"{self.output} <- {self.op.op}({self.left}, {self.right})"
 
@@ -139,6 +170,9 @@ class ScalarMatrixStep(Step):
 
     def inputs(self) -> tuple[MatrixInstance, ...]:
         return (self.source,)
+
+    def output_instance(self) -> MatrixInstance | None:
+        return self.output
 
     def __str__(self) -> str:
         return f"{self.output} <- {self.op.op}({self.source}, {self.op.scalar})"
@@ -154,6 +188,9 @@ class UnaryStep(Step):
 
     def inputs(self) -> tuple[MatrixInstance, ...]:
         return (self.source,)
+
+    def output_instance(self) -> MatrixInstance | None:
+        return self.output
 
     def __str__(self) -> str:
         return f"{self.output} <- {self.op.func}({self.source})"
@@ -171,6 +208,9 @@ class RowAggStep(Step):
     def inputs(self) -> tuple[MatrixInstance, ...]:
         return (self.source,)
 
+    def output_instance(self) -> MatrixInstance | None:
+        return self.output
+
     @property
     def communicates(self) -> bool:
         return self.strategy.endswith("-opposed")  # the partial-sum shuffle
@@ -187,6 +227,9 @@ class AggregateStep(Step):
     def inputs(self) -> tuple[MatrixInstance, ...]:
         return (self.source,)
 
+    def scalar_output(self) -> str | None:
+        return self.op.output
+
     def __str__(self) -> str:
         return f"{self.op.output} <- {self.op.kind}({self.source})"
 
@@ -194,6 +237,9 @@ class AggregateStep(Step):
 @dataclasses.dataclass
 class ScalarComputeStep(Step):
     op: ScalarComputeOp
+
+    def scalar_output(self) -> str | None:
+        return self.op.output
 
     def __str__(self) -> str:
         return f"{self.op.output} <- scalar-compute"

@@ -112,27 +112,20 @@ class DMacPlanner:
     # -- public API ---------------------------------------------------------
 
     def plan(self) -> Plan:
-        """Run Algorithm 1 over the whole program."""
+        """Run Algorithm 1 over the whole program.
+
+        Lowering is dispatched through the operator registry: each lang
+        operator's :class:`~repro.runtime.registry.OperatorSpec` names the
+        planner method (``plan_hook``) that lowers it, so this loop needs
+        no per-kind switch and new operators register in one place.
+        """
+        from repro.runtime.registry import spec_for_op
+
         for op in self.program.ops:
-            if isinstance(op, (LoadOp, RandomOp, FullOp)):
-                self._plan_source(op)
-            elif isinstance(op, ScalarComputeOp):
-                self._steps.append(ScalarComputeStep(op))
-            elif isinstance(op, AggregateOp):
-                instance = self._satisfy_any_scheme(op.operand)
-                self._steps.append(AggregateStep(op, instance))
-            elif isinstance(op, MatMulOp):
-                self._plan_matmul(op)
-            elif isinstance(op, CellwiseOp):
-                self._plan_cellwise(op)
-            elif isinstance(op, ScalarMatrixOp):
-                self._plan_scalar_matrix(op)
-            elif isinstance(op, UnaryMatrixOp):
-                self._plan_unary(op)
-            elif isinstance(op, RowAggOp):
-                self._plan_row_agg(op)
-            else:  # pragma: no cover - all op kinds enumerated
+            spec = spec_for_op(op)
+            if spec is None or not spec.plan_hook:
                 raise PlanError(f"planner: unknown operator {type(op).__name__}")
+            getattr(self, spec.plan_hook)(op)
         return Plan(
             program=self.program,
             steps=self._steps,
@@ -147,6 +140,13 @@ class DMacPlanner:
         step = SourceStep(op, instance)
         self._steps.append(step)
         self._register(instance, step, flexible=(Scheme.COL,))
+
+    def _plan_aggregate(self, op: AggregateOp) -> None:
+        instance = self._satisfy_any_scheme(op.operand)
+        self._steps.append(AggregateStep(op, instance))
+
+    def _plan_scalar_compute(self, op: ScalarComputeOp) -> None:
+        self._steps.append(ScalarComputeStep(op))
 
     def _plan_matmul(self, op: MatMulOp) -> None:
         strategy = self._choose_strategy(op)

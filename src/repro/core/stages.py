@@ -13,24 +13,18 @@ cluster and executed independently".
 
 Driver scalars (aggregations and scalar arithmetic) do not cut stages: the
 handful of bytes they move travel with stage scheduling messages.
+
+The traversal is generic over the step accessors (``inputs``,
+``scalar_inputs``, ``output_instance``, ``scalar_output``); unknown step
+kinds are rejected against the operator registry
+(:mod:`repro.runtime.registry`) rather than an enumeration here.
 """
 
 from __future__ import annotations
 
-from repro.core.plan import (
-    AggregateStep,
-    CellwiseStep,
-    ExtendedStep,
-    MatMulStep,
-    MatrixInstance,
-    Plan,
-    RowAggStep,
-    ScalarComputeStep,
-    ScalarMatrixStep,
-    SourceStep,
-    UnaryStep,
-)
+from repro.core.plan import MatrixInstance, Plan
 from repro.errors import PlanError
+from repro.runtime.registry import spec_for
 
 
 def schedule_stages(plan: Plan) -> Plan:
@@ -42,54 +36,20 @@ def schedule_stages(plan: Plan) -> Plan:
     scalar_stage: dict[str, int] = {}
     max_stage = 1
     for step in plan.steps:
-        if isinstance(step, SourceStep):
-            step.stage = 1
-            node_stage[step.output] = 1
-        elif isinstance(step, ExtendedStep):
-            base = _input_stage(node_stage, step.source)
-            step.stage = base
-            node_stage[step.target] = base + 1 if step.communicates else base
-        elif isinstance(step, MatMulStep):
-            base = max(
-                _input_stage(node_stage, step.left),
-                _input_stage(node_stage, step.right),
-            )
-            step.stage = base
-            node_stage[step.output] = base + 1 if step.communicates else base
-        elif isinstance(step, CellwiseStep):
-            base = max(
-                _input_stage(node_stage, step.left),
-                _input_stage(node_stage, step.right),
-            )
-            step.stage = base
-            node_stage[step.output] = base
-        elif isinstance(step, UnaryStep):
-            base = _input_stage(node_stage, step.source)
-            step.stage = base
-            node_stage[step.output] = base
-        elif isinstance(step, RowAggStep):
-            base = _input_stage(node_stage, step.source)
-            step.stage = base
-            node_stage[step.output] = base + 1 if step.communicates else base
-        elif isinstance(step, ScalarMatrixStep):
-            base = _input_stage(node_stage, step.source)
-            for name in step.op.scalar_inputs():
-                base = max(base, scalar_stage.get(name, 1))
-            step.stage = base
-            node_stage[step.output] = base
-        elif isinstance(step, AggregateStep):
-            base = _input_stage(node_stage, step.source)
-            step.stage = base
-            scalar_stage[step.op.output] = base
-        elif isinstance(step, ScalarComputeStep):
-            base = 1
-            for name in step.op.scalar_inputs():
-                base = max(base, scalar_stage.get(name, 1))
-            step.stage = base
-            scalar_stage[step.op.output] = base
-        else:  # pragma: no cover - all step kinds enumerated
-            raise PlanError(f"scheduler: unknown step {type(step).__name__}")
-        max_stage = max(max_stage, step.stage)
+        spec_for(step)  # PlanError on unregistered step kinds
+        base = 1
+        for instance in step.inputs():
+            base = max(base, _input_stage(node_stage, instance))
+        for name in step.scalar_inputs():
+            base = max(base, scalar_stage.get(name, 1))
+        step.stage = base
+        output = step.output_instance()
+        if output is not None:
+            node_stage[output] = base + 1 if step.communicates else base
+        scalar = step.scalar_output()
+        if scalar is not None:
+            scalar_stage[scalar] = base
+        max_stage = max(max_stage, base)
     plan.num_stages = max_stage
     return plan
 
@@ -113,6 +73,6 @@ def validate_stage_invariant(plan: Plan) -> None:
                     f"step {step} runs in stage {step.stage} but input {instance} "
                     f"is only available from stage {available_at[instance]}"
                 )
-        output = getattr(step, "output", None) or getattr(step, "target", None)
+        output = step.output_instance()
         if output is not None:
             available_at[output] = step.stage + (1 if step.communicates else 0)

@@ -5,6 +5,11 @@ the operators; communicating edges are drawn bold/red and stages become
 clusters, so ``dot -Tsvg plan.dot`` reproduces the paper's plan diagrams
 for any program.
 
+The per-step-kind drawing rules (edge labels) come from the operator
+registry (:mod:`repro.runtime.registry`), so the visualiser no longer
+keeps its own isinstance switch over the step kinds: any step the
+registry knows can be drawn.
+
 Pass lint ``diagnostics`` (a :class:`repro.lint.LintReport` or any iterable
 of :class:`repro.lint.Diagnostic`) to turn the diagram into a lint report:
 instances that carry findings are filled (salmon for errors, khaki for
@@ -16,20 +21,9 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable
 
-from repro.core.plan import (
-    AggregateStep,
-    CellwiseStep,
-    ExtendedStep,
-    MatMulStep,
-    MatrixInstance,
-    Plan,
-    RowAggStep,
-    ScalarComputeStep,
-    ScalarMatrixStep,
-    SourceStep,
-    UnaryStep,
-)
+from repro.core.plan import MatrixInstance, Plan
 from repro.core.stages import schedule_stages
+from repro.runtime.registry import spec_for
 
 
 def plan_to_dot(
@@ -58,45 +52,24 @@ def plan_to_dot(
         return node_ids[instance]
 
     for step in plan.steps:
-        if isinstance(step, SourceStep):
-            node(step.output, step.stage)
-        elif isinstance(step, ExtendedStep):
-            source = node(step.source, step.stage)
-            target = node(step.target, step.stage + (1 if step.communicates else 0))
-            style = _edge_style(step.communicates)
-            edges.append(f'{source} -> {target} [label="{step.kind}"{style}]')
-        elif isinstance(step, MatMulStep):
+        spec = spec_for(step)
+        label = spec.edge_label(step)
+        output = step.output_instance()
+        scalar = step.scalar_output()
+        style = _edge_style(step.communicates)
+        sources = [node(instance, step.stage) for instance in step.inputs()]
+        if output is not None:
             out_stage = step.stage + (1 if step.communicates else 0)
-            target = node(step.output, out_stage)
-            style = _edge_style(step.communicates)
-            for source_instance in (step.left, step.right):
-                source = node(source_instance, step.stage)
-                edges.append(f'{source} -> {target} [label="{step.strategy}"{style}]')
-        elif isinstance(step, CellwiseStep):
-            target = node(step.output, step.stage)
-            for source_instance in (step.left, step.right):
-                source = node(source_instance, step.stage)
-                edges.append(f'{source} -> {target} [label="{step.op.op}"]')
-        elif isinstance(step, ScalarMatrixStep):
-            source = node(step.source, step.stage)
-            target = node(step.output, step.stage)
-            edges.append(f'{source} -> {target} [label="{step.op.op} scalar"]')
-        elif isinstance(step, UnaryStep):
-            source = node(step.source, step.stage)
-            target = node(step.output, step.stage)
-            edges.append(f'{source} -> {target} [label="{step.op.func}"]')
-        elif isinstance(step, RowAggStep):
-            source = node(step.source, step.stage)
-            target = node(step.output, step.stage + (1 if step.communicates else 0))
-            style = _edge_style(step.communicates)
-            edges.append(f'{source} -> {target} [label="{step.op.kind}"{style}]')
-        elif isinstance(step, AggregateStep):
-            source = node(step.source, step.stage)
+            target = node(output, out_stage)
+            for source in sources:
+                edges.append(f'{source} -> {target} [label="{label}"{style}]')
+        elif scalar is not None and sources:
+            # A matrix-to-scalar reduction: draw the scalar as a box.
             scalar_id = f"s{len(scalar_nodes)}"
-            scalar_nodes.append((f'{scalar_id} [label="{step.op.output}" shape=box]', step.stage))
-            edges.append(f'{source} -> {scalar_id} [label="{step.op.kind}"]')
-        elif isinstance(step, ScalarComputeStep):
-            continue  # driver-only arithmetic: no matrix nodes to connect
+            scalar_nodes.append((f'{scalar_id} [label="{scalar}" shape=box]', step.stage))
+            for source in sources:
+                edges.append(f'{source} -> {scalar_id} [label="{label}"{style}]')
+        # else: driver-only arithmetic (scalar-compute) draws nothing.
 
     by_stage: dict[int, list[str]] = defaultdict(list)
     for instance, ident in node_ids.items():

@@ -7,6 +7,8 @@ check is derived here by one forward pass over the step list:
   the extended operators (transpose swaps, the rest preserve) and the
   compute operators (matmul composes, cell-wise requires equality), and
   independently cross-checked against the program's declared dimensions;
+  the transfer functions themselves live in the operator registry
+  (:mod:`repro.runtime.registry`), shared with the executor and planner;
 * **sizes** -- the worst-case byte estimate ``|A|`` of Section 5.1, via
   the planner's own :class:`~repro.core.estimator.SizeEstimator`, so the
   lint and the cost model can never disagree about what a matrix weighs;
@@ -28,21 +30,9 @@ import dataclasses
 from collections import defaultdict
 
 from repro.core.estimator import SizeEstimator
+from repro.core.plan import MatrixInstance, Plan, Step
 from repro.errors import PlanError
-from repro.core.plan import (
-    AggregateStep,
-    CellwiseStep,
-    ExtendedStep,
-    MatMulStep,
-    MatrixInstance,
-    Plan,
-    RowAggStep,
-    ScalarComputeStep,
-    ScalarMatrixStep,
-    SourceStep,
-    Step,
-    UnaryStep,
-)
+from repro.runtime.registry import OPERATORS
 
 Shape = tuple[int, int]
 
@@ -87,9 +77,7 @@ class PlanFacts:
 
 def step_output(step: Step) -> MatrixInstance | None:
     """The matrix instance a step produces, if any."""
-    if isinstance(step, ExtendedStep):
-        return step.target
-    return getattr(step, "output", None)
+    return step.output_instance()
 
 
 def build_facts(plan: Plan, estimation_mode: str = "worst") -> PlanFacts:
@@ -108,10 +96,10 @@ def build_facts(plan: Plan, estimation_mode: str = "worst") -> PlanFacts:
             consumers[instance].append(index)
             if instance not in producer:
                 unproduced.append((index, instance))
-        for name in _scalar_inputs(step):
+        for name in step.scalar_inputs():
             scalar_consumers[name].append(index)
 
-        output = step_output(step)
+        output = step.output_instance()
         if output is not None:
             producer.setdefault(output, index)
             available.setdefault(
@@ -120,8 +108,10 @@ def build_facts(plan: Plan, estimation_mode: str = "worst") -> PlanFacts:
             shape = _interpret_shape(step, shapes)
             if shape is not None:
                 shapes[output] = shape
-        elif isinstance(step, (AggregateStep, ScalarComputeStep)):
-            scalar_producer.setdefault(step.op.output, index)
+        else:
+            scalar = step.scalar_output()
+            if scalar is not None:
+                scalar_producer.setdefault(scalar, index)
 
     return PlanFacts(
         plan=plan,
@@ -136,41 +126,13 @@ def build_facts(plan: Plan, estimation_mode: str = "worst") -> PlanFacts:
     )
 
 
-def _scalar_inputs(step: Step) -> tuple[str, ...]:
-    op = getattr(step, "op", None)
-    if op is None:
-        return ()
-    return op.scalar_inputs()
-
-
 def _interpret_shape(
     step: Step, shapes: dict[MatrixInstance, Shape]
 ) -> Shape | None:
     """Abstract shape transfer function of one step; ``None`` when an input
-    shape is unknown (the anomaly is reported elsewhere)."""
-    if isinstance(step, SourceStep):
-        return (step.op.rows, step.op.cols)
-    if isinstance(step, ExtendedStep):
-        source = shapes.get(step.source)
-        if source is None:
-            return None
-        if step.kind == "transpose":
-            return (source[1], source[0])
-        return source
-    if isinstance(step, MatMulStep):
-        left, right = shapes.get(step.left), shapes.get(step.right)
-        if left is None or right is None:
-            return None
-        # An inner mismatch still yields the output shape the step intends;
-        # the shape rule reports the mismatch itself.
-        return (left[0], right[1])
-    if isinstance(step, CellwiseStep):
-        return shapes.get(step.left) or shapes.get(step.right)
-    if isinstance(step, (ScalarMatrixStep, UnaryStep)):
-        return shapes.get(step.source)
-    if isinstance(step, RowAggStep):
-        source = shapes.get(step.source)
-        if source is None:
-            return None
-        return (source[0], 1) if step.op.kind == "rowsum" else (1, source[1])
-    return None
+    shape is unknown (the anomaly is reported elsewhere).  Dispatches to
+    the operator registry's per-kind ``shape_rule``."""
+    spec = OPERATORS.get(type(step))
+    if spec is None:
+        return None
+    return spec.shape_rule(step, shapes)

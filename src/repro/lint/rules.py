@@ -397,22 +397,25 @@ def _check_extended_schemes(
 )
 def check_stage_purity(inputs: LintInput) -> Iterator[Diagnostic]:
     """No step may consume data that only becomes available -- through a
-    communicating edge -- in the same or a later stage."""
+    communicating edge -- in the same or a later stage.  The check is the
+    runtime's own: :meth:`repro.runtime.graph.StageGraph.stage_violations`
+    reports exactly the wide edges the concurrent scheduler cannot honour."""
+    from repro.runtime.graph import StageGraph
+
     this = _rule("DM103")
     facts = inputs.facts
     if facts is None:
         return
-    for index, step in enumerate(facts.plan.steps):
-        for instance in step.inputs():
-            available = facts.available_stage.get(instance)
-            if available is not None and available > step.stage:
-                yield this.diagnostic(
-                    f"step runs in stage {step.stage} but input {instance} "
-                    f"is only available from stage {available}: a "
-                    f"communicating edge was scheduled inside a stage",
-                    step=index,
-                    subject=instance,
-                )
+    graph = StageGraph.from_plan(facts.plan)
+    for index, instance, available in graph.stage_violations():
+        step = facts.plan.steps[index]
+        yield this.diagnostic(
+            f"step runs in stage {step.stage} but input {instance} "
+            f"is only available from stage {available}: a "
+            f"communicating edge was scheduled inside a stage",
+            step=index,
+            subject=instance,
+        )
 
 
 @rule(

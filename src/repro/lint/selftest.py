@@ -172,17 +172,20 @@ def _corrupt_output(plan: Plan, context: LintContext):
 
 def _corrupt_redundant_partition(plan: Plan, context: LintContext):
     """Insert a partition of an instance to its current scheme (and pay
-    for it in the ledger, so only the waste is reportable)."""
+    for it in the ledger, so only the waste is reportable).  The victim
+    must already have a consumer: repartitioning a *dead* instance would
+    give it one and thereby silence a legitimate DM202 baseline finding."""
     from repro.lint.facts import build_facts, step_output
 
+    facts = build_facts(plan)
     index = _find_step(
         plan,
         lambda s: (
             (out := step_output(s)) is not None
             and out.scheme.is_one_dimensional
+            and facts.consumers.get(out)
         ),
     )
-    facts = build_facts(plan)
     victim = step_output(plan.steps[index])
     redundant = ExtendedStep("partition", victim, victim)
     redundant.stage = facts.available_stage[victim]

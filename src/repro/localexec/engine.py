@@ -41,22 +41,41 @@ from repro.localexec.tasks import (
     buffered_matmul_tasks,
     inplace_matmul_tasks,
 )
+from repro.runtime.metering import active_meter, metered
 
 Grid = dict[BlockKey, Block]
 
 
 @dataclasses.dataclass
 class EngineStats:
-    """Counters accumulated across all operations run by one engine."""
+    """Counters accumulated across all operations run by one engine.
+
+    Internally locked: primitives and block tasks report from arbitrary
+    threads (the engine's own pool, and concurrently running stages).  Each
+    ``record`` also notifies the active
+    :class:`~repro.runtime.metering.StageMeter`, if one is installed, so
+    the stage scheduler can attribute flops to the stage that caused them.
+    """
 
     tasks: int = 0
     flops: int = 0
     sparse_flops: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def record(self, flops: int, sparse: bool) -> None:
-        self.flops += flops
-        if sparse:
-            self.sparse_flops += flops
+        with self._lock:
+            self.flops += flops
+            if sparse:
+                self.sparse_flops += flops
+        meter = active_meter()
+        if meter is not None:
+            meter.record_flops(self, flops, sparse)
+
+    def add_tasks(self, count: int) -> None:
+        with self._lock:
+            self.tasks += count
 
     @property
     def dense_flops(self) -> int:
@@ -80,7 +99,6 @@ class LocalEngine:
         self.tracker = MemoryTracker(memory_limit_bytes)
         self.pool = ResultBufferPool(self.tracker, pool_max_per_shape)
         self.stats = EngineStats()
-        self._stats_lock = threading.Lock()
 
     # -- memory bookkeeping --------------------------------------------------
 
@@ -154,12 +172,11 @@ class LocalEngine:
         runner: Callable,
     ) -> list[TaskResult]:
         tasks = list(tasks)
-        with self._stats_lock:
-            self.stats.tasks += len(tasks)
+        self.stats.add_tasks(len(tasks))
         if self.threads == 1 or len(tasks) <= 1:
             return [runner(task) for task in tasks]
         with ThreadPoolExecutor(max_workers=self.threads) as executor:
-            return list(executor.map(runner, tasks))
+            return list(executor.map(_meter_preserving(runner), tasks))
 
     def _run_inplace_task(self, task: MultiplyAccumulateTask) -> TaskResult:
         target = self.pool.acquire(*task.result_shape)
@@ -175,8 +192,7 @@ class LocalEngine:
 
     def _buffered_matmul(self, a_grid: Grid, b_grid: Grid) -> Grid:
         tasks = buffered_matmul_tasks(a_grid, b_grid)
-        with self._stats_lock:
-            self.stats.tasks += len(tasks)
+        self.stats.add_tasks(len(tasks))
 
         def multiply(task: MultiplyTask) -> tuple[BlockKey, DenseBlock]:
             flops = ops.matmul_flops(task.left, task.right)
@@ -189,7 +205,7 @@ class LocalEngine:
             partials = [multiply(task) for task in tasks]
         else:
             with ThreadPoolExecutor(max_workers=self.threads) as executor:
-                partials = list(executor.map(multiply, tasks))
+                partials = list(executor.map(_meter_preserving(multiply), tasks))
 
         # All partials are alive here -- this is the Buffer strategy's peak.
         grouped: dict[BlockKey, list[DenseBlock]] = {}
@@ -269,5 +285,19 @@ class LocalEngine:
         return grid
 
     def _record(self, flops: int, sparse: bool) -> None:
-        with self._stats_lock:
-            self.stats.record(flops, sparse)
+        self.stats.record(flops, sparse)
+
+
+def _meter_preserving(runner: Callable) -> Callable:
+    """Wrap a task runner so engine pool threads inherit the submitting
+    stage's :class:`~repro.runtime.metering.StageMeter` (context variables
+    do not propagate into :class:`ThreadPoolExecutor` workers by default)."""
+    meter = active_meter()
+    if meter is None:
+        return runner
+
+    def run(task):
+        with metered(meter):
+            return runner(task)
+
+    return run

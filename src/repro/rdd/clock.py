@@ -22,6 +22,7 @@ import dataclasses
 import threading
 
 from repro.config import ClockConfig
+from repro.runtime.metering import active_meter
 
 
 @dataclasses.dataclass
@@ -45,7 +46,15 @@ class TimeBreakdown:
 
 
 class SimulatedClock:
-    """Accumulates simulated seconds from metered bytes and flops."""
+    """Accumulates simulated seconds from metered bytes and flops.
+
+    Thread-safe.  When a :class:`~repro.runtime.metering.StageMeter` is
+    installed on the calling thread (the concurrent stage scheduler runs
+    each stage under one), charges are redirected to that meter instead of
+    the global total: concurrently executing stages must not each add their
+    full duration to a single serial timeline.  The scheduler later commits
+    the critical-path total through :meth:`advance`.
+    """
 
     def __init__(self, config: ClockConfig | None = None) -> None:
         self.config = config or ClockConfig()
@@ -56,8 +65,13 @@ class SimulatedClock:
         """Charge a cross-worker transfer of ``nbytes``."""
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
+        seconds = nbytes / self.config.network_bytes_per_sec
+        meter = active_meter()
+        if meter is not None:
+            meter.add_network(nbytes, seconds)
+            return
         with self._lock:
-            self._time.network_seconds += nbytes / self.config.network_bytes_per_sec
+            self._time.network_seconds += seconds
 
     def advance_compute(
         self,
@@ -81,13 +95,30 @@ class SimulatedClock:
             / (threads_per_worker * self.config.worker_speed(w))
             for w in workers
         )
+        meter = active_meter()
+        if meter is not None:
+            meter.add_compute(slowest)
+            return
         with self._lock:
             self._time.compute_seconds += slowest
 
     def advance_stage_overhead(self, stages: int = 1) -> None:
         """Charge fixed scheduling latency for ``stages`` stage launches."""
+        seconds = stages * self.config.latency_per_stage_sec
+        meter = active_meter()
+        if meter is not None:
+            meter.add_overhead(seconds)
+            return
         with self._lock:
-            self._time.overhead_seconds += stages * self.config.latency_per_stage_sec
+            self._time.overhead_seconds += seconds
+
+    def advance(self, breakdown: TimeBreakdown) -> None:
+        """Commit an already-split duration (the scheduler's critical path)
+        straight to the global total, bypassing any meter."""
+        with self._lock:
+            self._time.network_seconds += breakdown.network_seconds
+            self._time.compute_seconds += breakdown.compute_seconds
+            self._time.overhead_seconds += breakdown.overhead_seconds
 
     @property
     def elapsed(self) -> TimeBreakdown:

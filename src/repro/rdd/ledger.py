@@ -32,30 +32,39 @@ class TransferRecord:
 
 
 class CommunicationLedger:
-    """Thread-safe accumulator of cross-worker traffic."""
+    """Thread-safe accumulator of cross-worker traffic.
+
+    The record list is guarded by a lock; the scope stack is *thread-local*,
+    so concurrently executing stages (each on its own scheduler thread) tag
+    their transfers independently instead of corrupting a shared stack.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._records: list[TransferRecord] = []
-        self._scope_stack: list[str] = []
+        self._scopes = threading.local()
 
     # -- scoping ------------------------------------------------------------
+
+    def _scope_stack(self) -> list[str]:
+        stack = getattr(self._scopes, "stack", None)
+        if stack is None:
+            stack = self._scopes.stack = []
+        return stack
 
     @contextlib.contextmanager
     def scope(self, label: str) -> Iterator[None]:
         """Tag all transfers recorded inside the block with ``label``
-        (nested scopes join with ``/``)."""
-        with self._lock:
-            self._scope_stack.append(label)
+        (nested scopes join with ``/``).  Scopes are per-thread."""
+        stack = self._scope_stack()
+        stack.append(label)
         try:
             yield
         finally:
-            with self._lock:
-                self._scope_stack.pop()
+            stack.pop()
 
     def current_scope(self) -> str:
-        with self._lock:
-            return "/".join(self._scope_stack)
+        return "/".join(self._scope_stack())
 
     # -- recording ----------------------------------------------------------
 
@@ -67,8 +76,9 @@ class CommunicationLedger:
             raise ValueError(f"negative transfer size: {nbytes}")
         if nbytes == 0:
             return
+        scope = "/".join(self._scope_stack())
         with self._lock:
-            self._records.append(TransferRecord(kind, nbytes, "/".join(self._scope_stack)))
+            self._records.append(TransferRecord(kind, nbytes, scope))
 
     # -- reporting ----------------------------------------------------------
 

@@ -30,12 +30,20 @@ def shuffle(
     """
     targets: Partitions = [[] for __ in range(partitioner.num_partitions)]
     moved_bytes = 0
+    # The same block object commonly appears in many records of one shuffle
+    # (replication-heavy layouts); size it once per call.  The cache must
+    # not outlive the call: pooled blocks are mutated in place and object
+    # ids are recycled, so a persistent id-keyed cache would go stale.
+    sizeof_cache: dict[int, int] = {}
     for source_index, partition in enumerate(source):
         source_worker = context.worker_for_partition(source_index)
         for key, value in partition:
             target_index = partitioner.partition_for(key)
             if context.worker_for_partition(target_index) != source_worker:
-                moved_bytes += model_sizeof(value) + RECORD_OVERHEAD_BYTES
+                nbytes = sizeof_cache.get(id(value))
+                if nbytes is None:
+                    nbytes = sizeof_cache[id(value)] = model_sizeof(value)
+                moved_bytes += nbytes + RECORD_OVERHEAD_BYTES
             targets[target_index].append((key, value))
     context.transfer("shuffle", moved_bytes)
     return targets

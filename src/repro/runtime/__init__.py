@@ -1,0 +1,62 @@
+"""repro.runtime: the stage-graph execution runtime.
+
+The package splits the old monolithic executor into composable parts:
+
+* :mod:`~repro.runtime.graph`     -- :class:`StageGraph`, the inter-stage
+  dependency DAG recovered from ``schedule_stages`` output;
+* :mod:`~repro.runtime.scheduler` -- concurrent dispatch of ready stages
+  with critical-path simulated time;
+* :mod:`~repro.runtime.registry`  -- the operator table shared by the
+  executor, planner, lint and visualiser;
+* :mod:`~repro.runtime.backend`   -- the :class:`Backend` protocol and the
+  :class:`SimulatedBackend` over the metered in-process cluster;
+* :mod:`~repro.runtime.resources` -- refcounted matrix lifetimes;
+* :mod:`~repro.runtime.metering`  -- per-stage charge attribution;
+* :mod:`~repro.runtime.executor`  -- :class:`PlanExecutor`, tying it all
+  together.
+
+Attributes are resolved lazily (PEP 562): low-level modules such as
+:mod:`repro.rdd.clock` import :mod:`repro.runtime.metering` while the
+higher runtime modules import the clock, so an eager package ``__init__``
+would create an import cycle.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "Backend": "repro.runtime.backend",
+    "SimulatedBackend": "repro.runtime.backend",
+    "ExecutionResult": "repro.runtime.executor",
+    "ExecutionState": "repro.runtime.executor",
+    "PlanExecutor": "repro.runtime.executor",
+    "StepTrace": "repro.runtime.executor",
+    "evaluate_scalar": "repro.runtime.executor",
+    "StageGraph": "repro.runtime.graph",
+    "StageNode": "repro.runtime.graph",
+    "StageMeter": "repro.runtime.metering",
+    "active_meter": "repro.runtime.metering",
+    "metered": "repro.runtime.metering",
+    "OPERATORS": "repro.runtime.registry",
+    "OperatorSpec": "repro.runtime.registry",
+    "spec_for": "repro.runtime.registry",
+    "spec_for_op": "repro.runtime.registry",
+    "ResourceManager": "repro.runtime.resources",
+    "SchedulerReport": "repro.runtime.scheduler",
+    "StageScheduler": "repro.runtime.scheduler",
+    "StageTiming": "repro.runtime.scheduler",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.runtime' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,248 @@
+"""Execution backends: where kernels actually run.
+
+The operator kernels in :mod:`repro.runtime.registry` are written against
+the :class:`Backend` protocol, not against the simulated cluster, so the
+runtime has a seam for future backends (a process pool, a real Spark
+bridge) without touching the kernels or the scheduler.  The interface is
+sized to what a plan needs: materialise sources, apply the extended
+operators, run the compute strategies, aggregate to driver scalars, and
+expose the metering surface (ledger, clock, per-worker flop counters) the
+scheduler charges simulated time through.
+
+:class:`SimulatedBackend` is the one shipping implementation: a thin
+adapter over today's :class:`~repro.rdd.context.ClusterContext` and the
+physical primitives of :mod:`repro.matrix.primitives`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.blocks.memory import choose_block_size
+from repro.core.plan import Plan
+from repro.errors import ExecutionError
+from repro.lang.program import FullOp, LoadOp, RandomOp
+from repro.matrix.distributed import DistributedMatrix
+from repro.matrix.primitives import (
+    broadcast_matrix,
+    cellwise_op,
+    col_sums,
+    cpmm,
+    extract,
+    local_transpose,
+    matrix_sq_sum,
+    matrix_sum,
+    repartition,
+    rmm1,
+    rmm2,
+    row_sums,
+    scalar_op_matrix,
+    unary_op_matrix,
+)
+from repro.matrix.schemes import Scheme
+from repro.rdd.clock import SimulatedClock
+from repro.rdd.context import ClusterContext
+from repro.rdd.ledger import CommunicationLedger
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What the runtime needs from an execution substrate."""
+
+    # -- kernels ------------------------------------------------------------
+
+    def materialise_source(
+        self,
+        op: LoadOp | RandomOp | FullOp,
+        scheme: Scheme,
+        block_size: int,
+        inputs: dict[str, np.ndarray],
+    ) -> DistributedMatrix: ...
+
+    def extended(
+        self, kind: str, source: DistributedMatrix, target_scheme: Scheme
+    ) -> DistributedMatrix: ...
+
+    def matmul(
+        self,
+        strategy: str,
+        left: DistributedMatrix,
+        right: DistributedMatrix,
+        output_scheme: Scheme,
+    ) -> DistributedMatrix: ...
+
+    def cellwise(
+        self, op: str, left: DistributedMatrix, right: DistributedMatrix
+    ) -> DistributedMatrix: ...
+
+    def scalar_op(
+        self, op: str, source: DistributedMatrix, value: float
+    ) -> DistributedMatrix: ...
+
+    def unary(self, func: str, source: DistributedMatrix) -> DistributedMatrix: ...
+
+    def row_agg(
+        self,
+        kind: str,
+        source: DistributedMatrix,
+        output_scheme: Scheme,
+        communicates: bool,
+    ) -> DistributedMatrix: ...
+
+    def aggregate(self, kind: str, source: DistributedMatrix) -> float: ...
+
+    def release(self, matrix: DistributedMatrix) -> None: ...
+
+    # -- metering surface ---------------------------------------------------
+
+    @property
+    def ledger(self) -> CommunicationLedger: ...
+
+    @property
+    def clock(self) -> SimulatedClock: ...
+
+    @property
+    def threads_per_worker(self) -> int: ...
+
+    def flop_sources(self) -> dict[int, object]:
+        """Worker index -> the stats object its engine reports flops on."""
+        ...
+
+    def peak_memory_bytes(self) -> int: ...
+
+    def default_block_size(self, plan: Plan) -> int: ...
+
+
+class SimulatedBackend:
+    """The in-process metered cluster, adapted to the :class:`Backend` API."""
+
+    def __init__(self, context: ClusterContext) -> None:
+        self.context = context
+
+    # -- kernels ------------------------------------------------------------
+
+    def materialise_source(
+        self,
+        op: LoadOp | RandomOp | FullOp,
+        scheme: Scheme,
+        block_size: int,
+        inputs: dict[str, np.ndarray],
+    ) -> DistributedMatrix:
+        if isinstance(op, LoadOp):
+            if op.output not in inputs:
+                raise ExecutionError(f"no input array bound for load {op.output!r}")
+            array = np.asarray(inputs[op.output], dtype=np.float64)
+            if array.shape != (op.rows, op.cols):
+                raise ExecutionError(
+                    f"input {op.output!r} has shape {array.shape}, "
+                    f"program declared {(op.rows, op.cols)}"
+                )
+            return DistributedMatrix.from_numpy(self.context, array, block_size, scheme)
+        if isinstance(op, RandomOp):
+            return DistributedMatrix.random(
+                self.context, op.rows, op.cols, block_size, scheme, seed=op.seed
+            )
+        if isinstance(op, FullOp):
+            array = np.full((op.rows, op.cols), op.value, dtype=np.float64)
+            return DistributedMatrix.from_numpy(
+                self.context, array, block_size, scheme, storage="dense"
+            )
+        raise ExecutionError(f"unknown source operator {type(op).__name__}")
+
+    def extended(
+        self, kind: str, source: DistributedMatrix, target_scheme: Scheme
+    ) -> DistributedMatrix:
+        if kind == "partition":
+            return repartition(source, target_scheme)
+        if kind == "broadcast":
+            return broadcast_matrix(source)
+        if kind == "transpose":
+            return local_transpose(source)
+        if kind == "extract":
+            return extract(source, target_scheme)
+        raise ExecutionError(f"unknown extended operator {kind!r}")
+
+    def matmul(
+        self,
+        strategy: str,
+        left: DistributedMatrix,
+        right: DistributedMatrix,
+        output_scheme: Scheme,
+    ) -> DistributedMatrix:
+        if strategy == "rmm1":
+            return rmm1(left, right)
+        if strategy == "rmm2":
+            return rmm2(left, right)
+        if strategy == "cpmm":
+            return cpmm(left, right, output_scheme=output_scheme)
+        raise ExecutionError(f"unknown matmul strategy {strategy!r}")
+
+    def cellwise(
+        self, op: str, left: DistributedMatrix, right: DistributedMatrix
+    ) -> DistributedMatrix:
+        return cellwise_op(op, left, right)
+
+    def scalar_op(
+        self, op: str, source: DistributedMatrix, value: float
+    ) -> DistributedMatrix:
+        return scalar_op_matrix(op, source, value)
+
+    def unary(self, func: str, source: DistributedMatrix) -> DistributedMatrix:
+        return unary_op_matrix(func, source)
+
+    def row_agg(
+        self,
+        kind: str,
+        source: DistributedMatrix,
+        output_scheme: Scheme,
+        communicates: bool,
+    ) -> DistributedMatrix:
+        aggregate = row_sums if kind == "rowsum" else col_sums
+        if communicates:
+            return aggregate(source, output_scheme=output_scheme)
+        return aggregate(source)
+
+    def aggregate(self, kind: str, source: DistributedMatrix) -> float:
+        if kind == "sum":
+            return matrix_sum(source)
+        if kind == "sqsum":
+            return matrix_sq_sum(source)
+        if kind == "value":
+            return source.value()
+        raise ExecutionError(f"unknown aggregation {kind!r}")
+
+    def release(self, matrix: DistributedMatrix) -> None:
+        # Grids were discharged from the memory trackers when their producing
+        # operation completed; dropping the reference is all that remains.
+        pass
+
+    # -- metering surface ---------------------------------------------------
+
+    @property
+    def ledger(self) -> CommunicationLedger:
+        return self.context.ledger
+
+    @property
+    def clock(self) -> SimulatedClock:
+        return self.context.clock
+
+    @property
+    def threads_per_worker(self) -> int:
+        return self.context.config.threads_per_worker
+
+    def flop_sources(self) -> dict[int, object]:
+        return {w: engine.stats for w, engine in enumerate(self.context.engines)}
+
+    def peak_memory_bytes(self) -> int:
+        return self.context.peak_memory_bytes()
+
+    def default_block_size(self, plan: Plan) -> int:
+        rows, cols = max(
+            plan.program.dims.values(), key=lambda shape: shape[0] * shape[1]
+        )
+        config = self.context.config
+        return choose_block_size(
+            rows, cols, config.num_workers, config.threads_per_worker
+        )

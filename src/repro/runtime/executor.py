@@ -1,0 +1,290 @@
+"""The runtime executor: stage-graph execution of DMac plans.
+
+This replaces the old serial step loop of ``repro.core.executor`` (kept as
+a compatibility shim).  An execution now flows through the runtime's parts:
+
+1. the plan is folded into a :class:`~repro.runtime.graph.StageGraph`,
+2. the :class:`~repro.runtime.scheduler.StageScheduler` dispatches ready
+   nodes concurrently; each node runs its steps through the operator
+   registry's kernels against a pluggable
+   :class:`~repro.runtime.backend.Backend`,
+3. matrix lifetimes are reference counts held by a
+   :class:`~repro.runtime.resources.ResourceManager` (released exactly
+   once, also on mid-run failure),
+4. per-node :class:`~repro.runtime.metering.StageMeter` measurements are
+   folded into the simulated clock as *critical-path* time.
+
+Ledgered bytes are unchanged from the serial executor -- same kernels,
+same scopes -- only the simulated seconds now reflect stage overlap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+import numpy as np
+
+from repro.core.plan import MatrixInstance, Plan
+from repro.core.stages import schedule_stages
+from repro.errors import ExecutionError
+from repro.matrix.distributed import DistributedMatrix
+from repro.rdd.clock import TimeBreakdown
+from repro.rdd.context import ClusterContext
+from repro.runtime.backend import Backend, SimulatedBackend
+from repro.runtime.graph import StageGraph, StageNode
+from repro.runtime.metering import StageMeter, metered
+from repro.runtime.registry import spec_for
+from repro.runtime.resources import ResourceManager
+from repro.runtime.scalars import evaluate_scalar  # noqa: F401  (re-export)
+from repro.runtime.scheduler import SchedulerReport, StageScheduler, StageTiming
+
+
+@dataclasses.dataclass(frozen=True)
+class StepTrace:
+    """Per-step record collected when executing with ``trace=True``."""
+
+    step: str
+    stage: int
+    comm_bytes: int
+    flops: int
+    wall_seconds: float
+
+
+@dataclasses.dataclass
+class ExecutionResult:
+    """Everything a run produced and what it cost."""
+
+    matrices: dict[str, np.ndarray]  # program outputs, by version name
+    scalars: dict[str, float]  # requested driver scalars
+    comm_bytes: int  # metered cross-worker traffic of this run
+    time: TimeBreakdown  # simulated seconds (network/compute/overhead)
+    num_stages: int
+    peak_memory_bytes: int  # largest per-worker model-byte peak
+    wall_seconds: float  # real elapsed time of the in-process run
+    trace: list[StepTrace] | None = None  # per-step records (trace=True)
+    stage_timings: list[StageTiming] | None = None  # simulated stage schedule
+    critical_path: tuple[int, ...] = ()  # stage-graph nodes charged to the clock
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.time.total_seconds
+
+    def comm_by_stage(self) -> dict[int, int]:
+        """Measured bytes per stage (requires a traced run)."""
+        if self.trace is None:
+            raise ExecutionError("run with trace=True to get per-stage traffic")
+        out: dict[int, int] = {}
+        for record in self.trace:
+            out[record.stage] = out.get(record.stage, 0) + record.comm_bytes
+        return out
+
+
+class ExecutionState:
+    """Shared mutable state of one plan execution (thread-safe where two
+    concurrently running stages can touch it)."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        resources: ResourceManager,
+        inputs: dict[str, np.ndarray],
+        block_size: int,
+    ) -> None:
+        self.backend = backend
+        self.resources = resources
+        self.inputs = inputs
+        self.block_size = block_size
+        self._lock = threading.Lock()
+        self._scalars: dict[str, float] = {}
+        self._traces: dict[int, StepTrace] = {}
+
+    # -- driver scalars ------------------------------------------------------
+
+    def get_scalar(self, name: str) -> float:
+        with self._lock:
+            if name not in self._scalars:
+                raise ExecutionError(f"scalar {name!r} referenced before computation")
+            return self._scalars[name]
+
+    def set_scalar(self, name: str, value: float) -> None:
+        with self._lock:
+            self._scalars[name] = value
+
+    def scalars_snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._scalars)
+
+    # -- tracing -------------------------------------------------------------
+
+    def record_trace(self, plan_index: int, trace: StepTrace) -> None:
+        with self._lock:
+            self._traces[plan_index] = trace
+
+    def traces_in_plan_order(self) -> list[StepTrace]:
+        with self._lock:
+            return [self._traces[i] for i in sorted(self._traces)]
+
+
+class PlanExecutor:
+    """Executes DMac plans on a :class:`Backend` via the stage scheduler.
+
+    The default backend is :class:`SimulatedBackend` over the given
+    :class:`ClusterContext`, preserving the historical constructor.
+    """
+
+    def __init__(
+        self,
+        context: ClusterContext,
+        block_size: int | None = None,
+        max_concurrent_stages: int | None = None,
+        backend: Backend | None = None,
+    ) -> None:
+        self.context = context
+        self.backend = backend if backend is not None else SimulatedBackend(context)
+        self.block_size = (
+            block_size if block_size is not None else context.config.block_size
+        )
+        if max_concurrent_stages is None:
+            max_concurrent_stages = getattr(
+                context.config, "max_concurrent_stages", None
+            )
+        self.max_concurrent_stages = max_concurrent_stages
+
+    def execute(
+        self,
+        plan: Plan,
+        inputs: dict[str, np.ndarray] | None = None,
+        trace: bool = False,
+    ) -> ExecutionResult:
+        """Run ``plan``; ``inputs`` binds LoadOp names to driver arrays.
+        With ``trace=True`` the result carries a per-step record of bytes,
+        flops and wall time."""
+        inputs = inputs or {}
+        if plan.num_stages == 0:
+            schedule_stages(plan)
+        graph = StageGraph.from_plan(plan)
+        backend = self.backend
+        block_size = (
+            self.block_size
+            if self.block_size is not None
+            else backend.default_block_size(plan)
+        )
+        state = ExecutionState(
+            backend=backend,
+            resources=ResourceManager(plan, backend),
+            inputs=inputs,
+            block_size=block_size,
+        )
+        worker_of_stats = {
+            id(stats): worker for worker, stats in backend.flop_sources().items()
+        }
+
+        bytes_before = backend.ledger.snapshot()
+        wall_start = time.perf_counter()
+        scheduler = StageScheduler(self.max_concurrent_stages)
+        try:
+            report = scheduler.run(
+                graph,
+                lambda node: self._run_node(node, plan, state, worker_of_stats, trace),
+            )
+            matrices = self._materialise_outputs(plan, state)
+        finally:
+            state.resources.close()
+        backend.clock.advance(report.elapsed)
+
+        scalars = state.scalars_snapshot()
+        return ExecutionResult(
+            matrices=matrices,
+            scalars={name: scalars[name] for name in plan.program.scalar_outputs},
+            comm_bytes=backend.ledger.snapshot() - bytes_before,
+            time=dataclasses.replace(report.elapsed),
+            num_stages=plan.num_stages,
+            peak_memory_bytes=backend.peak_memory_bytes(),
+            wall_seconds=time.perf_counter() - wall_start,
+            trace=state.traces_in_plan_order() if trace else None,
+            stage_timings=report.timings,
+            critical_path=report.critical_path,
+        )
+
+    # -- one stage-graph node ------------------------------------------------
+
+    def _run_node(
+        self,
+        node: StageNode,
+        plan: Plan,
+        state: ExecutionState,
+        worker_of_stats: dict[int, int],
+        trace: bool,
+    ) -> StageMeter:
+        backend = state.backend
+        meter = StageMeter()
+        with metered(meter):
+            backend.clock.advance_stage_overhead(1)
+            for plan_index in node.steps:
+                step = plan.steps[plan_index]
+                step_wall = time.perf_counter()
+                kernel = spec_for(step).kernel
+                with backend.ledger.scope(f"stage-{step.stage}"):
+                    with backend.ledger.scope(str(step)):
+                        kernel(step, state)
+                dense: dict[int, int] = {}
+                sparse: dict[int, int] = {}
+                flops = 0
+                for stats, dense_flops, sparse_flops in meter.take_step_flops():
+                    worker = worker_of_stats.get(id(stats))
+                    if worker is None:  # pragma: no cover - foreign stats object
+                        continue
+                    dense[worker] = dense.get(worker, 0) + dense_flops
+                    sparse[worker] = sparse.get(worker, 0) + sparse_flops
+                    flops += dense_flops + sparse_flops
+                backend.clock.advance_compute(
+                    dense, sparse, backend.threads_per_worker
+                )
+                step_bytes = meter.take_step_bytes()
+                if trace:
+                    state.record_trace(
+                        plan_index,
+                        StepTrace(
+                            step=str(step),
+                            stage=step.stage,
+                            comm_bytes=step_bytes,
+                            flops=flops,
+                            wall_seconds=time.perf_counter() - step_wall,
+                        ),
+                    )
+                state.resources.consume(step)
+        return meter
+
+    def _materialise_outputs(
+        self, plan: Plan, state: ExecutionState
+    ) -> dict[str, np.ndarray]:
+        matrices: dict[str, np.ndarray] = {}
+        for name, instance in plan.outputs.items():
+            matrix = self._output_matrix(state, instance)
+            array = matrix.to_numpy()
+            matrices[name] = array.T if instance.transposed else array
+            state.resources.release_output(instance)
+        return matrices
+
+    @staticmethod
+    def _output_matrix(
+        state: ExecutionState, instance: MatrixInstance
+    ) -> DistributedMatrix:
+        try:
+            return state.resources.get(instance)
+        except ExecutionError:
+            raise ExecutionError(
+                f"output instance {instance} was freed or never built"
+            ) from None
+
+
+__all__ = [
+    "ExecutionResult",
+    "ExecutionState",
+    "PlanExecutor",
+    "SchedulerReport",
+    "StepTrace",
+    "evaluate_scalar",
+]

@@ -1,0 +1,119 @@
+"""Refcount-based lifetime management for materialised matrices.
+
+The serial executor freed matrices with a liveness pass ("pop after the
+step whose index equals the instance's last use") -- correct only when
+steps run in plan order.  Under concurrent stages there is no single
+"current index", so lifetimes are reference counts instead: an instance's
+count is the number of plan steps that consume it (plus a pin for every
+program output), decremented as each consumer finishes.  At zero the
+matrix is handed to the backend's ``release`` hook and dropped.
+
+Every transition is recorded in an event log (``("publish" | "release",
+instance)``), which is what the lifecycle property tests assert over:
+every instance published during a run -- finished or aborted -- is
+released exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.plan import MatrixInstance, Plan, Step
+from repro.errors import ExecutionError
+from repro.matrix.distributed import DistributedMatrix
+
+
+class ResourceManager:
+    """Tracks every live :class:`DistributedMatrix` of one plan execution."""
+
+    def __init__(self, plan: Plan, backend=None) -> None:
+        self._backend = backend
+        self._lock = threading.Lock()
+        self._live: dict[MatrixInstance, DistributedMatrix] = {}
+        self._released: set[MatrixInstance] = set()
+        self._refs: dict[MatrixInstance, int] = {}
+        self.events: list[tuple[str, MatrixInstance]] = []
+        for step in plan.steps:
+            for instance in step.inputs():
+                self._refs[instance] = self._refs.get(instance, 0) + 1
+        for instance in plan.outputs.values():
+            # Pin program outputs until the driver has materialised them.
+            self._refs[instance] = self._refs.get(instance, 0) + 1
+
+    # -- kernel-facing API --------------------------------------------------
+
+    def publish(self, instance: MatrixInstance, matrix: DistributedMatrix) -> None:
+        """Register a step's freshly produced output."""
+        with self._lock:
+            if instance in self._live or instance in self._released:
+                raise ExecutionError(f"instance {instance} produced twice")
+            self.events.append(("publish", instance))
+            if self._refs.get(instance, 0) <= 0:
+                # Nothing will ever read it (planner never emits such steps,
+                # but hand-built plans can): release immediately.
+                self._released.add(instance)
+                self.events.append(("release", instance))
+                to_free = matrix
+            else:
+                self._live[instance] = matrix
+                return
+        self._free(to_free)
+
+    def get(self, instance: MatrixInstance) -> DistributedMatrix:
+        """The live matrix for an instance (its refcount is untouched;
+        consumption is per *step*, via :meth:`consume`)."""
+        with self._lock:
+            matrix = self._live.get(instance)
+        if matrix is None:
+            raise ExecutionError(
+                f"plan step consumes {instance} but it is not materialised"
+            )
+        return matrix
+
+    def consume(self, step: Step) -> None:
+        """A step finished: drop one reference per input it consumed."""
+        for instance in step.inputs():
+            self._decref(instance)
+
+    def release_output(self, instance: MatrixInstance) -> None:
+        """Drop the output pin after the driver materialised the result."""
+        self._decref(instance)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release everything still live (normal end or mid-run abort).
+
+        Idempotent, and exactly-once per instance: anything already released
+        through refcounting is skipped."""
+        with self._lock:
+            leftovers = list(self._live.items())
+            self._live.clear()
+            for instance, __ in leftovers:
+                self._released.add(instance)
+                self.events.append(("release", instance))
+        for __, matrix in leftovers:
+            self._free(matrix)
+
+    def live_instances(self) -> list[MatrixInstance]:
+        with self._lock:
+            return list(self._live)
+
+    # -- internals ----------------------------------------------------------
+
+    def _decref(self, instance: MatrixInstance) -> None:
+        with self._lock:
+            if instance in self._released or instance not in self._live:
+                return
+            remaining = self._refs.get(instance, 0) - 1
+            self._refs[instance] = remaining
+            if remaining > 0:
+                return
+            matrix = self._live.pop(instance)
+            self._released.add(instance)
+            self.events.append(("release", instance))
+        self._free(matrix)
+
+    def _free(self, matrix: DistributedMatrix) -> None:
+        if self._backend is not None:
+            self._backend.release(matrix)

@@ -1,0 +1,44 @@
+"""Driver-side scalar evaluation (shared by kernels and baselines)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ExecutionError
+from repro.lang.expr import (
+    ScalarBinaryExpr,
+    ScalarConst,
+    ScalarExpr,
+    ScalarRefExpr,
+    ScalarUnaryExpr,
+)
+
+
+def evaluate_scalar(expr: ScalarExpr, scalars: dict[str, float]) -> float:
+    """Evaluate a driver-side scalar expression against computed scalars."""
+    if isinstance(expr, ScalarConst):
+        return expr.value
+    if isinstance(expr, ScalarRefExpr):
+        if expr.name not in scalars:
+            raise ExecutionError(f"scalar {expr.name!r} referenced before computation")
+        return scalars[expr.name]
+    if isinstance(expr, ScalarBinaryExpr):
+        left = evaluate_scalar(expr.left, scalars)
+        right = evaluate_scalar(expr.right, scalars)
+        if expr.op == "add":
+            return left + right
+        if expr.op == "subtract":
+            return left - right
+        if expr.op == "multiply":
+            return left * right
+        if right == 0:
+            raise ExecutionError("scalar division by zero at run time")
+        return left / right
+    if isinstance(expr, ScalarUnaryExpr):
+        child = evaluate_scalar(expr.child, scalars)
+        if expr.op == "negate":
+            return -child
+        if child < 0:
+            raise ExecutionError(f"sqrt of negative value {child}")
+        return math.sqrt(child)
+    raise ExecutionError(f"unknown scalar expression {type(expr).__name__}")

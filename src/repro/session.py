@@ -79,6 +79,13 @@ class DMacSession:
         )
         return schedule_stages(planner.plan())
 
+    def stage_graph(self, program: MatrixProgram, plan: Plan | None = None):
+        """The :class:`~repro.runtime.graph.StageGraph` the runtime would
+        schedule for a program (plans it first unless one is supplied)."""
+        from repro.runtime.graph import StageGraph
+
+        return StageGraph.from_plan(plan or self.plan(program))
+
     def run(
         self,
         program: MatrixProgram,

@@ -1,0 +1,169 @@
+"""Tests for the stage graph (repro.runtime.graph)."""
+
+import pytest
+
+from repro.core.planner import DMacPlanner
+from repro.core.stages import schedule_stages
+from repro.errors import PlanError
+from repro.lang.program import ProgramBuilder
+from repro.runtime.graph import StageGraph
+
+
+def planned(pb: ProgramBuilder, workers: int = 4):
+    return schedule_stages(DMacPlanner(pb.build(), workers).plan())
+
+
+def two_island_program() -> ProgramBuilder:
+    """Two fully independent pipelines (no shared matrices or scalars)."""
+    pb = ProgramBuilder()
+    a = pb.load("A", (16, 16))
+    b = pb.load("B", (16, 16))
+    pb.output(pb.assign("P", a @ a))
+    pb.output(pb.assign("Q", b @ b))
+    return pb
+
+
+def gnmf_program(iterations: int = 1) -> ProgramBuilder:
+    pb = ProgramBuilder()
+    v = pb.load("V", (24, 18), sparsity=0.3)
+    w = pb.random("W", (24, 4))
+    h = pb.random("H", (4, 18))
+    for _ in range(iterations):
+        h = pb.assign("H", h * (w.T @ v) / (w.T @ w @ h))
+        w = pb.assign("W", w * (v @ h.T) / (w @ h @ h.T))
+    pb.output(w)
+    pb.output(h)
+    return pb
+
+
+class TestConstruction:
+    def test_every_step_lands_in_exactly_one_node(self):
+        plan = planned(gnmf_program(2))
+        graph = StageGraph.from_plan(plan)
+        seen = [i for node in graph.nodes for i in node.steps]
+        assert sorted(seen) == list(range(len(plan.steps)))
+        assert all(graph.node_of_step[i] == node.index
+                   for node in graph.nodes for i in node.steps)
+
+    def test_nodes_share_one_stage_number(self):
+        graph = StageGraph.from_plan(planned(gnmf_program(2)))
+        for node in graph.nodes:
+            stages = {graph.plan.steps[i].stage for i in node.steps}
+            assert stages == {node.stage}
+
+    def test_indices_are_a_topological_order(self):
+        graph = StageGraph.from_plan(planned(gnmf_program(3)))
+        for node in graph.nodes:
+            assert all(dep < node.index for dep in node.deps)
+
+    def test_dependents_mirror_deps(self):
+        graph = StageGraph.from_plan(planned(gnmf_program(2)))
+        for node in graph.nodes:
+            for dep in node.deps:
+                assert node.index in graph.nodes[dep].dependents
+
+    def test_schedules_unstaged_plan(self):
+        plan = DMacPlanner(gnmf_program(1).build(), 4).plan()
+        assert plan.num_stages == 0
+        graph = StageGraph.from_plan(plan)
+        assert plan.num_stages > 0
+        assert graph.num_nodes > 0
+
+    def test_rejects_unknown_step_kind(self):
+        plan = planned(gnmf_program(1))
+
+        class AlienStep:
+            stage = 1
+            communicates = False
+
+        plan.steps.append(AlienStep())
+        with pytest.raises(PlanError, match="unknown step"):
+            schedule_stages(plan)
+        plan.steps.pop()
+
+
+class TestConcurrencyStructure:
+    def test_independent_pipelines_split_into_separate_roots(self):
+        graph = StageGraph.from_plan(planned(two_island_program()))
+        roots = graph.roots()
+        assert len(roots) >= 2
+        # The two islands never depend on each other anywhere in the graph.
+        reach = {node.index: set(node.deps) for node in graph.nodes}
+        for node in graph.nodes:
+            for dep in node.deps:
+                reach[node.index] |= reach[dep]
+        p_nodes = {graph.node_of_step[i] for i, step in enumerate(graph.plan.steps)
+                   if getattr(step.output_instance(), "name", "").startswith("P")}
+        q_nodes = {graph.node_of_step[i] for i, step in enumerate(graph.plan.steps)
+                   if getattr(step.output_instance(), "name", "").startswith("Q")}
+        for p in p_nodes:
+            assert not (reach[p] & q_nodes)
+
+    def test_same_stage_number_can_hold_independent_nodes(self):
+        graph = StageGraph.from_plan(planned(two_island_program()))
+        by_stage = {}
+        for node in graph.nodes:
+            by_stage.setdefault(node.stage, []).append(node)
+        assert any(len(nodes) > 1 for nodes in by_stage.values())
+
+
+class TestCriticalPath:
+    def test_path_is_a_dependency_chain(self):
+        graph = StageGraph.from_plan(planned(gnmf_program(2)))
+        path = graph.critical_path()
+        assert path, "non-empty plan must have a critical path"
+        for earlier, later in zip(path, path[1:]):
+            assert earlier in graph.nodes[later].deps
+
+    def test_path_dominates_every_chain_by_step_count(self):
+        graph = StageGraph.from_plan(planned(gnmf_program(2)))
+        best = sum(len(graph.nodes[i].steps) for i in graph.critical_path())
+        # Longest chain by DP over the DAG, recomputed independently.
+        chain = [len(node.steps) for node in graph.nodes]
+        for node in graph.nodes:
+            for dep in node.deps:
+                chain[node.index] = max(
+                    chain[node.index], chain[dep] + len(node.steps)
+                )
+        assert best == max(chain)
+
+
+class TestViolationsAndPresentation:
+    def test_clean_plan_has_no_stage_violations(self):
+        graph = StageGraph.from_plan(planned(gnmf_program(2)))
+        assert list(graph.stage_violations()) == []
+
+    def test_corrupted_stage_numbers_are_reported(self):
+        plan = planned(gnmf_program(1))
+        graph = StageGraph.from_plan(plan)
+        # Pull every step into stage 1 by hand: every communicating edge
+        # then feeds a same-stage consumer.
+        for step in plan.steps:
+            step.stage = 1
+        corrupted = StageGraph.from_plan(plan)
+        violations = list(corrupted.stage_violations())
+        assert violations
+        for index, instance, available in violations:
+            assert available > plan.steps[index].stage
+        assert graph is not corrupted
+
+    def test_json_shape(self):
+        graph = StageGraph.from_plan(planned(gnmf_program(1)))
+        payload = graph.to_json_dict()
+        assert set(payload) == {
+            "num_stages", "num_nodes", "num_edges",
+            "critical_path", "critical_path_steps", "nodes",
+        }
+        assert len(payload["nodes"]) == graph.num_nodes
+        for node in payload["nodes"]:
+            assert set(node) == {"index", "stage", "deps", "steps"}
+            for step in node["steps"]:
+                assert set(step) == {"plan_index", "description", "communicates"}
+
+    def test_describe_mentions_every_node_and_the_path(self):
+        graph = StageGraph.from_plan(planned(gnmf_program(1)))
+        text = graph.describe()
+        assert "stage graph:" in text
+        for node in graph.nodes:
+            assert f"node {node.index} " in text
+        assert "critical path" in text

@@ -1,0 +1,154 @@
+"""Thread-safety tests: the ledger, the clock and the stage meter hammered
+from concurrently running stages (the regression the concurrent scheduler
+introduces)."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.config import ClockConfig
+from repro.rdd.clock import SimulatedClock, TimeBreakdown
+from repro.rdd.ledger import CommunicationLedger
+from repro.runtime.metering import StageMeter, active_meter, metered
+
+THREADS = 8
+ROUNDS = 200
+
+
+class TestLedgerUnderConcurrency:
+    def test_records_survive_a_hammering(self):
+        ledger = CommunicationLedger()
+
+        def hammer(worker: int) -> None:
+            for round_index in range(ROUNDS):
+                with ledger.scope(f"stage-{worker}"):
+                    with ledger.scope(f"step-{round_index % 3}"):
+                        ledger.record("shuffle", 10)
+                    ledger.record("broadcast", 1)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(hammer, range(THREADS)))
+
+        assert ledger.total_bytes == THREADS * ROUNDS * 11
+        by_kind = ledger.bytes_by_kind()
+        assert by_kind["shuffle"] == THREADS * ROUNDS * 10
+        assert by_kind["broadcast"] == THREADS * ROUNDS * 1
+
+    def test_scopes_are_per_thread(self):
+        """Concurrent stages must tag transfers with their own scope, never
+        a sibling thread's."""
+        ledger = CommunicationLedger()
+        barrier = threading.Barrier(THREADS, timeout=10)
+
+        def hammer(worker: int) -> None:
+            with ledger.scope(f"stage-{worker}"):
+                barrier.wait()  # all scopes open simultaneously
+                for __ in range(ROUNDS):
+                    ledger.record("shuffle", worker + 1)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(hammer, range(THREADS)))
+
+        by_scope = ledger.bytes_by_scope()
+        for worker in range(THREADS):
+            assert by_scope[f"stage-{worker}"] == ROUNDS * (worker + 1)
+
+    def test_scope_stack_unwinds_per_thread(self):
+        ledger = CommunicationLedger()
+        with ledger.scope("outer"):
+            assert ledger.current_scope() == "outer"
+
+            def inner_thread() -> str:
+                return ledger.current_scope()  # fresh thread: no stack
+
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                assert pool.submit(inner_thread).result() == ""
+        assert ledger.current_scope() == ""
+
+
+class TestClockUnderConcurrency:
+    def test_unmetered_charges_accumulate_exactly(self):
+        clock = SimulatedClock(ClockConfig(network_bytes_per_sec=1e6,
+                                           latency_per_stage_sec=0.5))
+
+        def hammer(_: int) -> None:
+            for __ in range(ROUNDS):
+                clock.advance_network(1000)
+                clock.advance_stage_overhead(1)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(hammer, range(THREADS)))
+
+        elapsed = clock.elapsed
+        assert elapsed.network_seconds == pytest.approx(
+            THREADS * ROUNDS * 1000 / 1e6
+        )
+        assert elapsed.overhead_seconds == pytest.approx(THREADS * ROUNDS * 0.5)
+
+    def test_metered_charges_go_to_the_thread_meter_only(self):
+        """Concurrent stages with private meters: the global clock must not
+        advance, and each meter must see exactly its own charges."""
+        clock = SimulatedClock(ClockConfig(network_bytes_per_sec=1e6))
+        meters = [StageMeter() for __ in range(THREADS)]
+        barrier = threading.Barrier(THREADS, timeout=10)
+
+        def hammer(worker: int) -> None:
+            with metered(meters[worker]):
+                barrier.wait()
+                for __ in range(ROUNDS):
+                    clock.advance_network((worker + 1) * 100)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(hammer, range(THREADS)))
+
+        assert clock.elapsed_seconds == 0.0
+        for worker, meter in enumerate(meters):
+            assert meter.network_bytes == ROUNDS * (worker + 1) * 100
+
+    def test_advance_commits_breakdown_bypassing_meters(self):
+        clock = SimulatedClock()
+        with metered(StageMeter()):
+            clock.advance(TimeBreakdown(network_seconds=1.0,
+                                        compute_seconds=2.0,
+                                        overhead_seconds=3.0))
+        assert clock.elapsed_seconds == pytest.approx(6.0)
+
+
+class TestStageMeter:
+    def test_contextvar_install_and_reset(self):
+        assert active_meter() is None
+        meter = StageMeter()
+        with metered(meter):
+            assert active_meter() is meter
+            nested = StageMeter()
+            with metered(nested):
+                assert active_meter() is nested
+            assert active_meter() is meter
+        assert active_meter() is None
+
+    def test_concurrent_flop_records_merge(self):
+        meter = StageMeter()
+        stats = object()
+
+        def hammer(_: int) -> None:
+            for __ in range(ROUNDS):
+                meter.record_flops(stats, 10, sparse=False)
+                meter.record_flops(stats, 4, sparse=True)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(hammer, range(THREADS)))
+
+        [(owner, dense, sparse)] = meter.take_step_flops()
+        assert owner is stats
+        assert dense == THREADS * ROUNDS * 10
+        assert sparse == THREADS * ROUNDS * 4
+        assert meter.take_step_flops() == []
+
+    def test_step_bytes_drain(self):
+        meter = StageMeter()
+        meter.add_network(100, 0.1)
+        meter.add_network(50, 0.05)
+        assert meter.take_step_bytes() == 150
+        assert meter.take_step_bytes() == 0
+        assert meter.network_bytes == 150  # stage total is not drained

@@ -1,0 +1,189 @@
+"""Tests for the concurrent stage scheduler (repro.runtime.scheduler)."""
+
+import threading
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.core.planner import DMacPlanner
+from repro.core.stages import schedule_stages
+from repro.lang.program import ProgramBuilder
+from repro.rdd.context import ClusterContext
+from repro.runtime.executor import PlanExecutor
+from repro.runtime.graph import StageGraph, StageNode
+from repro.runtime.metering import StageMeter
+from repro.runtime.scheduler import StageScheduler
+
+
+def synthetic_graph(deps_of: dict[int, tuple[int, ...]]) -> StageGraph:
+    """A StageGraph with hand-wired node dependencies (plan unused)."""
+    dependents: dict[int, list[int]] = {i: [] for i in deps_of}
+    for node, deps in deps_of.items():
+        for dep in deps:
+            dependents[dep].append(node)
+    nodes = [
+        StageNode(
+            index=i,
+            stage=1,
+            steps=(i,),
+            deps=tuple(deps_of[i]),
+            dependents=tuple(dependents[i]),
+        )
+        for i in sorted(deps_of)
+    ]
+    return StageGraph(plan=None, nodes=nodes, step_deps={}, node_of_step={},
+                      available_stage={})
+
+
+def metered_runner(durations: dict[int, float]):
+    """run_node stub charging a fixed compute duration per node."""
+
+    def run(node: StageNode) -> StageMeter:
+        meter = StageMeter()
+        meter.add_compute(durations[node.index])
+        return meter
+
+    return run
+
+
+class TestSimulatedTime:
+    def test_independent_stages_charge_max_not_sum(self):
+        """The acceptance case: two independent stages overlap, the clock
+        advances by the slower one's duration, not the sum."""
+        graph = synthetic_graph({0: (), 1: ()})
+        report = StageScheduler().run(graph, metered_runner({0: 3.0, 1: 5.0}))
+        assert report.makespan_seconds == pytest.approx(5.0)
+        assert report.serial_seconds() == pytest.approx(8.0)
+        assert report.critical_path == (1,)
+
+    def test_dependent_stages_still_sum(self):
+        graph = synthetic_graph({0: (), 1: (0,)})
+        report = StageScheduler().run(graph, metered_runner({0: 3.0, 1: 5.0}))
+        assert report.makespan_seconds == pytest.approx(8.0)
+        assert report.critical_path == (0, 1)
+
+    def test_diamond_takes_the_slower_branch(self):
+        graph = synthetic_graph({0: (), 1: (0,), 2: (0,), 3: (1, 2)})
+        durations = {0: 1.0, 1: 2.0, 2: 7.0, 3: 1.0}
+        report = StageScheduler().run(graph, metered_runner(durations))
+        assert report.makespan_seconds == pytest.approx(1.0 + 7.0 + 1.0)
+        assert report.critical_path == (0, 2, 3)
+        slow_branch = report.timings[2]
+        assert slow_branch.start_seconds == pytest.approx(1.0)
+        assert slow_branch.finish_seconds == pytest.approx(8.0)
+
+    def test_simulation_is_independent_of_dispatch_width(self):
+        deps = {0: (), 1: (), 2: (0,), 3: (1, 2)}
+        durations = {0: 4.0, 1: 1.0, 2: 2.0, 3: 3.0}
+        reports = [
+            StageScheduler(width).run(synthetic_graph(deps),
+                                      metered_runner(durations))
+            for width in (1, 2, 8)
+        ]
+        assert len({r.makespan_seconds for r in reports}) == 1
+        assert len({r.critical_path for r in reports}) == 1
+
+    def test_breakdown_is_summed_along_the_path(self):
+        graph = synthetic_graph({0: (), 1: (0,)})
+
+        def run(node: StageNode) -> StageMeter:
+            meter = StageMeter()
+            meter.add_network(100, 1.5)
+            meter.add_compute(2.0)
+            meter.add_overhead(0.5)
+            return meter
+
+        report = StageScheduler().run(graph, run)
+        assert report.elapsed.network_seconds == pytest.approx(3.0)
+        assert report.elapsed.compute_seconds == pytest.approx(4.0)
+        assert report.elapsed.overhead_seconds == pytest.approx(1.0)
+
+
+class TestDispatch:
+    def test_independent_stages_really_overlap(self):
+        """Both nodes must be in flight at once: each waits at a barrier
+        that only releases when the other arrives."""
+        barrier = threading.Barrier(2, timeout=10)
+        graph = synthetic_graph({0: (), 1: ()})
+
+        def run(node: StageNode) -> StageMeter:
+            barrier.wait()
+            return StageMeter()
+
+        report = StageScheduler(max_concurrent=2).run(graph, run)
+        assert len(report.timings) == 2
+
+    def test_dependency_order_is_honoured(self):
+        finished: list[int] = []
+        lock = threading.Lock()
+        graph = synthetic_graph({0: (), 1: (0,), 2: (1,)})
+
+        def run(node: StageNode) -> StageMeter:
+            with lock:
+                finished.append(node.index)
+            return StageMeter()
+
+        StageScheduler(max_concurrent=4).run(graph, run)
+        assert finished == [0, 1, 2]
+
+    def test_original_exception_is_reraised_unwrapped(self):
+        graph = synthetic_graph({0: (), 1: ()})
+
+        class Boom(RuntimeError):
+            pass
+
+        def run(node: StageNode) -> StageMeter:
+            if node.index == 1:
+                raise Boom("stage exploded")
+            return StageMeter()
+
+        with pytest.raises(Boom, match="stage exploded"):
+            StageScheduler(max_concurrent=2).run(graph, run)
+
+    def test_failure_stops_downstream_submission(self):
+        ran: list[int] = []
+        lock = threading.Lock()
+        graph = synthetic_graph({0: (), 1: (0,)})
+
+        def run(node: StageNode) -> StageMeter:
+            with lock:
+                ran.append(node.index)
+            if node.index == 0:
+                raise ValueError("root failed")
+            return StageMeter()
+
+        with pytest.raises(ValueError):
+            StageScheduler(max_concurrent=2).run(graph, run)
+        assert ran == [0]
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            StageScheduler(max_concurrent=0)
+
+
+class TestEndToEnd:
+    def test_clock_charges_critical_path_not_serial_sum(self, rng):
+        """Executing two independent pipelines: the session clock advance
+        equals the critical path, strictly less than the stage-time sum."""
+        pb = ProgramBuilder()
+        a = pb.load("A", (32, 32))
+        b = pb.load("B", (32, 32))
+        pb.output(pb.assign("P", a @ a))
+        pb.output(pb.assign("Q", b @ b))
+        plan = schedule_stages(DMacPlanner(pb.build(), 4).plan())
+        context = ClusterContext(
+            ClusterConfig(num_workers=4, threads_per_worker=1, block_size=8)
+        )
+        before = context.clock.elapsed_seconds
+        result = PlanExecutor(context, 8).execute(
+            plan, {"A": rng.random((32, 32)), "B": rng.random((32, 32))}
+        )
+        advanced = context.clock.elapsed_seconds - before
+        serial_sum = sum(t.duration_seconds for t in result.stage_timings)
+        assert advanced == pytest.approx(result.simulated_seconds)
+        assert result.simulated_seconds < serial_sum
+        assert result.critical_path
+        path_sum = sum(
+            result.stage_timings[i].duration_seconds for i in result.critical_path
+        )
+        assert result.simulated_seconds == pytest.approx(path_sum)

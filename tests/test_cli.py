@@ -76,6 +76,40 @@ class TestPlanCommand:
         assert "stage" in capsys.readouterr().out
 
 
+class TestStagesCommand:
+    def test_stages_listing(self, capsys):
+        assert main(["stages", "gnmf", "--iterations", "1", "--factors", "4",
+                     "--scale", "1.5e-3"]) == 0
+        out = capsys.readouterr().out
+        assert "stage graph:" in out
+        assert "critical path" in out
+        assert "node 0" in out
+
+    def test_stages_json(self, capsys):
+        import json
+
+        assert main(["stages", "pagerank", "--scale", "1e-4",
+                     "--iterations", "1", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["target"] == "pagerank"
+        assert payload["num_nodes"] >= 1
+        assert payload["critical_path"]
+        for node in payload["nodes"]:
+            assert {"index", "stage", "deps", "steps"} <= set(node)
+
+    def test_stages_script_target(self, tmp_path, capsys):
+        path = tmp_path / "prog.dml"
+        path.write_text(
+            "A = load(16, 16)\nB = A %*% A\noutput(B)\n"
+        )
+        assert main(["stages", str(path)]) == 0
+        assert "stage graph:" in capsys.readouterr().out
+
+    def test_stages_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["stages", "kmeans"])
+
+
 class TestScriptCommand:
     def write_script(self, tmp_path, text):
         path = tmp_path / "prog.dml"
