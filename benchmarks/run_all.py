@@ -36,6 +36,7 @@ EXPERIMENTS = {
     "ranksweep": "bench_rank_sweep.py",
     "shufflesizeof": "bench_shuffle_sizeof.py",
     "runtimesmoke": "bench_runtime_smoke.py",
+    "recovery": "bench_recovery_overhead.py",
 }
 
 

@@ -14,7 +14,7 @@ Public entry points::
     from repro import ClusterConfig, DMacSession, ProgramBuilder
 """
 
-from repro.config import ClockConfig, ClusterConfig
+from repro.config import ClockConfig, ClusterConfig, RecoveryConfig
 from repro.core.executor import ExecutionResult
 from repro.core.plan import Plan
 from repro.core.planner import DMacPlanner
@@ -22,13 +22,20 @@ from repro.errors import (
     BlockError,
     ClusterError,
     ExecutionError,
+    FaultInjected,
+    FaultSpecError,
     MemoryLimitExceeded,
     PlanError,
     ProgramError,
     ReproError,
     SchemeError,
     ShapeError,
+    ShuffleBlockLost,
+    StageExecutionError,
+    TransferFault,
+    WorkerCrashed,
 )
+from repro.faults import ChaosEngine, parse_fault_spec
 from repro.lang.program import MatrixProgram, ProgramBuilder
 from repro.matrix.distributed import DistributedMatrix
 from repro.matrix.schemes import Scheme
@@ -40,6 +47,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BlockError",
+    "ChaosEngine",
     "ClockConfig",
     "ClusterConfig",
     "ClusterContext",
@@ -49,16 +57,24 @@ __all__ = [
     "DistributedMatrix",
     "ExecutionError",
     "ExecutionResult",
+    "FaultInjected",
+    "FaultSpecError",
     "MatrixProgram",
     "MemoryLimitExceeded",
     "Plan",
     "PlanError",
     "ProgramBuilder",
     "ProgramError",
+    "RecoveryConfig",
     "ReproError",
     "Scheme",
     "SchemeError",
     "ShapeError",
+    "ShuffleBlockLost",
+    "StageExecutionError",
     "StageGraph",
+    "TransferFault",
+    "WorkerCrashed",
+    "parse_fault_spec",
     "__version__",
 ]

@@ -11,9 +11,11 @@ Examples::
     python -m repro lint examples/gnmf.dml            # static analysis
     python -m repro lint gnmf --format json
     python -m repro lint --selftest                   # prove the rules fire
+    python -m repro chaos pagerank --seed 7 --faults "lostblock:instance=rank,iteration=3"
 
-Exit codes: 0 on success, 1 when the lint reports error-severity findings,
-2 when a program fails to parse.
+Exit codes: 0 on success, 1 when the lint reports error-severity findings
+(or a chaos run's recovered results diverge from the clean run), 2 when a
+program or fault spec fails to parse.
 """
 
 from __future__ import annotations
@@ -323,6 +325,51 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return EXIT_LINT_ERRORS if report.has_errors else EXIT_OK
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.config import RecoveryConfig
+    from repro.errors import FaultSpecError
+    from repro.faults import (
+        ChaosEngine,
+        build_chaos_report,
+        format_chaos_report,
+        parse_fault_spec,
+    )
+
+    try:
+        clauses = parse_fault_spec(args.faults)
+    except FaultSpecError as exc:
+        print(f"fault spec error: {exc}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
+    program, inputs, __ = _workload(args)
+    config = ClusterConfig(
+        num_workers=args.workers,
+        threads_per_worker=args.threads,
+        block_size=args.block_size,
+        recovery=RecoveryConfig(
+            max_stage_attempts=args.retries,
+            checkpoint_every=args.checkpoint_every,
+            speculation_multiplier=args.speculation,
+        ),
+    )
+    # Two fresh sessions: the clean reference and the faulted run share
+    # nothing but the program, the inputs and the config.
+    clean = DMacSession(config).run(program, inputs)
+    engine = ChaosEngine(args.seed, clauses)
+    faulted = DMacSession(config).run(program, inputs, chaos=engine)
+    results_match = set(clean.matrices) == set(faulted.matrices) and all(
+        np.allclose(clean.matrices[name], faulted.matrices[name], atol=1e-9)
+        for name in clean.matrices
+    )
+    report = build_chaos_report(
+        args.app, args.seed, args.faults, clean, faulted, results_match
+    )
+    if args.format == "json":
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(format_chaos_report(report))
+    return EXIT_OK if results_match else EXIT_LINT_ERRORS
+
+
 def _add_app_args(parser: argparse.ArgumentParser, positional: bool = True) -> None:
     if positional:
         parser.add_argument("app", choices=list(APPS))
@@ -389,6 +436,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help="corrupt a reference plan once per rule and "
                            "verify each rule fires")
     lint.set_defaults(func=_cmd_lint)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run an application clean and faulted, report recovery overhead",
+    )
+    _add_app_args(chaos)
+    _add_cluster_args(chaos)
+    chaos.add_argument(
+        "--faults", required=True,
+        help="fault spec, e.g. 'crash:stage=2;flaky:at=shuffle,p=0.5' "
+             "(kinds: crash, lostblock, flaky, straggler; see repro.faults.spec)",
+    )
+    chaos.add_argument("--format", choices=["text", "json"], default="text",
+                       help="report format (default: text)")
+    chaos.add_argument("--retries", type=int, default=3,
+                       help="max attempts per stage island (default: 3)")
+    chaos.add_argument("--checkpoint-every", type=int, default=0,
+                       help="checkpoint loop-carried instances every k "
+                            "iterations (0 = off)")
+    chaos.add_argument("--speculation", type=float, default=0.0,
+                       help="launch a speculative copy of a straggler at N x "
+                            "the median sibling duration (0 = off)")
+    chaos.set_defaults(func=_cmd_chaos)
 
     script = sub.add_parser("script", help="run a DML-style script file")
     script.add_argument("path", help="script file (see repro.lang.dml)")

@@ -47,6 +47,56 @@ class ClockConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class RecoveryConfig:
+    """Fault-tolerance knobs of the runtime (see :mod:`repro.faults`).
+
+    The defaults are inert for clean runs: retries only trigger on
+    *injected* transient faults, checkpointing and speculation are off, so
+    with no :class:`~repro.faults.ChaosEngine` installed (or with one that
+    never fires) ledgered bytes, chosen strategies and numeric results are
+    bit-identical to a run without this config.
+
+    Attributes:
+        max_stage_attempts: how many times a stage node may run before its
+            failure is final (retries happen only for retryable injected
+            faults; genuine errors always fail fast).
+        backoff_base_sec: simulated backoff before the second attempt;
+            doubles per retry (capped), charged to the node's duration.
+        backoff_cap_sec: upper bound on a single backoff interval.
+        checkpoint_every: persist loop-carried instances (SSA versions
+            ``X@v``) every ``k`` iterations so lineage recovery replays from
+            the last checkpoint instead of iteration 0; ``0`` disables.
+        speculation_multiplier: launch a speculative copy of a stage node
+            once it exceeds ``N x`` the median duration of its same-stage
+            siblings (first finisher wins, the loser's remaining time is
+            not charged); ``0`` disables.
+    """
+
+    max_stage_attempts: int = 3
+    backoff_base_sec: float = 1.0
+    backoff_cap_sec: float = 30.0
+    checkpoint_every: int = 0
+    speculation_multiplier: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_stage_attempts < 1:
+            raise ClusterError(
+                f"max_stage_attempts must be >= 1, got {self.max_stage_attempts}"
+            )
+        if self.backoff_base_sec < 0 or self.backoff_cap_sec < 0:
+            raise ClusterError("backoff seconds must be >= 0")
+        if self.checkpoint_every < 0:
+            raise ClusterError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.speculation_multiplier < 0:
+            raise ClusterError(
+                f"speculation_multiplier must be >= 0, "
+                f"got {self.speculation_multiplier}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
 class ClusterConfig:
     """Static description of the (simulated) cluster.
 
@@ -65,6 +115,12 @@ class ClusterConfig:
         max_concurrent_stages: how many independent stage-graph nodes the
             runtime may dispatch at once; ``None`` uses the scheduler
             default, ``1`` forces the historical serial order.
+        recovery: fault-tolerance parameters (retry/backoff, checkpointing,
+            speculative re-execution) consumed when a
+            :class:`~repro.faults.ChaosEngine` is installed.
+        resource_event_log_limit: cap on the ResourceManager's lifecycle
+            event log (long iterative runs with retries would otherwise
+            grow it without bound); ``None`` keeps it unbounded.
     """
 
     num_workers: int = 4
@@ -74,6 +130,8 @@ class ClusterConfig:
     memory_limit_bytes: int | None = None
     clock: ClockConfig = dataclasses.field(default_factory=ClockConfig)
     max_concurrent_stages: int | None = None
+    recovery: RecoveryConfig = dataclasses.field(default_factory=RecoveryConfig)
+    resource_event_log_limit: int | None = 65536
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -87,4 +145,12 @@ class ClusterConfig:
         if self.max_concurrent_stages is not None and self.max_concurrent_stages < 1:
             raise ClusterError(
                 f"max_concurrent_stages must be >= 1, got {self.max_concurrent_stages}"
+            )
+        if (
+            self.resource_event_log_limit is not None
+            and self.resource_event_log_limit < 1
+        ):
+            raise ClusterError(
+                f"resource_event_log_limit must be >= 1 or None, "
+                f"got {self.resource_event_log_limit}"
             )

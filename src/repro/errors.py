@@ -47,3 +47,73 @@ class ClusterError(ReproError):
 
 class MemoryLimitExceeded(ExecutionError):
     """A worker exceeded its configured memory budget during local execution."""
+
+
+class StageExecutionError(ExecutionError):
+    """A stage-graph node failed during scheduled execution.
+
+    Wraps the first failure the stage scheduler observed with its context:
+    the failing node id, the stage number, the step kinds the node carries,
+    and how many attempts were made before giving up.  The original
+    exception is chained as ``__cause__`` (also available as ``cause``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        node: int | None = None,
+        stage: int | None = None,
+        step_kinds: tuple[str, ...] = (),
+        attempts: int = 1,
+        cause: BaseException | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.node = node
+        self.stage = stage
+        self.step_kinds = step_kinds
+        self.attempts = attempts
+        self.cause = cause
+
+
+class FaultSpecError(ReproError):
+    """A ``--faults`` specification string could not be parsed."""
+
+
+class FaultInjected(ExecutionError):
+    """Base class for failures injected by :mod:`repro.faults`.
+
+    ``retryable`` marks transient faults the stage scheduler may retry with
+    backoff; permanent faults (a lost block that cannot be recovered) are
+    re-raised immediately.
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker: int | None = None,
+        stage: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.stage = stage
+
+
+class WorkerCrashed(FaultInjected):
+    """An injected worker crash killed the stage attempt (retryable)."""
+
+    retryable = True
+
+
+class TransferFault(FaultInjected):
+    """An injected transient failure aborted a cross-worker transfer
+    (retryable: the scheduler re-runs the stage after backoff)."""
+
+    retryable = True
+
+
+class ShuffleBlockLost(FaultInjected):
+    """A consumed instance's blocks are gone and could not be recovered."""

@@ -102,6 +102,23 @@ class SimulatedClock:
         with self._lock:
             self._time.compute_seconds += slowest
 
+    def advance_disk(self, nbytes: int) -> None:
+        """Charge a disk write/read of ``nbytes`` (checkpoint persistence).
+
+        Disk time is booked under the overhead bucket: it is neither
+        cross-worker network traffic nor compute, and the paper's time
+        split has no separate disk series.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative disk transfer size: {nbytes}")
+        seconds = nbytes / self.config.disk_bytes_per_sec
+        meter = active_meter()
+        if meter is not None:
+            meter.add_overhead(seconds)
+            return
+        with self._lock:
+            self._time.overhead_seconds += seconds
+
     def advance_stage_overhead(self, stages: int = 1) -> None:
         """Charge fixed scheduling latency for ``stages`` stage launches."""
         seconds = stages * self.config.latency_per_stage_sec

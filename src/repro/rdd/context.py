@@ -35,6 +35,9 @@ class ClusterContext:
         self.config = config or ClusterConfig()
         self.ledger = CommunicationLedger()
         self.clock = SimulatedClock(self.config.clock)
+        #: Installed fault-injection engine (see :mod:`repro.faults`);
+        #: ``None`` means every hook below is inert.
+        self.chaos = None
         self.engines = [
             LocalEngine(
                 threads=self.config.threads_per_worker,
@@ -83,10 +86,23 @@ class ClusterContext:
             partitions[partitioner.partition_for(key)].append((key, value))
         return RDD(self, partitions, partitioner)
 
+    # -- fault injection -------------------------------------------------------
+
+    def install_chaos(self, engine) -> None:
+        """Install (or clear, with ``None``) a fault-injection engine.
+
+        The engine is consulted before every metered transfer and at the
+        shuffle service's entry; an injected fault surfaces as a raised
+        :class:`~repro.errors.FaultInjected` subclass.
+        """
+        self.chaos = engine
+
     # -- communication ------------------------------------------------------------
 
     def transfer(self, kind: str, nbytes: int) -> None:
         """Meter a cross-worker transfer in the ledger and the clock."""
+        if self.chaos is not None:
+            self.chaos.on_transfer(kind, nbytes)  # may raise an injected fault
         self.ledger.record(kind, nbytes)
         self.clock.advance_network(nbytes)
 

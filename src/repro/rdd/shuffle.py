@@ -28,6 +28,14 @@ def shuffle(
 
     Returns the new partition list (length ``partitioner.num_partitions``).
     """
+    chaos = getattr(context, "chaos", None)
+    if chaos is not None:
+        # The shuffle service's fault point: an injected transient failure
+        # aborts the whole exchange before any record moves.
+        chaos.on_shuffle_start(
+            num_source_partitions=len(source),
+            num_target_partitions=partitioner.num_partitions,
+        )
     targets: Partitions = [[] for __ in range(partitioner.num_partitions)]
     moved_bytes = 0
     # The same block object commonly appears in many records of one shuffle

@@ -95,6 +95,13 @@ class Backend(Protocol):
 
     def release(self, matrix: DistributedMatrix) -> None: ...
 
+    # -- fault injection ----------------------------------------------------
+
+    def install_chaos(self, engine) -> None:
+        """Install (or clear, with ``None``) a fault-injection engine on the
+        substrate so transfer/shuffle hooks fire (see :mod:`repro.faults`)."""
+        ...
+
     # -- metering surface ---------------------------------------------------
 
     @property
@@ -217,6 +224,11 @@ class SimulatedBackend:
         # Grids were discharged from the memory trackers when their producing
         # operation completed; dropping the reference is all that remains.
         pass
+
+    # -- fault injection ----------------------------------------------------
+
+    def install_chaos(self, engine) -> None:
+        self.context.install_chaos(engine)
 
     # -- metering surface ---------------------------------------------------
 

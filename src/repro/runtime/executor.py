@@ -66,6 +66,7 @@ class ExecutionResult:
     trace: list[StepTrace] | None = None  # per-step records (trace=True)
     stage_timings: list[StageTiming] | None = None  # simulated stage schedule
     critical_path: tuple[int, ...] = ()  # stage-graph nodes charged to the clock
+    recovery: dict | None = None  # fault/recovery summary (chaos runs only)
 
     @property
     def simulated_seconds(self) -> float:
@@ -99,6 +100,17 @@ class ExecutionState:
         self._lock = threading.Lock()
         self._scalars: dict[str, float] = {}
         self._traces: dict[int, StepTrace] = {}
+        self._completed: set[int] = set()
+
+    # -- step completion (retry support) -------------------------------------
+
+    def is_step_completed(self, plan_index: int) -> bool:
+        with self._lock:
+            return plan_index in self._completed
+
+    def mark_step_completed(self, plan_index: int) -> None:
+        with self._lock:
+            self._completed.add(plan_index)
 
     # -- driver scalars ------------------------------------------------------
 
@@ -157,10 +169,17 @@ class PlanExecutor:
         plan: Plan,
         inputs: dict[str, np.ndarray] | None = None,
         trace: bool = False,
+        chaos=None,
     ) -> ExecutionResult:
         """Run ``plan``; ``inputs`` binds LoadOp names to driver arrays.
         With ``trace=True`` the result carries a per-step record of bytes,
-        flops and wall time."""
+        flops and wall time.  ``chaos`` installs a
+        :class:`~repro.faults.ChaosEngine`: injected faults fire at the
+        engine's named points, the scheduler retries retryable ones, and
+        lost blocks are recomputed through their lineage cone; the result's
+        ``recovery`` field summarises what happened.  With ``chaos=None``
+        (the default) every fault path is inert and the run is bit-identical
+        to one without this machinery."""
         inputs = inputs or {}
         if plan.num_stages == 0:
             schedule_stages(plan)
@@ -171,29 +190,85 @@ class PlanExecutor:
             if self.block_size is not None
             else backend.default_block_size(plan)
         )
+        config = self.context.config
+        manager = ResourceManager(
+            plan,
+            backend,
+            max_events=getattr(config, "resource_event_log_limit", None),
+        )
+        resources = manager
+        scheduler_kwargs: dict = {}
+        recovery_log = None
+        checkpoints = None
+        if chaos is not None:
+            # Imported lazily: repro.faults sits above the runtime in the
+            # layer diagram and must not be a hard import of the executor.
+            from repro.config import RecoveryConfig
+            from repro.faults.recovery import CheckpointStore, RecoveringResources
+            from repro.faults.report import RecoveryLog, summarise_recovery
+
+            recovery_log = RecoveryLog()
+            chaos.attach_sink(recovery_log.record)
+            recovery_config = getattr(config, "recovery", None) or RecoveryConfig()
+            if recovery_config.checkpoint_every > 0:
+                checkpoints = CheckpointStore(
+                    every=recovery_config.checkpoint_every,
+                    clock=backend.clock,
+                    log=recovery_log,
+                )
+            resources = RecoveringResources(
+                manager=manager,
+                chaos=chaos,
+                plan=plan,
+                backend=backend,
+                checkpoints=checkpoints,
+                log=recovery_log,
+            )
+            scheduler_kwargs = dict(
+                max_attempts=recovery_config.max_stage_attempts,
+                backoff_base_sec=recovery_config.backoff_base_sec,
+                backoff_cap_sec=recovery_config.backoff_cap_sec,
+                speculation_multiplier=recovery_config.speculation_multiplier,
+                event_sink=recovery_log.record,
+            )
+            backend.install_chaos(chaos)
         state = ExecutionState(
             backend=backend,
-            resources=ResourceManager(plan, backend),
+            resources=resources,
             inputs=inputs,
             block_size=block_size,
         )
+        if chaos is not None:
+            resources.bind_state(state)
         worker_of_stats = {
             id(stats): worker for worker, stats in backend.flop_sources().items()
         }
 
         bytes_before = backend.ledger.snapshot()
         wall_start = time.perf_counter()
-        scheduler = StageScheduler(self.max_concurrent_stages)
+        scheduler = StageScheduler(self.max_concurrent_stages, **scheduler_kwargs)
         try:
             report = scheduler.run(
                 graph,
-                lambda node: self._run_node(node, plan, state, worker_of_stats, trace),
+                lambda node: self._run_node(
+                    node, plan, state, worker_of_stats, trace, chaos
+                ),
             )
             matrices = self._materialise_outputs(plan, state)
         finally:
             state.resources.close()
+            if chaos is not None:
+                backend.install_chaos(None)
         backend.clock.advance(report.elapsed)
 
+        recovery = None
+        if chaos is not None:
+            recovery = summarise_recovery(
+                log=recovery_log,
+                chaos=chaos,
+                resources=resources,
+                checkpoints=checkpoints,
+            )
         scalars = state.scalars_snapshot()
         return ExecutionResult(
             matrices=matrices,
@@ -206,6 +281,7 @@ class PlanExecutor:
             trace=state.traces_in_plan_order() if trace else None,
             stage_timings=report.timings,
             critical_path=report.critical_path,
+            recovery=recovery,
         )
 
     # -- one stage-graph node ------------------------------------------------
@@ -217,45 +293,72 @@ class PlanExecutor:
         state: ExecutionState,
         worker_of_stats: dict[int, int],
         trace: bool,
+        chaos=None,
     ) -> StageMeter:
-        backend = state.backend
         meter = StageMeter()
-        with metered(meter):
-            backend.clock.advance_stage_overhead(1)
-            for plan_index in node.steps:
-                step = plan.steps[plan_index]
-                step_wall = time.perf_counter()
-                kernel = spec_for(step).kernel
-                with backend.ledger.scope(f"stage-{step.stage}"):
-                    with backend.ledger.scope(str(step)):
-                        kernel(step, state)
-                dense: dict[int, int] = {}
-                sparse: dict[int, int] = {}
-                flops = 0
-                for stats, dense_flops, sparse_flops in meter.take_step_flops():
-                    worker = worker_of_stats.get(id(stats))
-                    if worker is None:  # pragma: no cover - foreign stats object
-                        continue
-                    dense[worker] = dense.get(worker, 0) + dense_flops
-                    sparse[worker] = sparse.get(worker, 0) + sparse_flops
-                    flops += dense_flops + sparse_flops
-                backend.clock.advance_compute(
-                    dense, sparse, backend.threads_per_worker
-                )
-                step_bytes = meter.take_step_bytes()
-                if trace:
-                    state.record_trace(
-                        plan_index,
-                        StepTrace(
-                            step=str(step),
-                            stage=step.stage,
-                            comm_bytes=step_bytes,
-                            flops=flops,
-                            wall_seconds=time.perf_counter() - step_wall,
-                        ),
-                    )
-                state.resources.consume(step)
+        try:
+            with metered(meter):
+                if chaos is None:
+                    self._run_steps(node, plan, state, worker_of_stats, trace, meter)
+                else:
+                    with chaos.stage_scope(node):
+                        chaos.on_stage_start()  # may raise an injected crash
+                        meter.slowdown_factor = chaos.slowdown_factor()
+                        self._run_steps(
+                            node, plan, state, worker_of_stats, trace, meter
+                        )
+        except BaseException as error:
+            # The failed attempt's metered cost: the scheduler charges it to
+            # the node's simulated duration even though the attempt failed.
+            error.stage_meter = meter  # type: ignore[attr-defined]
+            raise
         return meter
+
+    def _run_steps(
+        self,
+        node: StageNode,
+        plan: Plan,
+        state: ExecutionState,
+        worker_of_stats: dict[int, int],
+        trace: bool,
+        meter: StageMeter,
+    ) -> None:
+        backend = state.backend
+        backend.clock.advance_stage_overhead(1)
+        for plan_index in node.steps:
+            if state.is_step_completed(plan_index):
+                continue  # a retried node re-runs only its unfinished steps
+            step = plan.steps[plan_index]
+            step_wall = time.perf_counter()
+            kernel = spec_for(step).kernel
+            with backend.ledger.scope(f"stage-{step.stage}"):
+                with backend.ledger.scope(str(step)):
+                    kernel(step, state)
+            dense: dict[int, int] = {}
+            sparse: dict[int, int] = {}
+            flops = 0
+            for stats, dense_flops, sparse_flops in meter.take_step_flops():
+                worker = worker_of_stats.get(id(stats))
+                if worker is None:  # pragma: no cover - foreign stats object
+                    continue
+                dense[worker] = dense.get(worker, 0) + dense_flops
+                sparse[worker] = sparse.get(worker, 0) + sparse_flops
+                flops += dense_flops + sparse_flops
+            backend.clock.advance_compute(dense, sparse, backend.threads_per_worker)
+            step_bytes = meter.take_step_bytes()
+            if trace:
+                state.record_trace(
+                    plan_index,
+                    StepTrace(
+                        step=str(step),
+                        stage=step.stage,
+                        comm_bytes=step_bytes,
+                        flops=flops,
+                        wall_seconds=time.perf_counter() - step_wall,
+                    ),
+                )
+            state.resources.consume(step)
+            state.mark_step_completed(plan_index)
 
     def _materialise_outputs(
         self, plan: Plan, state: ExecutionState

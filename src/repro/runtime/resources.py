@@ -8,31 +8,52 @@ count is the number of plan steps that consume it (plus a pin for every
 program output), decremented as each consumer finishes.  At zero the
 matrix is handed to the backend's ``release`` hook and dropped.
 
-Every transition is recorded in an event log (``("publish" | "release",
-instance)``), which is what the lifecycle property tests assert over:
-every instance published during a run -- finished or aborted -- is
-released exactly once.
+Every transition is recorded in an event log (``("publish" | "release" |
+"lost" | "restore", instance)``), which is what the lifecycle property
+tests assert over: every instance published during a run -- finished or
+aborted -- is released exactly once (with fault injection, an instance may
+additionally be ``lost`` and later ``restore``\\ d by lineage recovery; the
+books balance as ``releases + losts - restores == publishes``).  The log is
+bounded (``max_events``, default :data:`DEFAULT_MAX_EVENTS`) so long
+iterative runs with retries cannot grow it without bound;
+``events_recorded`` / ``events_dropped`` expose the true totals.
 """
 
 from __future__ import annotations
 
+import collections
 import threading
 
 from repro.core.plan import MatrixInstance, Plan, Step
 from repro.errors import ExecutionError
 from repro.matrix.distributed import DistributedMatrix
 
+#: Default cap on the lifecycle event log.  Long iterative runs with
+#: retries would otherwise grow it without bound; the cap is generous
+#: enough that every test-scale run keeps its full history.
+DEFAULT_MAX_EVENTS = 65536
+
 
 class ResourceManager:
     """Tracks every live :class:`DistributedMatrix` of one plan execution."""
 
-    def __init__(self, plan: Plan, backend=None) -> None:
+    def __init__(
+        self,
+        plan: Plan,
+        backend=None,
+        *,
+        max_events: int | None = DEFAULT_MAX_EVENTS,
+    ) -> None:
         self._backend = backend
         self._lock = threading.Lock()
         self._live: dict[MatrixInstance, DistributedMatrix] = {}
         self._released: set[MatrixInstance] = set()
+        self._lost: set[MatrixInstance] = set()
         self._refs: dict[MatrixInstance, int] = {}
-        self.events: list[tuple[str, MatrixInstance]] = []
+        self.events: collections.deque[tuple[str, MatrixInstance]] = collections.deque(
+            maxlen=max_events
+        )
+        self.events_recorded = 0
         for step in plan.steps:
             for instance in step.inputs():
                 self._refs[instance] = self._refs.get(instance, 0) + 1
@@ -47,12 +68,12 @@ class ResourceManager:
         with self._lock:
             if instance in self._live or instance in self._released:
                 raise ExecutionError(f"instance {instance} produced twice")
-            self.events.append(("publish", instance))
+            self._log(("publish", instance))
             if self._refs.get(instance, 0) <= 0:
                 # Nothing will ever read it (planner never emits such steps,
                 # but hand-built plans can): release immediately.
                 self._released.add(instance)
-                self.events.append(("release", instance))
+                self._log(("release", instance))
                 to_free = matrix
             else:
                 self._live[instance] = matrix
@@ -79,6 +100,42 @@ class ResourceManager:
         """Drop the output pin after the driver materialised the result."""
         self._decref(instance)
 
+    # -- fault injection / recovery -----------------------------------------
+
+    def invalidate(self, instance: MatrixInstance) -> None:
+        """Drop a live instance's blocks as if lost to a failure.
+
+        The refcount is untouched: consumers still expect the instance, and
+        the first one to :meth:`get` it will find it missing and trigger
+        lineage recovery.  Recovery re-registers the matrix via
+        :meth:`restore`.
+        """
+        with self._lock:
+            matrix = self._live.pop(instance, None)
+            if matrix is None:
+                raise ExecutionError(
+                    f"cannot invalidate {instance}: it is not materialised"
+                )
+            self._lost.add(instance)
+            self._log(("lost", instance))
+        self._free(matrix)
+
+    def is_lost(self, instance: MatrixInstance) -> bool:
+        """``True`` while an instance is invalidated and not yet restored."""
+        with self._lock:
+            return instance in self._lost
+
+    def restore(self, instance: MatrixInstance, matrix: DistributedMatrix) -> None:
+        """Re-register a recomputed matrix for a previously lost instance."""
+        with self._lock:
+            if instance not in self._lost:
+                raise ExecutionError(
+                    f"cannot restore {instance}: it was never invalidated"
+                )
+            self._lost.discard(instance)
+            self._live[instance] = matrix
+            self._log(("restore", instance))
+
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
@@ -91,7 +148,7 @@ class ResourceManager:
             self._live.clear()
             for instance, __ in leftovers:
                 self._released.add(instance)
-                self.events.append(("release", instance))
+                self._log(("release", instance))
         for __, matrix in leftovers:
             self._free(matrix)
 
@@ -99,7 +156,17 @@ class ResourceManager:
         with self._lock:
             return list(self._live)
 
+    @property
+    def events_dropped(self) -> int:
+        """How many lifecycle events fell off the bounded log."""
+        return self.events_recorded - len(self.events)
+
     # -- internals ----------------------------------------------------------
+
+    def _log(self, event: tuple[str, MatrixInstance]) -> None:
+        # Caller holds self._lock.
+        self.events.append(event)
+        self.events_recorded += 1
 
     def _decref(self, instance: MatrixInstance) -> None:
         with self._lock:
@@ -111,7 +178,7 @@ class ResourceManager:
                 return
             matrix = self._live.pop(instance)
             self._released.add(instance)
-            self.events.append(("release", instance))
+            self._log(("release", instance))
         self._free(matrix)
 
     def _free(self, matrix: DistributedMatrix) -> None:

@@ -18,19 +18,36 @@ seconds are deterministic -- independent of host thread count, pool width
 or completion order.  The critical path (the chain realising the final
 finish time) is committed to the global clock, split by cause.
 
-Failure.  The first raised error stops new submissions; running nodes are
-drained, resources are left to the executor's cleanup, and the original
-exception (e.g. :class:`~repro.errors.MemoryLimitExceeded`) is re-raised
-unwrapped.
+Failure and retry.  A node whose attempt raises a *retryable* error (duck
+typing: ``error.retryable`` is true -- set by the injected transient faults
+of :mod:`repro.faults`) is re-run on the same thread after a capped
+exponential backoff, up to ``max_attempts`` total tries; the backoff and
+the failed attempts' metered cost are charged to the node's simulated
+duration.  Genuine (non-retryable) errors fail fast.  The first final
+failure stops new submissions; running nodes are drained, resources are
+left to the executor's cleanup, and the failure is re-raised wrapped in a
+:class:`~repro.errors.StageExecutionError` carrying the node id, stage,
+step kinds and attempt count (the original exception is chained as
+``__cause__``).
+
+Speculation.  With ``speculation_multiplier`` N > 0, a node whose slowed
+duration exceeds N x the median duration of its same-stage siblings is
+re-simulated as if a speculative copy had been launched at that threshold
+on a healthy worker: the node's effective duration becomes the minimum of
+its slowed duration and ``threshold + clean duration`` (first finisher
+wins; the loser's remaining time is not charged).  With no straggler
+slowdown, slowed == clean and speculation never changes anything.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import statistics
 import threading
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Callable
 
+from repro.errors import StageExecutionError
 from repro.rdd.clock import TimeBreakdown
 from repro.runtime.graph import StageGraph, StageNode
 from repro.runtime.metering import StageMeter
@@ -58,6 +75,15 @@ class StageTiming:
 
 
 @dataclasses.dataclass
+class NodeRun:
+    """What physically happened while running one node (all attempts)."""
+
+    meters: list[StageMeter]  # one per attempt, successful attempt last
+    attempts: int
+    backoff_seconds: float  # total simulated retry backoff
+
+
+@dataclasses.dataclass
 class SchedulerReport:
     """What one scheduled run measured."""
 
@@ -77,20 +103,42 @@ class SchedulerReport:
 class StageScheduler:
     """Runs a :class:`StageGraph`'s nodes with bounded concurrency."""
 
-    def __init__(self, max_concurrent: int | None = None) -> None:
+    def __init__(
+        self,
+        max_concurrent: int | None = None,
+        *,
+        max_attempts: int = 1,
+        backoff_base_sec: float = 1.0,
+        backoff_cap_sec: float = 30.0,
+        speculation_multiplier: float = 0.0,
+        event_sink: Callable[[dict], None] | None = None,
+    ) -> None:
         if max_concurrent is not None and max_concurrent < 1:
             raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if speculation_multiplier < 0:
+            raise ValueError(
+                f"speculation_multiplier must be >= 0, got {speculation_multiplier}"
+            )
         self.max_concurrent = max_concurrent or DEFAULT_MAX_CONCURRENT_STAGES
+        self.max_attempts = max_attempts
+        self.backoff_base_sec = backoff_base_sec
+        self.backoff_cap_sec = backoff_cap_sec
+        self.speculation_multiplier = speculation_multiplier
+        self._event_sink = event_sink
+        self._event_lock = threading.Lock()
 
     def run(
         self,
         graph: StageGraph,
         run_node: Callable[[StageNode], StageMeter],
     ) -> SchedulerReport:
-        """Execute every node (``run_node`` returns its meter); first error
-        is re-raised after in-flight nodes drain."""
-        meters = self._dispatch(graph, run_node)
-        return self._simulate(graph, meters)
+        """Execute every node (``run_node`` returns its meter); the first
+        final failure is wrapped in :class:`StageExecutionError` and raised
+        after in-flight nodes drain."""
+        runs = self._dispatch(graph, run_node)
+        return self._simulate(graph, runs)
 
     # -- physical dispatch ---------------------------------------------------
 
@@ -98,17 +146,20 @@ class StageScheduler:
         self,
         graph: StageGraph,
         run_node: Callable[[StageNode], StageMeter],
-    ) -> list[StageMeter]:
+    ) -> list[NodeRun]:
         nodes = graph.nodes
-        meters: list[StageMeter | None] = [None] * len(nodes)
+        runs: list[NodeRun | None] = [None] * len(nodes)
         if not nodes:
             return []
         if self.max_concurrent == 1:
             # Serial dispatch in topological (node-index) order; the time
             # simulation below is identical either way.
             for node in nodes:
-                meters[node.index] = run_node(node)
-            return meters  # type: ignore[return-value]
+                try:
+                    runs[node.index] = self._attempt(node, run_node)
+                except BaseException as error:
+                    raise self._wrap(error, graph) from error
+            return runs  # type: ignore[return-value]
 
         waiting = {node.index: len(node.deps) for node in nodes}
         ready = sorted(i for i, n in waiting.items() if n == 0)
@@ -118,7 +169,7 @@ class StageScheduler:
         with ThreadPoolExecutor(
             max_workers=self.max_concurrent, thread_name_prefix="repro-stage"
         ) as pool:
-            running = {pool.submit(run_node, nodes[i]): i for i in ready}
+            running = {pool.submit(self._attempt, nodes[i], run_node): i for i in ready}
             while running:
                 done, __ = wait(running, return_when=FIRST_COMPLETED)
                 freed: list[int] = []
@@ -129,7 +180,7 @@ class StageScheduler:
                         if failure is None:
                             failure = error
                         continue
-                    meters[index] = future.result()
+                    runs[index] = future.result()
                     for dependent in nodes[index].dependents:
                         if dependent in waiting:
                             waiting[dependent] -= 1
@@ -138,26 +189,95 @@ class StageScheduler:
                                 del waiting[dependent]
                 if failure is None:
                     for i in sorted(freed):
-                        running[pool.submit(run_node, nodes[i])] = i
+                        running[pool.submit(self._attempt, nodes[i], run_node)] = i
                 # After a failure: submit nothing more, drain what runs.
         if failure is not None:
-            raise failure
-        return meters  # type: ignore[return-value]
+            raise self._wrap(failure, graph) from failure
+        return runs  # type: ignore[return-value]
+
+    def _attempt(
+        self,
+        node: StageNode,
+        run_node: Callable[[StageNode], StageMeter],
+    ) -> NodeRun:
+        """Run one node with retry-on-retryable-fault and capped backoff."""
+        failed_meters: list[StageMeter] = []
+        backoff_total = 0.0
+        attempt = 1
+        while True:
+            try:
+                meter = run_node(node)
+            except BaseException as error:
+                failed = getattr(error, "stage_meter", None)
+                if failed is not None:
+                    failed_meters.append(failed)
+                retryable = bool(getattr(error, "retryable", False))
+                if not retryable or attempt >= self.max_attempts:
+                    # Carry context for the wrapping at the dispatch level.
+                    error._repro_node = node  # type: ignore[attr-defined]
+                    error._repro_attempts = attempt  # type: ignore[attr-defined]
+                    raise
+                backoff = min(
+                    self.backoff_base_sec * (2.0 ** (attempt - 1)),
+                    self.backoff_cap_sec,
+                )
+                backoff_total += backoff
+                self._emit(
+                    {
+                        "event": "retry",
+                        "node": node.index,
+                        "stage": node.stage,
+                        "attempt": attempt,
+                        "backoff_sec": backoff,
+                        "error": type(error).__name__,
+                        "detail": str(error),
+                    }
+                )
+                attempt += 1
+            else:
+                return NodeRun(
+                    meters=failed_meters + [meter],
+                    attempts=attempt,
+                    backoff_seconds=backoff_total,
+                )
+
+    def _wrap(self, error: BaseException, graph: StageGraph) -> StageExecutionError:
+        node = getattr(error, "_repro_node", None)
+        attempts = getattr(error, "_repro_attempts", 1)
+        index = node.index if node is not None else None
+        stage = node.stage if node is not None else None
+        step_kinds: tuple[str, ...] = ()
+        if node is not None and getattr(graph, "plan", None) is not None:
+            step_kinds = tuple(
+                sorted({type(graph.plan.steps[i]).__name__ for i in node.steps})
+            )
+        where = f"node {index} (stage {stage})" if node is not None else "a node"
+        return StageExecutionError(
+            f"stage-graph {where} failed after {attempts} attempt(s): {error}",
+            node=index,
+            stage=stage,
+            step_kinds=step_kinds,
+            attempts=attempts,
+            cause=error,
+        )
+
+    def _emit(self, event: dict) -> None:
+        if self._event_sink is None:
+            return
+        with self._event_lock:
+            self._event_sink(event)
 
     # -- simulated schedule --------------------------------------------------
 
-    def _simulate(
-        self, graph: StageGraph, meters: list[StageMeter]
-    ) -> SchedulerReport:
+    def _simulate(self, graph: StageGraph, runs: list[NodeRun]) -> SchedulerReport:
+        durations = [self._node_duration(run) for run in runs]
+        if self.speculation_multiplier > 0:
+            durations = self._speculate(graph, runs, durations)
+
         timings: list[StageTiming] = []
-        finish = [0.0] * len(meters)
+        finish = [0.0] * len(runs)
         for node in graph.nodes:  # indices are topological
-            network, compute, overhead = meters[node.index].breakdown()
-            duration = TimeBreakdown(
-                network_seconds=network,
-                compute_seconds=compute,
-                overhead_seconds=overhead,
-            )
+            duration = durations[node.index]
             start = max((finish[dep] for dep in node.deps), default=0.0)
             finish[node.index] = start + duration.total_seconds
             timings.append(
@@ -180,6 +300,77 @@ class StageScheduler:
         return SchedulerReport(
             timings=timings, critical_path=tuple(critical), elapsed=elapsed
         )
+
+    @staticmethod
+    def _node_duration(run: NodeRun) -> TimeBreakdown:
+        """Total simulated cost of one node: every attempt's metered time
+        (each scaled by its straggler slowdown, if any) plus retry backoff
+        booked as overhead."""
+        network = compute = overhead = 0.0
+        for meter in run.meters:
+            n, c, o = meter.breakdown()
+            factor = float(getattr(meter, "slowdown_factor", 1.0))
+            network += n * factor
+            compute += c * factor
+            overhead += o * factor
+        return TimeBreakdown(
+            network_seconds=network,
+            compute_seconds=compute,
+            overhead_seconds=overhead + run.backoff_seconds,
+        )
+
+    def _speculate(
+        self,
+        graph: StageGraph,
+        runs: list[NodeRun],
+        durations: list[TimeBreakdown],
+    ) -> list[TimeBreakdown]:
+        """Re-simulate straggler nodes with a speculative healthy copy.
+
+        A copy is launched once a node runs ``N x`` the median duration of
+        its same-stage siblings; the copy needs the node's *clean* (unslowed)
+        duration, and the first finisher wins.  Deterministic: pure
+        arithmetic over the measured durations, no wall-clock involved.
+        """
+        by_stage: dict[int, list[int]] = {}
+        for node in graph.nodes:
+            by_stage.setdefault(node.stage, []).append(node.index)
+
+        adjusted = list(durations)
+        for node in graph.nodes:
+            siblings = [i for i in by_stage[node.stage] if i != node.index]
+            if not siblings:
+                continue
+            slowed = durations[node.index].total_seconds
+            clean = sum(
+                sum(meter.breakdown()) for meter in runs[node.index].meters
+            ) + runs[node.index].backoff_seconds
+            if slowed <= clean:
+                continue  # not a straggler
+            threshold = self.speculation_multiplier * statistics.median(
+                durations[i].total_seconds for i in siblings
+            )
+            effective = min(slowed, threshold + clean)
+            if effective >= slowed:
+                continue  # the copy would not have finished first
+            scale = effective / slowed if slowed > 0 else 1.0
+            old = durations[node.index]
+            adjusted[node.index] = TimeBreakdown(
+                network_seconds=old.network_seconds * scale,
+                compute_seconds=old.compute_seconds * scale,
+                overhead_seconds=old.overhead_seconds * scale,
+            )
+            self._emit(
+                {
+                    "event": "speculation",
+                    "node": node.index,
+                    "stage": node.stage,
+                    "slowed_sec": slowed,
+                    "effective_sec": effective,
+                    "threshold_sec": threshold,
+                }
+            )
+        return adjusted
 
     @staticmethod
     def _critical_path(

@@ -92,18 +92,24 @@ class DMacSession:
         inputs: dict[str, np.ndarray] | None = None,
         plan: Plan | None = None,
         trace: bool = False,
+        chaos=None,
     ) -> ExecutionResult:
         """Plan (unless a plan is supplied) and execute under DMac.
 
         With ``lint="warn"`` or ``lint="error"``, the plan is statically
         analysed first; error mode refuses to execute a plan carrying
         error-severity findings.
+
+        ``chaos`` installs a :class:`~repro.faults.ChaosEngine` for the
+        run: its faults fire at their seeded points, the runtime recovers
+        (retries, lineage recomputation, checkpoints), and the result's
+        ``recovery`` field reports what that cost.
         """
         plan = plan or self.plan(program)
         if self.lint != "off":
             self._lint(plan)
         executor = PlanExecutor(self.context, self.config.block_size)
-        return executor.execute(plan, inputs, trace=trace)
+        return executor.execute(plan, inputs, trace=trace, chaos=chaos)
 
     def _lint(self, plan: Plan) -> None:
         from repro.lint import LintContext, lint_plan

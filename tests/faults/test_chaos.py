@@ -1,0 +1,168 @@
+"""ChaosEngine: deterministic decisions, per-point budgets, and the
+clean-run guarantee (an installed engine whose clauses never fire leaves
+the run bit-identical to one without any engine)."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, DMacSession, TransferFault, WorkerCrashed
+from repro.datasets import sparse_random
+from repro.faults import ChaosEngine
+from repro.programs import build_pagerank_program
+
+
+def node(index=0, stage=1):
+    return SimpleNamespace(index=index, stage=stage)
+
+
+class TestDeterministicRolls:
+    def test_roll_is_pure_function_of_seed_and_point(self):
+        a = ChaosEngine(7, "crash")
+        b = ChaosEngine(7, "crash")
+        assert a._roll("crash/0/node=1/attempt=1") == b._roll(
+            "crash/0/node=1/attempt=1"
+        )
+
+    def test_roll_varies_with_seed_and_point(self):
+        engine = ChaosEngine(7, "crash")
+        other = ChaosEngine(8, "crash")
+        point = "crash/0/node=1/attempt=1"
+        assert engine._roll(point) != other._roll(point)
+        assert engine._roll(point) != engine._roll("crash/0/node=2/attempt=1")
+
+    def test_roll_is_uniform_range(self):
+        engine = ChaosEngine(3, "crash")
+        rolls = [engine._roll(f"point/{i}") for i in range(200)]
+        assert all(0.0 <= r < 1.0 for r in rolls)
+        assert 0.3 < sum(rolls) / len(rolls) < 0.7  # no gross bias
+
+    def test_crash_decision_is_repeatable(self):
+        def injected_on(seed):
+            engine = ChaosEngine(seed, "crash:p=0.5,times=0")
+            fired = []
+            for index in range(8):
+                with engine.stage_scope(node(index=index)):
+                    try:
+                        engine.on_stage_start()
+                    except WorkerCrashed:
+                        fired.append(index)
+            return fired
+
+        first = injected_on(11)
+        assert first == injected_on(11)
+        assert 0 < len(first) < 8, "p=0.5 over 8 nodes should be mixed"
+
+
+class TestBudgets:
+    def test_times_caps_fires_per_point_family(self):
+        engine = ChaosEngine(1, "crash:times=2")
+        fired = 0
+        for __ in range(5):
+            with engine.stage_scope(node(index=4)):
+                try:
+                    engine.on_stage_start()
+                except WorkerCrashed:
+                    fired += 1
+        assert fired == 2
+
+    def test_budgets_are_per_node_not_global(self):
+        engine = ChaosEngine(1, "crash:times=1")
+        fired = []
+        for index in (0, 1, 2):
+            with engine.stage_scope(node(index=index)):
+                try:
+                    engine.on_stage_start()
+                except WorkerCrashed:
+                    fired.append(index)
+        assert fired == [0, 1, 2], "each node has its own budget"
+
+    def test_times_zero_is_unlimited(self):
+        engine = ChaosEngine(1, "crash:times=0")
+        fired = 0
+        for __ in range(4):
+            with engine.stage_scope(node(index=0)):
+                try:
+                    engine.on_stage_start()
+                except WorkerCrashed:
+                    fired += 1
+        assert fired == 4
+
+
+class TestHookFiltering:
+    def test_crash_respects_stage_filter(self):
+        engine = ChaosEngine(1, "crash:stage=3")
+        with engine.stage_scope(node(index=0, stage=2)):
+            engine.on_stage_start()  # no match: no raise
+        with engine.stage_scope(node(index=1, stage=3)):
+            with pytest.raises(WorkerCrashed) as info:
+                engine.on_stage_start()
+        assert info.value.retryable
+        assert info.value.stage == 3
+
+    def test_flaky_respects_transfer_kind(self):
+        engine = ChaosEngine(1, "flaky:at=shuffle")
+        with engine.stage_scope(node()):
+            engine.on_transfer("broadcast", 128)  # wrong kind: no raise
+            with pytest.raises(TransferFault) as info:
+                engine.on_transfer("shuffle", 128)
+        assert info.value.retryable
+
+    def test_shuffle_entry_hook_is_a_shuffle_transfer(self):
+        engine = ChaosEngine(1, "flaky:at=shuffle")
+        with engine.stage_scope(node()):
+            with pytest.raises(TransferFault):
+                engine.on_shuffle_start(num_source_partitions=2)
+
+    def test_straggler_reports_combined_factor(self):
+        engine = ChaosEngine(1, "straggler:factor=3;straggler:factor=2")
+        with engine.stage_scope(node()):
+            assert engine.slowdown_factor() == pytest.approx(6.0)
+        with engine.stage_scope(node()):  # budgets spent: healthy again
+            assert engine.slowdown_factor() == 1.0
+
+    def test_on_publish_matches_instance_name(self):
+        engine = ChaosEngine(1, "lostblock:instance=rank@3")
+        hit = SimpleNamespace(name="rank@3")
+        miss = SimpleNamespace(name="rank@2")
+        assert not engine.on_publish(miss)
+        assert engine.on_publish(hit)
+        assert not engine.on_publish(hit), "lostblock budget is once per instance"
+
+    def test_attempts_are_counted_per_node(self):
+        engine = ChaosEngine(1, "crash:times=0,p=0.0")
+        for expected in (1, 2):
+            with engine.stage_scope(node(index=5)):
+                assert engine._node_attempts[5] == expected
+
+
+class TestCleanRunIdentity:
+    """ISSUE acceptance gate: with faults disabled the system is
+    bit-identical to a run without the chaos machinery."""
+
+    def run_pagerank(self, chaos):
+        nodes = 48
+        program = build_pagerank_program(nodes, 0.1, iterations=3)
+        link = sparse_random(nodes, nodes, 0.1, seed=5, ensure_coverage=True)
+        link = link / np.maximum(link.sum(axis=1, keepdims=True), 1e-12)
+        session = DMacSession(
+            ClusterConfig(num_workers=4, threads_per_worker=1, block_size=16)
+        )
+        return session.run(program, {"link": link}, chaos=chaos)
+
+    def test_inert_engine_changes_nothing(self):
+        baseline = self.run_pagerank(chaos=None)
+        # Clauses that can never fire: wrong stage, zero probability.
+        inert = self.run_pagerank(chaos=ChaosEngine(7, "crash:stage=9999;flaky:p=0.0"))
+        assert inert.comm_bytes == baseline.comm_bytes
+        assert inert.simulated_seconds == baseline.simulated_seconds
+        assert inert.num_stages == baseline.num_stages
+        for name, array in baseline.matrices.items():
+            np.testing.assert_array_equal(inert.matrices[name], array)
+        assert inert.recovery is not None
+        assert inert.recovery["injected"] == 0
+        assert inert.recovery["retries"] == 0
+
+    def test_no_chaos_run_reports_no_recovery(self):
+        assert self.run_pagerank(chaos=None).recovery is None

@@ -1,0 +1,98 @@
+"""The ``repro chaos`` command: spec errors, report formats, exit codes
+and the byte-identical JSON determinism gate CI enforces."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST_PAGERANK = ["chaos", "pagerank", "--scale", "1e-3", "--iterations", "4"]
+
+
+class TestParser:
+    def test_faults_flag_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "pagerank"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["chaos", "pagerank", "--faults", "crash"]
+        )
+        assert args.faults == "crash"
+        assert args.retries == 3
+        assert args.checkpoint_every == 0
+        assert args.speculation == 0.0
+        assert args.format == "text"
+        assert args.seed == 0
+
+
+class TestExitCodes:
+    def test_bad_spec_exits_2(self, capsys):
+        assert main(FAST_PAGERANK + ["--faults", "meteor"]) == 2
+        err = capsys.readouterr().err
+        assert "fault spec error" in err
+        assert "unknown fault kind" in err
+
+    def test_recovered_run_exits_0(self, capsys):
+        code = main(
+            FAST_PAGERANK
+            + ["--seed", "7", "--faults", "lostblock:instance=rank,iteration=3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "results match clean run" in out
+        assert "1 block(s) lost" in out
+
+
+class TestReports:
+    def test_text_report_shape(self, capsys):
+        main(
+            FAST_PAGERANK
+            + ["--seed", "7", "--faults", "crash:times=1",
+               "--retries", "3"]
+        )
+        out = capsys.readouterr().out
+        assert "chaos report: pagerank" in out
+        assert "clean run:" in out
+        assert "faulted run:" in out
+        assert "overhead:" in out
+        assert "retried" in out
+
+    def test_json_report_is_valid_and_complete(self, capsys):
+        main(
+            FAST_PAGERANK
+            + ["--seed", "7", "--format", "json",
+               "--faults", "lostblock:instance=rank,iteration=3",
+               "--checkpoint-every", "2"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["app"] == "pagerank"
+        assert report["results_match"] is True
+        assert report["recovery"]["blocks_recovered"] == 1
+        assert report["recovery"]["checkpoints"] > 0
+        assert report["overhead"]["extra_comm_bytes"] > 0
+        assert report["faulted"]["simulated_seconds"] > report["clean"][
+            "simulated_seconds"
+        ]
+
+    def test_same_seed_json_reports_are_byte_identical(self, capsys):
+        """The CI determinism gate: two runs, same seed, identical bytes."""
+        argv = FAST_PAGERANK + [
+            "--seed", "11", "--format", "json",
+            "--faults",
+            "crash:times=1;flaky:p=0.9,times=1;lostblock:instance=rank,iteration=3",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_different_seeds_can_differ(self, capsys):
+        argv = FAST_PAGERANK + ["--format", "json", "--faults", "flaky:p=0.5,times=1"]
+        main(argv + ["--seed", "1"])
+        first = json.loads(capsys.readouterr().out)
+        main(argv + ["--seed", "2"])
+        second = json.loads(capsys.readouterr().out)
+        assert first["seed"] != second["seed"]

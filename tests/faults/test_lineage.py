@@ -1,0 +1,114 @@
+"""LineageTracker: the recovery cone of a lost instance is minimal --
+the producing step plus recursively-unavailable upstream producers only."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.planner import DMacPlanner
+from repro.core.stages import schedule_stages
+from repro.errors import ShuffleBlockLost
+from repro.faults import LineageTracker
+from repro.matrix.schemes import Scheme
+from repro.programs import build_pagerank_program
+
+
+@pytest.fixture(scope="module")
+def plan():
+    program = build_pagerank_program(64, 0.05, iterations=4)
+    return schedule_stages(DMacPlanner(program, 3).plan())
+
+
+@pytest.fixture(scope="module")
+def tracker(plan):
+    return LineageTracker(plan)
+
+
+def find_instance(plan, name):
+    for step in plan.steps:
+        output = step.output_instance()
+        if output is not None and output.name == name:
+            return output
+    raise AssertionError(f"plan produces no instance named {name!r}")
+
+
+class TestProducers:
+    def test_every_produced_instance_has_a_producer(self, plan, tracker):
+        for index, step in enumerate(plan.steps):
+            output = step.output_instance()
+            if output is None:
+                continue
+            producer = tracker.producing_step(output)
+            assert producer is not None and producer <= index
+
+    def test_first_producer_wins_for_replicated_instances(self, plan, tracker):
+        """When an instance materialises under several schemes, the cone
+        rebuilds from its first producing step."""
+        seen = set()
+        for index, step in enumerate(plan.steps):
+            output = step.output_instance()
+            if output is None or output in seen:
+                continue
+            seen.add(output)
+            assert tracker.producing_step(output) == index
+
+
+class TestRecoveryCone:
+    def test_cone_with_everything_else_available_is_one_step(self, plan, tracker):
+        lost = find_instance(plan, "rank@3")
+        cone = tracker.recovery_cone(lost, available=lambda i: True)
+        assert cone == [tracker.producing_step(lost)]
+
+    def test_cone_is_sorted_and_closed_under_dependencies(self, plan, tracker):
+        lost = find_instance(plan, "rank@4")
+        cone = tracker.recovery_cone(lost, available=lambda i: False)
+        assert cone == sorted(cone)
+        members = set(cone)
+        for index in cone:
+            for upstream in plan.steps[index].inputs():
+                producer = tracker.producing_step(upstream)
+                assert producer in members, (
+                    f"step {index} consumes {upstream} but its producer "
+                    f"is outside the cone"
+                )
+
+    def test_nothing_available_means_full_history(self, plan, tracker):
+        """With no instance available the cone of the last rank version
+        spans every iteration back to the loads."""
+        last = find_instance(plan, "rank@4")
+        first = find_instance(plan, "rank")
+        cone = tracker.recovery_cone(last, available=lambda i: False)
+        assert tracker.producing_step(first) in cone
+
+    def test_availability_prunes_the_cone(self, plan, tracker):
+        """A checkpoint of rank@2 cuts the cone for rank@4 down to the
+        steps after the checkpoint."""
+        last = find_instance(plan, "rank@4")
+        full = tracker.recovery_cone(last, available=lambda i: False)
+        pruned = tracker.recovery_cone(
+            last, available=lambda i: i.name in ("rank@2", "link", "D")
+        )
+        assert set(pruned) < set(full)
+        first = find_instance(plan, "rank")
+        assert tracker.producing_step(first) not in pruned
+
+    def test_unknown_instance_raises_shuffle_block_lost(self, tracker):
+        orphan = dataclasses.replace(
+            find_instance(tracker.plan, "rank"), name="nosuch@9"
+        )
+        with pytest.raises(ShuffleBlockLost, match="no producing step"):
+            tracker.recovery_cone(orphan, available=lambda i: False)
+
+    def test_cone_stops_at_lost_instances_own_scheme_variants(self, plan, tracker):
+        """Losing one scheme replica recomputes from the first producer --
+        the cone never includes steps after it."""
+        lost = find_instance(plan, "rank@2")
+        cone = tracker.recovery_cone(lost, available=lambda i: True)
+        assert max(cone) == tracker.producing_step(lost)
+
+    def test_scheme_matters_for_identity(self, plan, tracker):
+        lost = find_instance(plan, "rank")
+        relabeled = lost.with_scheme(Scheme.COL)
+        if lost.scheme != Scheme.COL and tracker.producing_step(relabeled) is None:
+            with pytest.raises(ShuffleBlockLost):
+                tracker.recovery_cone(relabeled, available=lambda i: False)

@@ -1,0 +1,154 @@
+"""End-to-end recovery: lineage recomputation, checkpoint replay, retries
+and speculation on real applications under injected faults."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, DMacSession, RecoveryConfig
+from repro.datasets import sparse_random
+from repro.faults import ChaosEngine
+from repro.faults.recovery import _ssa_version
+from repro.programs import build_pagerank_program
+from repro.programs.gnmf import build_gnmf_program
+
+NODES = 64
+ITERATIONS = 4
+
+
+def pagerank_inputs():
+    link = sparse_random(NODES, NODES, 0.05, seed=3, ensure_coverage=True)
+    return {"link": link / np.maximum(link.sum(axis=1, keepdims=True), 1e-12)}
+
+
+def run_pagerank(chaos=None, **recovery_kwargs):
+    config = ClusterConfig(
+        num_workers=3,
+        threads_per_worker=1,
+        block_size=16,
+        recovery=RecoveryConfig(**recovery_kwargs) if recovery_kwargs else RecoveryConfig(),
+    )
+    program = build_pagerank_program(NODES, 0.05, iterations=ITERATIONS)
+    return DMacSession(config).run(program, pagerank_inputs(), chaos=chaos)
+
+
+def assert_results_match(faulted, clean):
+    assert set(faulted.matrices) == set(clean.matrices)
+    for name, array in clean.matrices.items():
+        np.testing.assert_allclose(faulted.matrices[name], array, atol=1e-9)
+
+
+class TestLostBlockRecovery:
+    def test_lost_cone_recovery_beats_full_restart(self):
+        """ISSUE acceptance: recomputing the lost block's upstream cone
+        moves strictly fewer bytes than rerunning the program."""
+        clean = run_pagerank()
+        chaos = ChaosEngine(7, "lostblock:instance=rank,iteration=3")
+        faulted = run_pagerank(chaos=chaos)
+        recovery = faulted.recovery
+        assert recovery["blocks_lost"] == 1
+        assert recovery["blocks_recovered"] == 1
+        assert recovery["steps_recomputed"] > 0
+        assert 0 < recovery["bytes_recomputed"] < clean.comm_bytes, (
+            "lineage recovery must be cheaper than a full restart"
+        )
+        assert_results_match(faulted, clean)
+
+    def test_recovery_charges_the_ledger(self):
+        clean = run_pagerank()
+        chaos = ChaosEngine(7, "lostblock:instance=rank,iteration=3")
+        faulted = run_pagerank(chaos=chaos)
+        assert faulted.comm_bytes > clean.comm_bytes
+        assert faulted.simulated_seconds > clean.simulated_seconds
+
+    def test_losing_the_last_iteration_still_recovers(self):
+        clean = run_pagerank()
+        chaos = ChaosEngine(7, f"lostblock:instance=rank,iteration={ITERATIONS}")
+        faulted = run_pagerank(chaos=chaos)
+        assert faulted.recovery["blocks_recovered"] == 1
+        assert_results_match(faulted, clean)
+
+
+class TestCheckpointing:
+    def test_checkpoints_shrink_the_recovery_cone(self):
+        spec = "lostblock:instance=rank,iteration=3"
+        plain = run_pagerank(chaos=ChaosEngine(7, spec))
+        checked = run_pagerank(chaos=ChaosEngine(7, spec), checkpoint_every=2)
+        assert checked.recovery["checkpoints"] > 0
+        assert checked.recovery["checkpoint_bytes"] > 0
+        assert (
+            checked.recovery["steps_recomputed"]
+            < plain.recovery["steps_recomputed"]
+        )
+        assert (
+            checked.recovery["bytes_recomputed"]
+            < plain.recovery["bytes_recomputed"]
+        )
+        assert_results_match(checked, run_pagerank())
+
+    def test_checkpoint_io_costs_simulated_time(self):
+        clean = run_pagerank()
+        checked = run_pagerank(
+            chaos=ChaosEngine(7, "crash:stage=9999"), checkpoint_every=2
+        )
+        assert checked.recovery["checkpoints"] > 0
+        assert checked.simulated_seconds > clean.simulated_seconds
+        assert_results_match(checked, clean)
+
+    @pytest.mark.parametrize(
+        "name, version",
+        [("rank@3", 3), ("rank", None), ("W@12", 12), ("a@b", None), ("x@", None)],
+    )
+    def test_ssa_version_parsing(self, name, version):
+        assert _ssa_version(name) == version
+
+
+class TestRetries:
+    def test_crash_is_retried_and_run_completes(self):
+        clean = run_pagerank()
+        chaos = ChaosEngine(7, "crash:times=1")
+        faulted = run_pagerank(chaos=chaos, max_stage_attempts=3)
+        assert faulted.recovery["injected"] >= 1
+        assert faulted.recovery["retries"] >= 1
+        assert faulted.simulated_seconds > clean.simulated_seconds, (
+            "failed attempts and backoff must cost simulated time"
+        )
+        assert_results_match(faulted, clean)
+
+    def test_flaky_transfer_is_retried(self):
+        clean = run_pagerank()
+        chaos = ChaosEngine(7, "flaky:times=1")
+        faulted = run_pagerank(chaos=chaos, max_stage_attempts=3)
+        assert faulted.recovery["injected"] >= 1
+        assert faulted.recovery["retries"] >= 1
+        assert_results_match(faulted, clean)
+
+
+class TestSpeculation:
+    def test_speculative_copies_cut_straggler_latency(self):
+        # Seed 1 + p=0.4 slows exactly one of the three same-stage load
+        # islands; its healthy siblings give speculation a sane median.
+        spec = "straggler:stage=1,factor=8,p=0.4"
+        slowed = run_pagerank(chaos=ChaosEngine(1, spec))
+        mitigated = run_pagerank(
+            chaos=ChaosEngine(1, spec), speculation_multiplier=2.0
+        )
+        assert mitigated.recovery["speculations"] > 0
+        assert mitigated.simulated_seconds < slowed.simulated_seconds
+        assert_results_match(mitigated, run_pagerank())
+
+
+class TestGnmfUnderFaults:
+    def test_gnmf_recovers_a_lost_factor(self):
+        shape = (48, 32)
+        program = build_gnmf_program(shape, 0.2, factors=4, iterations=2)
+        data = sparse_random(*shape, 0.2, seed=5, ensure_coverage=True)
+        config = ClusterConfig(
+            num_workers=3, threads_per_worker=1, block_size=8
+        )
+        clean = DMacSession(config).run(program, {"V": data})
+        chaos = ChaosEngine(5, "lostblock:instance=H,iteration=2")
+        faulted = DMacSession(config).run(program, {"V": data}, chaos=chaos)
+        assert faulted.recovery["blocks_recovered"] == 1
+        assert set(faulted.matrices) == set(clean.matrices)
+        for name, array in clean.matrices.items():
+            np.testing.assert_allclose(faulted.matrices[name], array, atol=1e-9)

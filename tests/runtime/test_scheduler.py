@@ -6,6 +6,7 @@ import pytest
 
 from repro.config import ClusterConfig
 from repro.core.planner import DMacPlanner
+from repro.errors import StageExecutionError
 from repro.core.stages import schedule_stages
 from repro.lang.program import ProgramBuilder
 from repro.rdd.context import ClusterContext
@@ -126,7 +127,7 @@ class TestDispatch:
         StageScheduler(max_concurrent=4).run(graph, run)
         assert finished == [0, 1, 2]
 
-    def test_original_exception_is_reraised_unwrapped(self):
+    def test_failure_is_wrapped_with_node_context(self):
         graph = synthetic_graph({0: (), 1: ()})
 
         class Boom(RuntimeError):
@@ -137,8 +138,13 @@ class TestDispatch:
                 raise Boom("stage exploded")
             return StageMeter()
 
-        with pytest.raises(Boom, match="stage exploded"):
+        with pytest.raises(StageExecutionError, match="stage exploded") as info:
             StageScheduler(max_concurrent=2).run(graph, run)
+        assert info.value.node == 1
+        assert info.value.stage == 1
+        assert info.value.attempts == 1
+        assert isinstance(info.value.cause, Boom)
+        assert isinstance(info.value.__cause__, Boom)
 
     def test_failure_stops_downstream_submission(self):
         ran: list[int] = []
@@ -152,13 +158,147 @@ class TestDispatch:
                 raise ValueError("root failed")
             return StageMeter()
 
-        with pytest.raises(ValueError):
+        with pytest.raises(StageExecutionError, match="root failed"):
             StageScheduler(max_concurrent=2).run(graph, run)
         assert ran == [0]
 
     def test_rejects_bad_width(self):
         with pytest.raises(ValueError):
             StageScheduler(max_concurrent=0)
+
+
+class FlakyError(RuntimeError):
+    """A stub transient fault: the scheduler retries on ``retryable``."""
+
+    retryable = True
+
+
+class TestRetry:
+    def make_runner(self, failures_of: dict[int, int], counts: dict[int, int]):
+        """run_node failing a node's first ``failures_of[i]`` attempts."""
+
+        def run(node: StageNode) -> StageMeter:
+            counts[node.index] = counts.get(node.index, 0) + 1
+            if counts[node.index] <= failures_of.get(node.index, 0):
+                raise FlakyError(f"transient failure of node {node.index}")
+            meter = StageMeter()
+            meter.add_compute(1.0)
+            return meter
+
+        return run
+
+    def test_retryable_fault_is_retried(self):
+        graph = synthetic_graph({0: ()})
+        counts: dict[int, int] = {}
+        scheduler = StageScheduler(max_attempts=3, backoff_base_sec=1.0)
+        report = scheduler.run(graph, self.make_runner({0: 2}, counts))
+        assert counts[0] == 3
+        # backoff 1 + 2 booked as overhead, plus the final compute second
+        assert report.elapsed.overhead_seconds == pytest.approx(3.0)
+        assert report.elapsed.compute_seconds == pytest.approx(1.0)
+
+    def test_backoff_is_capped(self):
+        graph = synthetic_graph({0: ()})
+        counts: dict[int, int] = {}
+        scheduler = StageScheduler(
+            max_attempts=5, backoff_base_sec=1.0, backoff_cap_sec=2.0
+        )
+        report = scheduler.run(graph, self.make_runner({0: 4}, counts))
+        # backoffs 1, 2, 2, 2 (cap), not 1, 2, 4, 8
+        assert report.elapsed.overhead_seconds == pytest.approx(7.0)
+
+    def test_exhausted_retries_wrap_with_attempt_count(self):
+        graph = synthetic_graph({0: ()})
+        counts: dict[int, int] = {}
+        scheduler = StageScheduler(max_attempts=3)
+        with pytest.raises(StageExecutionError, match="after 3 attempt") as info:
+            scheduler.run(graph, self.make_runner({0: 99}, counts))
+        assert counts[0] == 3
+        assert info.value.attempts == 3
+
+    def test_non_retryable_fault_fails_fast(self):
+        graph = synthetic_graph({0: ()})
+        counts: dict[int, int] = {}
+
+        def run(node: StageNode) -> StageMeter:
+            counts[node.index] = counts.get(node.index, 0) + 1
+            raise ValueError("genuine bug")
+
+        with pytest.raises(StageExecutionError, match="genuine bug"):
+            StageScheduler(max_attempts=5).run(graph, run)
+        assert counts[0] == 1
+
+    def test_failed_attempt_cost_is_charged(self):
+        """A failed attempt's metered seconds count towards the node."""
+        graph = synthetic_graph({0: ()})
+        attempts: dict[int, int] = {}
+
+        def run(node: StageNode) -> StageMeter:
+            attempts[node.index] = attempts.get(node.index, 0) + 1
+            meter = StageMeter()
+            meter.add_compute(2.0)
+            if attempts[node.index] == 1:
+                error = FlakyError("died mid-stage")
+                error.stage_meter = meter  # as the executor attaches it
+                raise error
+            return meter
+
+        report = StageScheduler(max_attempts=2, backoff_base_sec=0.5).run(graph, run)
+        assert report.elapsed.compute_seconds == pytest.approx(4.0)
+        assert report.elapsed.overhead_seconds == pytest.approx(0.5)
+
+    def test_retry_events_reach_the_sink(self):
+        graph = synthetic_graph({0: ()})
+        events: list[dict] = []
+        scheduler = StageScheduler(
+            max_attempts=2, backoff_base_sec=1.0, event_sink=events.append
+        )
+        scheduler.run(graph, self.make_runner({0: 1}, {}))
+        assert [e["event"] for e in events] == ["retry"]
+        assert events[0]["node"] == 0
+        assert events[0]["backoff_sec"] == pytest.approx(1.0)
+
+
+class TestSpeculation:
+    def run_with_slowdown(self, multiplier: float, factor: float):
+        """Three same-stage siblings, node 2 slowed by ``factor``."""
+        graph = synthetic_graph({0: (), 1: (), 2: ()})
+
+        def run(node: StageNode) -> StageMeter:
+            meter = StageMeter()
+            meter.add_compute(2.0)
+            if node.index == 2:
+                meter.slowdown_factor = factor
+            return meter
+
+        events: list[dict] = []
+        scheduler = StageScheduler(
+            speculation_multiplier=multiplier, event_sink=events.append
+        )
+        return scheduler.run(graph, run), events
+
+    def test_straggler_is_cut_to_threshold_plus_clean(self):
+        report, events = self.run_with_slowdown(multiplier=2.0, factor=10.0)
+        # slowed = 20s; copy launches at 2 x median(2s) = 4s, runs clean 2s
+        assert report.timings[2].duration_seconds == pytest.approx(6.0)
+        assert [e["event"] for e in events] == ["speculation"]
+        assert events[0]["node"] == 2
+
+    def test_mild_straggler_keeps_its_own_time(self):
+        report, events = self.run_with_slowdown(multiplier=2.0, factor=1.5)
+        # slowed = 3s < threshold 4s + clean 2s: the original finishes first
+        assert report.timings[2].duration_seconds == pytest.approx(3.0)
+        assert events == []
+
+    def test_speculation_disabled_is_inert(self):
+        report, events = self.run_with_slowdown(multiplier=0.0, factor=10.0)
+        assert report.timings[2].duration_seconds == pytest.approx(20.0)
+        assert events == []
+
+    def test_no_slowdown_means_no_speculation(self):
+        report, events = self.run_with_slowdown(multiplier=2.0, factor=1.0)
+        assert report.timings[2].duration_seconds == pytest.approx(2.0)
+        assert events == []
 
 
 class TestEndToEnd:

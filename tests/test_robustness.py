@@ -4,7 +4,12 @@ resource-limit failures, extreme cluster configurations."""
 import numpy as np
 import pytest
 
-from repro import ClusterConfig, DMacSession, MemoryLimitExceeded
+from repro import (
+    ClusterConfig,
+    DMacSession,
+    MemoryLimitExceeded,
+    StageExecutionError,
+)
 from repro.baselines.rlocal import run_local
 from repro.datasets import sparse_random
 from repro.lang.program import ProgramBuilder
@@ -80,14 +85,16 @@ class TestDegenerateShapes:
 
 class TestResourceFailures:
     def test_memory_limit_propagates_from_distributed_run(self, rng):
-        """A worker exceeding its budget mid-program surfaces the error."""
+        """A worker exceeding its budget mid-program surfaces the error,
+        wrapped with the failing stage's context."""
         pb = ProgramBuilder()
         a = pb.load("A", (64, 64))
         pb.output(pb.assign("B", a @ a))
-        with pytest.raises(MemoryLimitExceeded):
+        with pytest.raises(StageExecutionError, match="exceeds limit") as info:
             session(block=8, memory_limit_bytes=2000).run(
                 pb.build(), {"A": rng.random((64, 64))}
             )
+        assert isinstance(info.value.__cause__, MemoryLimitExceeded)
 
     def test_generous_limit_is_harmless(self, rng):
         pb = ProgramBuilder()
