@@ -37,6 +37,7 @@ EXPERIMENTS = {
     "shufflesizeof": "bench_shuffle_sizeof.py",
     "runtimesmoke": "bench_runtime_smoke.py",
     "recovery": "bench_recovery_overhead.py",
+    "planopt": "bench_planopt.py",
 }
 
 

@@ -69,6 +69,11 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
                         help="block rows/cols (default: Equation 3 automatic)")
     parser.add_argument("--compare", action="store_true",
                         help="also run the SystemML-S baseline")
+    parser.add_argument("--optimize", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="run the repro.planopt pass pipeline (CSE, "
+                             "repartition coalescing, dead-step elimination, "
+                             "loop-invariant hoisting) on the plan")
 
 
 def _session(args: argparse.Namespace) -> DMacSession:
@@ -77,7 +82,8 @@ def _session(args: argparse.Namespace) -> DMacSession:
             num_workers=args.workers,
             threads_per_worker=args.threads,
             block_size=args.block_size,
-        )
+        ),
+        optimize=getattr(args, "optimize", False),
     )
 
 
@@ -157,6 +163,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
             np.testing.assert_allclose(
                 result.matrices[name], baseline.matrices[name], atol=1e-7
             )
+    if getattr(args, "format", "text") == "json":
+        ledger = session.context.ledger
+        report = {
+            "app": args.app,
+            "optimized": args.optimize,
+            "comm_bytes": result.comm_bytes,
+            "bytes_by_kind": ledger.bytes_by_kind(),
+            "shuffle_links": {
+                f"{src}->{dst}": nbytes
+                for (src, dst), nbytes in sorted(ledger.bytes_by_link().items())
+            },
+            "simulated_seconds": result.simulated_seconds,
+            "num_stages": result.num_stages,
+            "peak_memory_bytes": result.peak_memory_bytes,
+            "cache": result.cache,
+        }
+        if baseline is not None:
+            report["baseline_comm_bytes"] = baseline.comm_bytes
+            report["baseline_simulated_seconds"] = baseline.simulated_seconds
+        print(json.dumps(report, indent=2))
+        return 0
     _report(f"DMac {args.app}", result, baseline)
     if svd_names is not None:
         values = singular_values(result.scalars, svd_names)
@@ -231,6 +258,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     except ProgramError as exc:
         print(f"parse error: {exc}", file=sys.stderr)
         return EXIT_PARSE_ERROR
+    if args.show_rewrites:
+        args.optimize = True  # rewrites only exist on optimized plans
     session = _session(args)
     plan = session.plan(program)
     if args.dot:
@@ -239,9 +268,15 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print(json.dumps(
             {
                 "target": args.app,
+                "optimized": args.optimize,
                 "predicted_bytes": plan.predicted_bytes,
                 "num_stages": plan.num_stages,
                 "outputs": {k: str(v) for k, v in plan.outputs.items()},
+                "cache_pins": [str(i) for i in getattr(plan, "cache_pins", ())],
+                "rewrites": [
+                    {"pass": r.pass_name, "description": r.description}
+                    for r in getattr(plan, "rewrites", ())
+                ],
                 "steps": [
                     {"stage": step.stage, "communicates": step.communicates,
                      "description": str(step)}
@@ -254,6 +289,14 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print(f"# {args.app}")
         print(format_statistics(explain(plan, args.workers)))
         print(plan.describe())
+        if args.show_rewrites:
+            rewrites = getattr(plan, "rewrites", ())
+            print(f"\n# applied rewrites ({len(rewrites)})")
+            for rewrite in rewrites:
+                print(rewrite.format_human())
+            pins = getattr(plan, "cache_pins", ())
+            if pins:
+                print("# cache pins: " + ", ".join(str(i) for i in pins))
     return EXIT_OK
 
 
@@ -302,7 +345,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if args.target in APPS:
             args.app = args.target
             program, __, ___ = _workload(args)
-            report = lint_plan(plan_for(program, context), context, suppress)
+            plan = plan_for(program, context)
+            if args.optimize:
+                from repro.planopt import optimize_plan
+
+                plan = optimize_plan(plan, num_workers=args.workers)
+            report = lint_plan(plan, context, suppress)
         elif os.path.exists(args.target):
             report = lint_path(args.target, context, suppress)
         else:
@@ -396,6 +444,9 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="execute an application on the simulated cluster")
     _add_app_args(run)
     _add_cluster_args(run)
+    run.add_argument("--format", choices=["text", "json"], default="text",
+                     help="report format (default: text); json includes "
+                          "per-link shuffle traffic and cache statistics")
     run.set_defaults(func=_cmd_run)
 
     plan = sub.add_parser("plan", help="print the DMac plan for an application")
@@ -406,6 +457,9 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
     plan.add_argument("--format", choices=["text", "json"], default="text",
                       help="report format (default: text)")
+    plan.add_argument("--show-rewrites", action="store_true",
+                      help="optimize the plan and list the applied "
+                           "repro.planopt rewrites")
     plan.set_defaults(func=_cmd_plan)
 
     stages = sub.add_parser(

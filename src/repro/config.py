@@ -121,6 +121,12 @@ class ClusterConfig:
         resource_event_log_limit: cap on the ResourceManager's lifecycle
             event log (long iterative runs with retries would otherwise
             grow it without bound); ``None`` keeps it unbounded.
+        cache_limit_bytes: per-worker budget for instances the optimizer
+            pinned in the runtime BlockCache.  ``None`` falls back to
+            ``memory_limit_bytes`` (and to "unbounded" when that is also
+            ``None``).  Exceeding it never fails a run: the least recently
+            used pinned instance is spilled and, if read again, recomputed
+            through lineage.
     """
 
     num_workers: int = 4
@@ -132,6 +138,7 @@ class ClusterConfig:
     max_concurrent_stages: int | None = None
     recovery: RecoveryConfig = dataclasses.field(default_factory=RecoveryConfig)
     resource_event_log_limit: int | None = 65536
+    cache_limit_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -153,4 +160,9 @@ class ClusterConfig:
             raise ClusterError(
                 f"resource_event_log_limit must be >= 1 or None, "
                 f"got {self.resource_event_log_limit}"
+            )
+        if self.cache_limit_bytes is not None and self.cache_limit_bytes < 1:
+            raise ClusterError(
+                f"cache_limit_bytes must be >= 1 or None, "
+                f"got {self.cache_limit_bytes}"
             )

@@ -254,6 +254,11 @@ class Plan:
     outputs: dict[str, MatrixInstance]  # program output name -> readable instance
     predicted_bytes: int  # communication the plan expects to incur
     num_stages: int = 0  # filled by the stage scheduler
+    #: Instances the optimizer marked loop-invariant: the runtime keeps them
+    #: pinned in the BlockCache until their last consumer has run.
+    cache_pins: tuple[MatrixInstance, ...] = ()
+    #: Audit trail of optimizer rewrites (``repro plan --show-rewrites``).
+    rewrites: tuple = ()
 
     def communicating_steps(self) -> list[Step]:
         return [step for step in self.steps if step.communicates]

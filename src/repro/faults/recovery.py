@@ -174,6 +174,9 @@ class RecoveringResources:
     # never bound -- but the executor always binds.)
     def bind_state(self, state) -> None:
         self._state = state
+        # The wrapped manager refills spilled cache entries itself; it needs
+        # the same execution state.
+        self._manager.bind_state(state)
 
     # -- kernel-facing API ----------------------------------------------------
 

@@ -733,6 +733,46 @@ def check_rebroadcast(inputs: LintInput) -> Iterator[Diagnostic]:
             )
 
 
+@rule(
+    "DM206",
+    severity=Severity.WARNING,
+    family="inefficiency",
+    title="cache pins exceed the per-worker memory budget",
+    paper="Section 5.3, Equation 2 (per-worker memory model)",
+    hint="pinning more than the budget guarantees the block cache will "
+    "spill and recompute; raise cache_limit_bytes / memory_limit_bytes "
+    "or reduce the pin set",
+)
+def check_cache_pin_budget(inputs: LintInput) -> Iterator[Diagnostic]:
+    """The optimizer's pinned working set (``plan.cache_pins``) must fit
+    the declared per-worker budget, or the cache thrashes: every pin is
+    resident for the whole run, so their per-worker shares add up."""
+    this = _rule("DM206")
+    facts = inputs.facts
+    budget = inputs.context.memory_limit_bytes
+    if facts is None or budget is None:
+        return
+    pins = getattr(facts.plan, "cache_pins", ())
+    if not pins:
+        return
+    workers = inputs.context.num_workers
+    total = 0
+    shares = []
+    for instance in pins:
+        nbytes = facts.nbytes(instance.name)
+        # A replica is fully resident on every worker; a one-dimensional
+        # layout spreads its blocks, ceil(|A| / K) per worker.
+        share = nbytes if instance.scheme is Scheme.BROADCAST else -(-nbytes // workers)
+        total += share
+        shares.append(f"{instance}~{share}")
+    if total > budget:
+        yield this.diagnostic(
+            f"pinned working set weighs ~{total} bytes per worker "
+            f"({', '.join(shares)}), above the {budget}-byte budget: "
+            f"the cache will spill and recompute pins every iteration",
+        )
+
+
 def invariant_rules() -> list[Rule]:
     return [r for r in RULES.values() if r.family == "invariant"]
 

@@ -289,6 +289,23 @@ def _corrupt_rebroadcast(plan: Plan, context: LintContext):
     return plan, context
 
 
+def _corrupt_cache_pins(plan: Plan, context: LintContext):
+    """Pin every replica in the plan and declare a budget sized to the
+    largest single replica: each replica fits on its own (DM106 silent,
+    which requires strictly-over), but the pinned set as a whole cannot."""
+    from repro.lint.facts import build_facts
+
+    facts = build_facts(plan)
+    replicas = sorted(
+        (i for i in facts.producer if i.scheme is Scheme.BROADCAST), key=str
+    )
+    if len(replicas) < 2:
+        raise AssertionError("need >= 2 replicas for an overweight pin set")
+    plan.cache_pins = tuple(replicas)
+    budget = max(facts.nbytes(i.name) for i in replicas)
+    return plan, dataclasses.replace(context, memory_limit_bytes=budget)
+
+
 CORRUPTIONS: tuple[Corruption, ...] = (
     Corruption("transposed declared dimensions", "DM101", _corrupt_shape),
     Corruption("mutated matmul strategy", "DM102", _corrupt_scheme),
@@ -302,6 +319,7 @@ CORRUPTIONS: tuple[Corruption, ...] = (
     Corruption("transpose round-trip", "DM203", _corrupt_transpose_pair),
     Corruption("cpmm on a tall-thin product", "DM204", _corrupt_cpmm_choice),
     Corruption("duplicated broadcast", "DM205", _corrupt_rebroadcast),
+    Corruption("overweight cache pin set", "DM206", _corrupt_cache_pins),
 )
 
 assert {c.rule for c in CORRUPTIONS} == set(RULES), "every rule needs a corruption"

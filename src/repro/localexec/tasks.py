@@ -68,21 +68,27 @@ def inplace_matmul_tasks(
     """Cut In-Place tasks for the block product of two local grids.
 
     For every result coordinate ``(i, j)`` with at least one matching inner
-    index ``k`` present in both grids, one task carries all its pairs.
+    index ``k`` present in both grids, one task carries all its pairs --
+    accumulated in ascending ``k`` order, so the float summation order is a
+    function of the block coordinates alone, never of grid insertion order
+    (partitions arriving from a shuffle and natively produced ones hold the
+    same blocks in different record orders).
     """
-    by_result: dict[BlockKey, list[tuple[Block, Block]]] = {}
+    by_result: dict[BlockKey, list[tuple[int, Block, Block]]] = {}
     b_by_k: dict[int, list[tuple[int, Block]]] = {}
     for (k, j), block in b_grid.items():
         b_by_k.setdefault(k, []).append((j, block))
     for (i, k), a_block in a_grid.items():
         for j, b_block in b_by_k.get(k, ()):
-            by_result.setdefault((i, j), []).append((a_block, b_block))
+            by_result.setdefault((i, j), []).append((k, a_block, b_block))
     tasks = []
-    for (i, j), pairs in sorted(by_result.items()):
+    for (i, j), triples in sorted(by_result.items()):
+        triples.sort(key=lambda triple: triple[0])
+        pairs = tuple((a, b) for __, a, b in triples)
         rows = pairs[0][0].shape[0]
         cols = pairs[0][1].shape[1]
         tasks.append(
-            MultiplyAccumulateTask((i, j), (rows, cols), tuple(pairs))
+            MultiplyAccumulateTask((i, j), (rows, cols), pairs)
         )
     return tasks
 

@@ -1,0 +1,203 @@
+"""Shared infrastructure for the plan-optimizer passes.
+
+Passes rewrite a :class:`~repro.core.plan.Plan` *in place on a clone* --
+:func:`clone_plan` shallow-copies every step (instances are frozen, so
+sharing them is safe) and the original plan is never mutated.  The helpers
+here answer the structural questions every pass asks: who produces an
+instance, who consumes it, what is a valid topological order, and what
+communication the rewritten plan predicts.
+
+``recompute_predicted_bytes`` re-derives ``plan.predicted_bytes`` with the
+exact per-step accounting the dependency-oriented cost model (paper
+Section 4.1) uses -- the same decomposition ``repro.lint``'s DM104 rule
+checks -- so an optimized plan always lints clean.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+
+from repro.core.estimator import SizeEstimator
+from repro.core.plan import (
+    ExtendedStep,
+    MatMulStep,
+    MatrixInstance,
+    Plan,
+    RowAggStep,
+    Step,
+)
+from repro.errors import PlanError
+
+
+@dataclasses.dataclass(frozen=True)
+class AppliedRewrite:
+    """One optimizer rewrite, for the ``--show-rewrites`` audit trail."""
+
+    pass_name: str
+    description: str
+    removed: tuple[str, ...] = ()  # human-readable steps deleted/merged away
+    added: tuple[str, ...] = ()  # steps or pins introduced
+
+    def format_human(self) -> str:
+        lines = [f"[{self.pass_name}] {self.description}"]
+        lines.extend(f"  - {step}" for step in self.removed)
+        lines.extend(f"  + {step}" for step in self.added)
+        return "\n".join(lines)
+
+
+def clone_plan(plan: Plan) -> Plan:
+    """A mutation-safe copy: fresh step objects, shared frozen instances."""
+    return Plan(
+        program=plan.program,
+        steps=[copy.copy(step) for step in plan.steps],
+        outputs=dict(plan.outputs),
+        predicted_bytes=plan.predicted_bytes,
+        num_stages=0,
+        cache_pins=tuple(plan.cache_pins),
+        rewrites=tuple(plan.rewrites),
+    )
+
+
+def producer_map(plan: Plan) -> dict[MatrixInstance, Step]:
+    """Instance -> the step that materialises it."""
+    producers: dict[MatrixInstance, Step] = {}
+    for step in plan.steps:
+        output = step.output_instance()
+        if output is not None:
+            producers[output] = step
+    return producers
+
+
+def consumer_map(plan: Plan) -> dict[MatrixInstance, list[Step]]:
+    """Instance -> every step that reads it (one entry per reading step)."""
+    consumers: dict[MatrixInstance, list[Step]] = {}
+    for step in plan.steps:
+        for instance in step.inputs():
+            consumers.setdefault(instance, []).append(step)
+    return consumers
+
+
+def toposort_steps(plan: Plan) -> None:
+    """Re-order ``plan.steps`` into a stable topological order.
+
+    Stable Kahn over matrix *and* scalar dependencies: among ready steps the
+    original relative order is kept, so a plan that is already sorted comes
+    back unchanged.  Raises :class:`PlanError` on a dependency cycle or a
+    step consuming an instance nothing produces (both indicate an optimizer
+    bug -- callers treat it as "abort this candidate").
+    """
+    produced: dict[MatrixInstance, int] = {}
+    scalar_produced: dict[str, int] = {}
+    for index, step in enumerate(plan.steps):
+        output = step.output_instance()
+        if output is not None:
+            produced[output] = index
+        scalar = step.scalar_output()
+        if scalar is not None:
+            scalar_produced[scalar] = index
+
+    dependents: dict[int, list[int]] = {i: [] for i in range(len(plan.steps))}
+    indegree = [0] * len(plan.steps)
+    for index, step in enumerate(plan.steps):
+        deps = set()
+        for instance in step.inputs():
+            if instance not in produced:
+                raise PlanError(
+                    f"rewritten plan consumes {instance} but nothing produces it"
+                )
+            deps.add(produced[instance])
+        for name in step.scalar_inputs():
+            if name in scalar_produced:  # program-level scalars need no step
+                deps.add(scalar_produced[name])
+        for dep in deps:
+            dependents[dep].append(index)
+            indegree[index] += 1
+
+    import heapq
+
+    ready = [i for i in range(len(plan.steps)) if indegree[i] == 0]
+    heapq.heapify(ready)
+    order: list[int] = []
+    while ready:
+        index = heapq.heappop(ready)
+        order.append(index)
+        for succ in dependents[index]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                heapq.heappush(ready, succ)
+    if len(order) != len(plan.steps):
+        raise PlanError("rewritten plan has a dependency cycle")
+    plan.steps = [plan.steps[i] for i in order]
+
+
+def predicted_bytes_under(
+    plan: Plan, num_workers: int, estimation_mode: str
+) -> int:
+    """The plan's communication under one estimation mode (pure; does not
+    touch ``plan.predicted_bytes``)."""
+    estimator = SizeEstimator(plan.program, estimation_mode)
+    total = 0
+    for step in plan.steps:
+        if isinstance(step, ExtendedStep) and step.communicates:
+            nbytes = estimator.nbytes(step.source.name)
+            total += (num_workers - 1) * nbytes if step.kind == "broadcast" else nbytes
+        elif isinstance(step, (MatMulStep, RowAggStep)) and step.communicates:
+            total += (num_workers - 1) * estimator.nbytes(step.output.name)
+    return total
+
+
+def recompute_predicted_bytes(
+    plan: Plan, num_workers: int, estimation_mode: str = "worst"
+) -> None:
+    """Re-derive ``plan.predicted_bytes`` from the rewritten step list."""
+    plan.predicted_bytes = predicted_bytes_under(
+        plan, num_workers, estimation_mode
+    )
+
+
+# -- iteration structure ------------------------------------------------------
+
+
+def version_of(name: str) -> int:
+    """The SSA version of a program name (``X@3`` -> 3, unversioned -> 0)."""
+    __, sep, version = name.partition("@")
+    return int(version) if sep else 0
+
+
+def epoch_map(plan: Plan) -> dict[MatrixInstance, int]:
+    """Instance -> the highest SSA version among its transitive ancestors.
+
+    Epoch 0 instances depend only on loop-invariant data: they are exactly
+    the values an unrolled loop recomputes verbatim each iteration (until
+    CSE merges them), hence the hoisting pass's pin candidates.
+    """
+    epochs: dict[MatrixInstance, int] = {}
+    scalar_epochs: dict[str, int] = {}
+    for step in plan.steps:  # steps are topologically ordered
+        epoch = 0
+        for instance in step.inputs():
+            epoch = max(epoch, version_of(instance.name), epochs.get(instance, 0))
+        for name in step.scalar_inputs():
+            epoch = max(epoch, version_of(name), scalar_epochs.get(name, 0))
+        output = step.output_instance()
+        if output is not None:
+            epochs[output] = max(epoch, version_of(output.name))
+        scalar = step.scalar_output()
+        if scalar is not None:
+            scalar_epochs[scalar] = max(epoch, version_of(scalar))
+    return epochs
+
+
+def step_version(step: Step) -> int:
+    """The highest SSA version named anywhere in a step -- a cheap proxy
+    for which unrolled iteration the step belongs to."""
+    versions = [version_of(instance.name) for instance in step.inputs()]
+    versions.extend(version_of(name) for name in step.scalar_inputs())
+    output = step.output_instance()
+    if output is not None:
+        versions.append(version_of(output.name))
+    scalar = step.scalar_output()
+    if scalar is not None:
+        versions.append(version_of(scalar))
+    return max(versions, default=0)

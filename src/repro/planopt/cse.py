@@ -1,0 +1,124 @@
+"""Common-subexpression elimination over plan steps.
+
+Two steps are *structurally identical* when they apply the same operator
+(same kind, same parameters) to the same input instances and produce their
+output under the same layout (transposed flag + scheme).  Unrolled loops
+emit such duplicates freely -- PageRank recomputes ``D * (1 - d)/N`` every
+iteration -- and the planner's per-operator lowering cannot see across
+iterations.  This pass keeps the first occurrence, deletes the rest, and
+renames every reference to a deleted step's output (including derived
+conversion instances and program outputs) to the kept name.
+
+Renaming can itself create *exact* duplicates (two ``partition`` steps now
+converting the same kept instance to the same target); those are plain
+removals -- same output instance, no renaming needed.  The pass loops to a
+fixpoint so cascades resolve in one call.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import (
+    AggregateStep,
+    CellwiseStep,
+    ExtendedStep,
+    MatMulStep,
+    MatrixInstance,
+    Plan,
+    RowAggStep,
+    ScalarComputeStep,
+    ScalarMatrixStep,
+    SourceStep,
+    Step,
+    UnaryStep,
+)
+from repro.planopt.common import AppliedRewrite
+
+#: Step fields that hold matrix instances (for renaming).
+INSTANCE_FIELDS = ("source", "target", "left", "right", "output")
+
+
+def structural_key(step: Step) -> tuple | None:
+    """A hashable identity for "computes the same value, same layout".
+
+    ``None`` marks steps this pass never merges: sources (merging two
+    loads/randoms is the planner's job, and random seeds differ), and
+    scalar-producing steps (driver scalars are cheap and name-keyed).
+    """
+    if isinstance(step, ExtendedStep):
+        return ("ext", step.kind, step.source, step.target)
+    if isinstance(step, MatMulStep):
+        return ("mm", step.strategy, step.left, step.right,
+                step.output.transposed, step.output.scheme)
+    if isinstance(step, CellwiseStep):
+        return ("cw", step.op.op, step.left, step.right,
+                step.output.transposed, step.output.scheme)
+    if isinstance(step, ScalarMatrixStep):
+        return ("sm", step.op.op, step.op.scalar, step.source,
+                step.output.transposed, step.output.scheme)
+    if isinstance(step, UnaryStep):
+        return ("un", step.op.func, step.source,
+                step.output.transposed, step.output.scheme)
+    if isinstance(step, RowAggStep):
+        return ("ra", step.op.kind, step.strategy, step.source,
+                step.output.transposed, step.output.scheme)
+    if isinstance(step, (SourceStep, AggregateStep, ScalarComputeStep)):
+        return None
+    return None  # unknown step kinds are left alone
+
+
+def rename_instances(plan: Plan, old_name: str, new_name: str) -> None:
+    """Replace every instance named ``old_name`` (any layout) with the same
+    layout under ``new_name``, across all steps and the output table."""
+
+    def renamed(instance: MatrixInstance) -> MatrixInstance:
+        if instance.name != old_name:
+            return instance
+        return MatrixInstance(new_name, instance.transposed, instance.scheme)
+
+    for step in plan.steps:
+        for field in INSTANCE_FIELDS:
+            value = getattr(step, field, None)
+            if isinstance(value, MatrixInstance):
+                setattr(step, field, renamed(value))
+    for output_name, instance in plan.outputs.items():
+        plan.outputs[output_name] = renamed(instance)
+
+
+def _find_duplicate(plan: Plan) -> tuple[Step, Step] | None:
+    seen: dict[tuple, Step] = {}
+    for step in plan.steps:
+        key = structural_key(step)
+        if key is None:
+            continue
+        if key in seen:
+            return seen[key], step
+        seen[key] = step
+    return None
+
+
+def eliminate_common_steps(plan: Plan) -> list[AppliedRewrite]:
+    """Run CSE to a fixpoint on ``plan`` (mutated in place)."""
+    rewrites: list[AppliedRewrite] = []
+    while True:
+        found = _find_duplicate(plan)
+        if found is None:
+            return rewrites
+        kept, dup = found
+        plan.steps.remove(dup)
+        dup_out = dup.output_instance()
+        kept_out = kept.output_instance()
+        if dup_out == kept_out:
+            rewrites.append(AppliedRewrite(
+                "cse", f"removed exact duplicate of {kept}",
+                removed=(str(dup),),
+            ))
+            continue
+        # Distinct output names computing the same value: fold the
+        # duplicate's whole name (all derived layouts) onto the kept name.
+        rename_instances(plan, dup_out.name, kept_out.name)
+        rewrites.append(AppliedRewrite(
+            "cse",
+            f"merged {dup_out.name} into {kept_out.name} "
+            f"(identical computation)",
+            removed=(str(dup),),
+        ))

@@ -1,0 +1,43 @@
+"""Dead-step elimination: drop steps whose value never reaches an output.
+
+Backward liveness from the plan's matrix outputs and the program's scalar
+outputs, through each step's ``inputs()`` / ``scalar_inputs()``.  Other
+passes create the garbage this one collects: CSE leaves conversion chains
+of merged names dangling, repartition coalescing strands the intermediate
+hop of a merged ``A -> Row -> Column`` chain.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import Plan
+from repro.planopt.common import AppliedRewrite
+
+
+def eliminate_dead_steps(plan: Plan) -> list[AppliedRewrite]:
+    """Remove unreachable steps from ``plan`` (mutated in place)."""
+    live_instances = set(plan.outputs.values())
+    live_scalars = set(plan.program.scalar_outputs)
+    kept_reversed = []
+    removed = []
+    for step in reversed(plan.steps):
+        output = step.output_instance()
+        scalar = step.scalar_output()
+        alive = (
+            (output is not None and output in live_instances)
+            or (scalar is not None and scalar in live_scalars)
+        )
+        if not alive:
+            removed.append(str(step))
+            continue
+        kept_reversed.append(step)
+        live_instances.update(step.inputs())
+        live_scalars.update(step.scalar_inputs())
+    if not removed:
+        return []
+    plan.steps = list(reversed(kept_reversed))
+    removed.reverse()
+    return [AppliedRewrite(
+        "dce",
+        f"removed {len(removed)} step(s) whose value never reaches an output",
+        removed=tuple(removed),
+    )]

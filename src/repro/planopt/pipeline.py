@@ -1,0 +1,126 @@
+"""The optimizer pipeline: ordered passes over a cloned plan.
+
+:func:`optimize_plan` is the one entry point the session and CLI use.  It
+never mutates the plan it is given: passes run on a clone, and the clone
+comes back stage-scheduled with a fresh ``predicted_bytes`` (recomputed
+with the cost model's own per-step accounting, so DM104 stays silent) and
+an ``AppliedRewrite`` audit trail in ``plan.rewrites``.
+
+The default pipeline interleaves CSE, repartition coalescing and dead-step
+elimination to a fixpoint -- coalescing exposes new common subexpressions
+and strands dead conversions, so one round is rarely enough -- then runs
+loop-invariant hoisting last, once the surviving step set is final.
+
+Custom rewrites plug in through the :class:`Pass` protocol; later PRs add
+passes by appending to ``DEFAULT_PASSES`` or handing ``optimize_plan`` an
+explicit sequence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Protocol, runtime_checkable
+
+from repro.core.plan import Plan
+from repro.core.stages import schedule_stages
+from repro.planopt.coalesce import coalesce_repartitions
+from repro.planopt.common import (
+    AppliedRewrite,
+    clone_plan,
+    recompute_predicted_bytes,
+    toposort_steps,
+)
+from repro.planopt.cse import eliminate_common_steps
+from repro.planopt.dce import eliminate_dead_steps
+from repro.planopt.hoist import pin_loop_invariants
+
+#: Cap on CSE/coalesce/DCE fixpoint rounds.
+MAX_PIPELINE_ROUNDS = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class PassContext:
+    """What a pass may assume about the target cluster."""
+
+    num_workers: int
+    estimation_mode: str = "worst"
+
+
+@runtime_checkable
+class Pass(Protocol):
+    """One plan rewrite: mutate ``plan`` in place, report what changed."""
+
+    name: str
+
+    def run(self, plan: Plan, context: PassContext) -> list[AppliedRewrite]: ...
+
+
+class CSEPass:
+    name = "cse"
+
+    def run(self, plan: Plan, context: PassContext) -> list[AppliedRewrite]:
+        return eliminate_common_steps(plan)
+
+
+class CoalescePass:
+    name = "coalesce"
+
+    def run(self, plan: Plan, context: PassContext) -> list[AppliedRewrite]:
+        return coalesce_repartitions(
+            plan,
+            num_workers=context.num_workers,
+            estimation_mode=context.estimation_mode,
+        )
+
+
+class DeadStepPass:
+    name = "dce"
+
+    def run(self, plan: Plan, context: PassContext) -> list[AppliedRewrite]:
+        return eliminate_dead_steps(plan)
+
+
+class HoistPass:
+    name = "hoist"
+
+    def run(self, plan: Plan, context: PassContext) -> list[AppliedRewrite]:
+        return pin_loop_invariants(plan)
+
+
+DEFAULT_PASSES: tuple[Pass, ...] = (
+    CSEPass(),
+    CoalescePass(),
+    DeadStepPass(),
+    HoistPass(),
+)
+
+
+def optimize_plan(
+    plan: Plan,
+    *,
+    num_workers: int,
+    estimation_mode: str = "worst",
+    passes: tuple[Pass, ...] | None = None,
+) -> Plan:
+    """Run the pass pipeline; returns a new, stage-scheduled plan."""
+    context = PassContext(num_workers=num_workers, estimation_mode=estimation_mode)
+    optimized = clone_plan(plan)
+    pipeline = DEFAULT_PASSES if passes is None else tuple(passes)
+    rewrites: list[AppliedRewrite] = list(optimized.rewrites)
+    hoisters = [p for p in pipeline if isinstance(p, HoistPass)]
+    rounds = [p for p in pipeline if not isinstance(p, HoistPass)]
+    for __ in range(MAX_PIPELINE_ROUNDS):
+        changed = False
+        for the_pass in rounds:
+            applied = the_pass.run(optimized, context)
+            if applied:
+                changed = True
+                rewrites.extend(applied)
+        if not changed:
+            break
+    for the_pass in hoisters:
+        rewrites.extend(the_pass.run(optimized, context))
+    toposort_steps(optimized)
+    recompute_predicted_bytes(optimized, num_workers, estimation_mode)
+    optimized.rewrites = tuple(rewrites)
+    return schedule_stages(optimized)

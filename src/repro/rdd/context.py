@@ -99,11 +99,26 @@ class ClusterContext:
 
     # -- communication ------------------------------------------------------------
 
-    def transfer(self, kind: str, nbytes: int) -> None:
-        """Meter a cross-worker transfer in the ledger and the clock."""
+    def transfer(
+        self,
+        kind: str,
+        nbytes: int,
+        links: dict[tuple[int, int], int] | None = None,
+    ) -> None:
+        """Meter a cross-worker transfer in the ledger and the clock.
+
+        ``links`` optionally attributes the bytes to (source worker, target
+        worker) pairs; the chaos hook and the clock still fire exactly once
+        on the total, so per-link attribution never perturbs fault
+        determinism or simulated time.
+        """
         if self.chaos is not None:
             self.chaos.on_transfer(kind, nbytes)  # may raise an injected fault
-        self.ledger.record(kind, nbytes)
+        if links:
+            for link in sorted(links):
+                self.ledger.record(kind, links[link], link)
+        else:
+            self.ledger.record(kind, nbytes)
         self.clock.advance_network(nbytes)
 
     def broadcast(self, value: object, nbytes: int | None = None) -> Broadcast:

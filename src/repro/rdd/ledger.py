@@ -29,6 +29,10 @@ class TransferRecord:
     kind: str  # "shuffle" or "broadcast"
     nbytes: int
     scope: str  # e.g. "stage-2/partition(W)"
+    #: The (source worker, target worker) link the bytes crossed, when the
+    #: reporting service knows it (the shuffle service does); ``None`` for
+    #: aggregate records such as broadcasts.
+    link: tuple[int, int] | None = None
 
 
 class CommunicationLedger:
@@ -68,8 +72,11 @@ class CommunicationLedger:
 
     # -- recording ----------------------------------------------------------
 
-    def record(self, kind: str, nbytes: int) -> None:
-        """Meter one transfer of ``nbytes`` under the current scope."""
+    def record(
+        self, kind: str, nbytes: int, link: tuple[int, int] | None = None
+    ) -> None:
+        """Meter one transfer of ``nbytes`` under the current scope,
+        optionally attributed to a (source, target) worker link."""
         if kind not in TRANSFER_KINDS:
             raise ValueError(f"unknown transfer kind {kind!r}")
         if nbytes < 0:
@@ -78,7 +85,7 @@ class CommunicationLedger:
             return
         scope = "/".join(self._scope_stack())
         with self._lock:
-            self._records.append(TransferRecord(kind, nbytes, scope))
+            self._records.append(TransferRecord(kind, nbytes, scope, link))
 
     # -- reporting ----------------------------------------------------------
 
@@ -92,6 +99,16 @@ class CommunicationLedger:
         with self._lock:
             for record in self._records:
                 out[record.kind] += record.nbytes
+        return dict(out)
+
+    def bytes_by_link(self) -> dict[tuple[int, int], int]:
+        """Bytes per (source worker, target worker) pair, for records that
+        carry link attribution (shuffles do; broadcasts do not)."""
+        out: dict[tuple[int, int], int] = defaultdict(int)
+        with self._lock:
+            for record in self._records:
+                if record.link is not None:
+                    out[record.link] += record.nbytes
         return dict(out)
 
     def bytes_by_scope(self) -> dict[str, int]:

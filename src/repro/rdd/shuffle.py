@@ -38,20 +38,33 @@ def shuffle(
         )
     targets: Partitions = [[] for __ in range(partitioner.num_partitions)]
     moved_bytes = 0
+    # Partition-to-worker placement is a pure function of the index; hoist
+    # it out of the per-record loop into a lookup table (free records stay
+    # free without a method call per record).
+    worker_of = [
+        context.worker_for_partition(p)
+        for p in range(max(len(source), partitioner.num_partitions))
+    ]
+    # Bytes moved per (source worker, target worker) link, for the ledger.
+    pair_bytes: dict[tuple[int, int], int] = {}
     # The same block object commonly appears in many records of one shuffle
     # (replication-heavy layouts); size it once per call.  The cache must
     # not outlive the call: pooled blocks are mutated in place and object
     # ids are recycled, so a persistent id-keyed cache would go stale.
     sizeof_cache: dict[int, int] = {}
     for source_index, partition in enumerate(source):
-        source_worker = context.worker_for_partition(source_index)
+        source_worker = worker_of[source_index]
         for key, value in partition:
             target_index = partitioner.partition_for(key)
-            if context.worker_for_partition(target_index) != source_worker:
+            target_worker = worker_of[target_index]
+            if target_worker != source_worker:
                 nbytes = sizeof_cache.get(id(value))
                 if nbytes is None:
                     nbytes = sizeof_cache[id(value)] = model_sizeof(value)
-                moved_bytes += nbytes + RECORD_OVERHEAD_BYTES
+                nbytes += RECORD_OVERHEAD_BYTES
+                moved_bytes += nbytes
+                link = (source_worker, target_worker)
+                pair_bytes[link] = pair_bytes.get(link, 0) + nbytes
             targets[target_index].append((key, value))
-    context.transfer("shuffle", moved_bytes)
+    context.transfer("shuffle", moved_bytes, links=pair_bytes)
     return targets

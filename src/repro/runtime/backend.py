@@ -45,6 +45,7 @@ from repro.matrix.schemes import Scheme
 from repro.rdd.clock import SimulatedClock
 from repro.rdd.context import ClusterContext
 from repro.rdd.ledger import CommunicationLedger
+from repro.rdd.sizeof import model_sizeof
 
 
 @runtime_checkable
@@ -94,6 +95,20 @@ class Backend(Protocol):
     def aggregate(self, kind: str, source: DistributedMatrix) -> float: ...
 
     def release(self, matrix: DistributedMatrix) -> None: ...
+
+    # -- block cache accounting ---------------------------------------------
+
+    def cached_bytes(self, matrix: DistributedMatrix) -> dict[int, int]:
+        """Worker index -> model bytes of the matrix's blocks resident
+        there (a Broadcast matrix charges every worker a full copy)."""
+        ...
+
+    def charge_cache(self, worker: int, nbytes: int) -> None:
+        """Charge cached bytes against one worker's memory tracker; may
+        raise :class:`~repro.errors.MemoryLimitExceeded`."""
+        ...
+
+    def discharge_cache(self, worker: int, nbytes: int) -> None: ...
 
     # -- fault injection ----------------------------------------------------
 
@@ -224,6 +239,25 @@ class SimulatedBackend:
         # Grids were discharged from the memory trackers when their producing
         # operation completed; dropping the reference is all that remains.
         pass
+
+    # -- block cache accounting ---------------------------------------------
+
+    def cached_bytes(self, matrix: DistributedMatrix) -> dict[int, int]:
+        out: dict[int, int] = {}
+        for worker in range(self.context.num_workers):
+            nbytes = sum(
+                model_sizeof(block)
+                for block in matrix.worker_grid(worker).values()
+            )
+            if nbytes:
+                out[worker] = nbytes
+        return out
+
+    def charge_cache(self, worker: int, nbytes: int) -> None:
+        self.context.engines[worker].tracker.allocate(nbytes)
+
+    def discharge_cache(self, worker: int, nbytes: int) -> None:
+        self.context.engines[worker].tracker.release(nbytes)
 
     # -- fault injection ----------------------------------------------------
 

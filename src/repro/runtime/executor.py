@@ -36,7 +36,7 @@ from repro.runtime.backend import Backend, SimulatedBackend
 from repro.runtime.graph import StageGraph, StageNode
 from repro.runtime.metering import StageMeter, metered
 from repro.runtime.registry import spec_for
-from repro.runtime.resources import ResourceManager
+from repro.runtime.resources import BlockCache, ResourceManager
 from repro.runtime.scalars import evaluate_scalar  # noqa: F401  (re-export)
 from repro.runtime.scheduler import SchedulerReport, StageScheduler, StageTiming
 
@@ -67,6 +67,7 @@ class ExecutionResult:
     stage_timings: list[StageTiming] | None = None  # simulated stage schedule
     critical_path: tuple[int, ...] = ()  # stage-graph nodes charged to the clock
     recovery: dict | None = None  # fault/recovery summary (chaos runs only)
+    cache: dict | None = None  # BlockCache stats (plans with cache_pins only)
 
     @property
     def simulated_seconds(self) -> float:
@@ -191,10 +192,17 @@ class PlanExecutor:
             else backend.default_block_size(plan)
         )
         config = self.context.config
+        cache = None
+        if getattr(plan, "cache_pins", ()):
+            budget = getattr(config, "cache_limit_bytes", None)
+            if budget is None:
+                budget = getattr(config, "memory_limit_bytes", None)
+            cache = BlockCache(plan.cache_pins, backend, budget_bytes=budget)
         manager = ResourceManager(
             plan,
             backend,
             max_events=getattr(config, "resource_event_log_limit", None),
+            cache=cache,
         )
         resources = manager
         scheduler_kwargs: dict = {}
@@ -238,8 +246,7 @@ class PlanExecutor:
             inputs=inputs,
             block_size=block_size,
         )
-        if chaos is not None:
-            resources.bind_state(state)
+        resources.bind_state(state)
         worker_of_stats = {
             id(stats): worker for worker, stats in backend.flop_sources().items()
         }
@@ -255,6 +262,7 @@ class PlanExecutor:
                 ),
             )
             matrices = self._materialise_outputs(plan, state)
+            cache_stats = cache.stats() if cache is not None else None
         finally:
             state.resources.close()
             if chaos is not None:
@@ -282,6 +290,7 @@ class PlanExecutor:
             stage_timings=report.timings,
             critical_path=report.critical_path,
             recovery=recovery,
+            cache=cache_stats,
         )
 
     # -- one stage-graph node ------------------------------------------------

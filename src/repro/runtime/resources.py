@@ -17,6 +17,15 @@ books balance as ``releases + losts - restores == publishes``).  The log is
 bounded (``max_events``, default :data:`DEFAULT_MAX_EVENTS`) so long
 iterative runs with retries cannot grow it without bound;
 ``events_recorded`` / ``events_dropped`` expose the true totals.
+
+Plans carrying optimizer ``cache_pins`` additionally run with a
+:class:`BlockCache`: pinned instances hold an extra reference (like output
+pins), their resident bytes are charged to the per-worker memory trackers
+so ``peak_memory_bytes`` reflects them, and under cache-budget pressure
+the least-recently-used pin is *spilled* (``("spill", instance)``) --
+freed, but transparently recomputed through its lineage cone on the next
+``get`` (``("refill", instance)``).  Spill/refill events ride alongside
+the publish/release books without changing their balance.
 """
 
 from __future__ import annotations
@@ -25,13 +34,182 @@ import collections
 import threading
 
 from repro.core.plan import MatrixInstance, Plan, Step
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, MemoryLimitExceeded
 from repro.matrix.distributed import DistributedMatrix
 
 #: Default cap on the lifecycle event log.  Long iterative runs with
 #: retries would otherwise grow it without bound; the cap is generous
 #: enough that every test-scale run keeps its full history.
 DEFAULT_MAX_EVENTS = 65536
+
+
+class BlockCache:
+    """LRU residency tracking for the plan's pinned (hoisted) instances.
+
+    The cache does not own matrices -- the :class:`ResourceManager` does.
+    It decides which pinned instances stay resident under the per-worker
+    ``budget_bytes``, and charges/releases their model bytes against the
+    backend's per-worker memory trackers, so a run's
+    ``peak_memory_bytes`` accounts for what caching keeps alive.
+    """
+
+    def __init__(
+        self,
+        pins: tuple[MatrixInstance, ...],
+        backend,
+        budget_bytes: int | None = None,
+    ) -> None:
+        self._pins = frozenset(pins)
+        self._backend = backend
+        self._budget = budget_bytes
+        self._lock = threading.Lock()
+        # instance -> per-worker resident bytes charged for it (LRU order).
+        self._entries: collections.OrderedDict[MatrixInstance, dict[int, int]] = (
+            collections.OrderedDict()
+        )
+        self._worker_bytes: dict[int, int] = {}
+        self.admitted = 0
+        self.spilled = 0
+        self.refilled = 0
+        self.peak_pinned_bytes = 0
+
+    def wants(self, instance: MatrixInstance) -> bool:
+        return instance in self._pins
+
+    def is_hosted(self, instance: MatrixInstance) -> bool:
+        with self._lock:
+            return instance in self._entries
+
+    def admit(
+        self, instance: MatrixInstance, matrix: DistributedMatrix
+    ) -> list[MatrixInstance]:
+        """Host a pinned instance; returns the LRU victims evicted to make
+        room (the manager spills them).  An instance that cannot fit even
+        after evicting everything else is simply not hosted -- it then
+        lives and dies by its refcount like any other instance."""
+        per_worker = self._backend.cached_bytes(matrix)
+        with self._lock:
+            if instance in self._entries:
+                return []
+            victims: list[MatrixInstance] = []
+            while self._overflows(per_worker) and self._entries:
+                victim, victim_bytes = self._entries.popitem(last=False)
+                self._uncharge(victim_bytes)
+                victims.append(victim)
+                self.spilled += 1
+            if self._overflows(per_worker):
+                return victims  # alone over budget: do not host
+            if not self._charge(per_worker):
+                return victims  # engine memory exhausted: do not host
+            self._entries[instance] = per_worker
+            self.admitted += 1
+            return victims
+
+    def touch(self, instance: MatrixInstance) -> None:
+        with self._lock:
+            if instance in self._entries:
+                self._entries.move_to_end(instance)
+
+    def discharge(self, instance: MatrixInstance) -> None:
+        """Stop hosting an instance (freed, lost, or spilled externally)."""
+        with self._lock:
+            per_worker = self._entries.pop(instance, None)
+            if per_worker is not None:
+                self._uncharge(per_worker)
+
+    def close(self) -> None:
+        with self._lock:
+            for per_worker in self._entries.values():
+                self._uncharge(per_worker)
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "pins": len(self._pins),
+                "hosted": len(self._entries),
+                "admitted": self.admitted,
+                "spilled": self.spilled,
+                "refilled": self.refilled,
+                "pinned_bytes": sum(self._worker_bytes.values()),
+                "peak_pinned_bytes": self.peak_pinned_bytes,
+                "budget_bytes": self._budget,
+            }
+
+    # -- internals (caller holds self._lock) ---------------------------------
+
+    def _overflows(self, per_worker: dict[int, int]) -> bool:
+        if self._budget is None:
+            return False
+        return any(
+            self._worker_bytes.get(worker, 0) + nbytes > self._budget
+            for worker, nbytes in per_worker.items()
+        )
+
+    def _charge(self, per_worker: dict[int, int]) -> bool:
+        charged: list[tuple[int, int]] = []
+        for worker, nbytes in per_worker.items():
+            try:
+                self._backend.charge_cache(worker, nbytes)
+            except MemoryLimitExceeded:
+                for done_worker, done_bytes in charged:
+                    self._backend.discharge_cache(done_worker, done_bytes)
+                return False
+            charged.append((worker, nbytes))
+            self._worker_bytes[worker] = self._worker_bytes.get(worker, 0) + nbytes
+        self.peak_pinned_bytes = max(
+            self.peak_pinned_bytes, sum(self._worker_bytes.values())
+        )
+        return True
+
+    def _uncharge(self, per_worker: dict[int, int]) -> None:
+        for worker, nbytes in per_worker.items():
+            self._backend.discharge_cache(worker, nbytes)
+            self._worker_bytes[worker] = self._worker_bytes.get(worker, 0) - nbytes
+
+
+class _RefillResources:
+    """Resource view for refill recomputation: reads fall back scratch ->
+    live manager; writes stay in scratch (mirrors recovery's scratch)."""
+
+    def __init__(self, scratch, manager) -> None:
+        self._scratch = scratch
+        self._manager = manager
+
+    def get(self, instance: MatrixInstance) -> DistributedMatrix:
+        matrix = self._scratch.get(instance)
+        if matrix is not None:
+            return matrix
+        return self._manager.get(instance)
+
+    def publish(self, instance: MatrixInstance, matrix) -> None:
+        self._scratch[instance] = matrix
+
+    def consume(self, step) -> None:
+        pass  # scratch lifetimes end with the refill, not per step
+
+
+class _RefillState:
+    """Execution-state facade for re-running refill cone steps."""
+
+    def __init__(self, base, resources: _RefillResources) -> None:
+        self.backend = base.backend
+        self.inputs = base.inputs
+        self.block_size = base.block_size
+        self.resources = resources
+        self._base = base
+
+    def get_scalar(self, name: str) -> float:
+        return self._base.get_scalar(name)
+
+    def set_scalar(self, name: str, value: float) -> None:
+        pass  # driver scalars were already computed by the real run
+
+    def scalars_snapshot(self) -> dict[str, float]:
+        return self._base.scalars_snapshot()
+
+    def record_trace(self, plan_index, trace) -> None:
+        pass
 
 
 class ResourceManager:
@@ -43,12 +221,18 @@ class ResourceManager:
         backend=None,
         *,
         max_events: int | None = DEFAULT_MAX_EVENTS,
+        cache: BlockCache | None = None,
     ) -> None:
         self._backend = backend
+        self._plan = plan
+        self._cache = cache
+        self._state = None  # bound by the executor before the run starts
         self._lock = threading.Lock()
+        self._refill_lock = threading.RLock()
         self._live: dict[MatrixInstance, DistributedMatrix] = {}
         self._released: set[MatrixInstance] = set()
         self._lost: set[MatrixInstance] = set()
+        self._spilled: set[MatrixInstance] = set()
         self._refs: dict[MatrixInstance, int] = {}
         self.events: collections.deque[tuple[str, MatrixInstance]] = collections.deque(
             maxlen=max_events
@@ -60,6 +244,16 @@ class ResourceManager:
         for instance in plan.outputs.values():
             # Pin program outputs until the driver has materialised them.
             self._refs[instance] = self._refs.get(instance, 0) + 1
+        if cache is not None:
+            for instance in getattr(plan, "cache_pins", ()):
+                # Cache pins hold a reference for the whole run, like output
+                # pins; close() settles it.
+                self._refs[instance] = self._refs.get(instance, 0) + 1
+
+    def bind_state(self, state) -> None:
+        """Give the manager the run's execution state, so spilled cache
+        entries can be recomputed through their lineage cone."""
+        self._state = state
 
     # -- kernel-facing API --------------------------------------------------
 
@@ -77,19 +271,27 @@ class ResourceManager:
                 to_free = matrix
             else:
                 self._live[instance] = matrix
-                return
-        self._free(to_free)
+                to_free = None
+        if to_free is not None:
+            self._free(to_free)
+            return
+        self._maybe_admit(instance, matrix)
 
     def get(self, instance: MatrixInstance) -> DistributedMatrix:
         """The live matrix for an instance (its refcount is untouched;
         consumption is per *step*, via :meth:`consume`)."""
         with self._lock:
             matrix = self._live.get(instance)
-        if matrix is None:
-            raise ExecutionError(
-                f"plan step consumes {instance} but it is not materialised"
-            )
-        return matrix
+            spilled = instance in self._spilled
+        if matrix is not None:
+            if self._cache is not None:
+                self._cache.touch(instance)
+            return matrix
+        if spilled:
+            return self._refill(instance)
+        raise ExecutionError(
+            f"plan step consumes {instance} but it is not materialised"
+        )
 
     def consume(self, step: Step) -> None:
         """A step finished: drop one reference per input it consumed."""
@@ -118,6 +320,8 @@ class ResourceManager:
                 )
             self._lost.add(instance)
             self._log(("lost", instance))
+        if self._cache is not None:
+            self._cache.discharge(instance)
         self._free(matrix)
 
     def is_lost(self, instance: MatrixInstance) -> bool:
@@ -135,6 +339,7 @@ class ResourceManager:
             self._lost.discard(instance)
             self._live[instance] = matrix
             self._log(("restore", instance))
+        self._maybe_admit(instance, matrix)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -149,6 +354,14 @@ class ResourceManager:
             for instance, __ in leftovers:
                 self._released.add(instance)
                 self._log(("release", instance))
+            # Spilled-and-never-refilled cache entries were freed at spill
+            # time; settle their books so every publish has its release.
+            for instance in list(self._spilled):
+                self._released.add(instance)
+                self._log(("release", instance))
+            self._spilled.clear()
+        if self._cache is not None:
+            self._cache.close()
         for __, matrix in leftovers:
             self._free(matrix)
 
@@ -179,8 +392,86 @@ class ResourceManager:
             matrix = self._live.pop(instance)
             self._released.add(instance)
             self._log(("release", instance))
+        if self._cache is not None:
+            self._cache.discharge(instance)
         self._free(matrix)
 
     def _free(self, matrix: DistributedMatrix) -> None:
         if self._backend is not None:
             self._backend.release(matrix)
+
+    # -- block cache ---------------------------------------------------------
+
+    def _maybe_admit(self, instance: MatrixInstance, matrix: DistributedMatrix) -> None:
+        if self._cache is None or not self._cache.wants(instance):
+            return
+        for victim in self._cache.admit(instance, matrix):
+            self._spill(victim)
+
+    def _spill(self, victim: MatrixInstance) -> None:
+        """Free a cache-evicted instance; a later ``get`` refills it."""
+        with self._lock:
+            matrix = self._live.pop(victim, None)
+            if matrix is None:
+                return  # already consumed to zero refs, lost, or spilled
+            self._spilled.add(victim)
+            self._log(("spill", victim))
+        self._free(matrix)
+
+    def _refill(self, instance: MatrixInstance) -> DistributedMatrix:
+        """Recompute a spilled instance through its lineage cone.
+
+        Runs on the consuming stage's thread: the recompute's flops and
+        bytes are charged there, under a ``cache-refill/`` ledger scope.
+        """
+        with self._refill_lock:
+            with self._lock:
+                matrix = self._live.get(instance)
+                if matrix is not None:
+                    return matrix  # another consumer refilled it meanwhile
+                if instance not in self._spilled:
+                    raise ExecutionError(
+                        f"plan step consumes {instance} but it is not materialised"
+                    )
+            if self._state is None:
+                raise ExecutionError(
+                    f"spilled instance {instance} needs recomputation but no "
+                    f"execution state is bound"
+                )
+            # Lazy imports: repro.faults sits above the runtime in the layer
+            # diagram (precedent: the executor's chaos wiring).
+            from repro.faults.lineage import LineageTracker
+            from repro.runtime.registry import spec_for
+
+            def available(inst: MatrixInstance) -> bool:
+                with self._lock:
+                    return inst in self._live
+
+            cone = LineageTracker(self._plan).recovery_cone(instance, available)
+            scratch: dict[MatrixInstance, DistributedMatrix] = {}
+            rstate = _RefillState(self._state, _RefillResources(scratch, self))
+            ledger = self._backend.ledger if self._backend is not None else None
+            if ledger is not None:
+                with ledger.scope("cache-refill"):
+                    for index in cone:
+                        spec_for(self._plan.steps[index]).kernel(
+                            self._plan.steps[index], rstate
+                        )
+            else:  # pragma: no cover - simulated backend always has a ledger
+                for index in cone:
+                    spec_for(self._plan.steps[index]).kernel(
+                        self._plan.steps[index], rstate
+                    )
+            matrix = scratch.get(instance)
+            if matrix is None:
+                raise ExecutionError(
+                    f"refill cone for {instance} did not rebuild it (steps {cone})"
+                )
+            with self._lock:
+                self._spilled.discard(instance)
+                self._live[instance] = matrix
+                self._log(("refill", instance))
+            if self._cache is not None:
+                self._cache.refilled += 1
+            self._maybe_admit(instance, matrix)
+            return matrix

@@ -56,6 +56,7 @@ class DMacSession:
         re_assignment: bool = True,
         estimation_mode: str = "worst",
         lint: str = "off",
+        optimize: bool = False,
     ) -> None:
         if lint not in LINT_MODES:
             raise PlanError(
@@ -67,9 +68,16 @@ class DMacSession:
         self.re_assignment = re_assignment
         self.estimation_mode = estimation_mode
         self.lint = lint
+        self.optimize = optimize
 
     def plan(self, program: MatrixProgram) -> Plan:
-        """Generate and stage-schedule the DMac plan for a program."""
+        """Generate and stage-schedule the DMac plan for a program.
+
+        With ``optimize=True`` the plan additionally goes through the
+        :mod:`repro.planopt` pass pipeline (CSE, repartition coalescing,
+        dead-step elimination, loop-invariant hoisting) before scheduling;
+        applied rewrites are recorded in ``plan.rewrites``.
+        """
         planner = DMacPlanner(
             program,
             self.config.num_workers,
@@ -77,7 +85,16 @@ class DMacSession:
             re_assignment=self.re_assignment,
             estimation_mode=self.estimation_mode,
         )
-        return schedule_stages(planner.plan())
+        plan = schedule_stages(planner.plan())
+        if self.optimize:
+            from repro.planopt import optimize_plan
+
+            plan = optimize_plan(
+                plan,
+                num_workers=self.config.num_workers,
+                estimation_mode=self.estimation_mode,
+            )
+        return plan
 
     def stage_graph(self, program: MatrixProgram, plan: Plan | None = None):
         """The :class:`~repro.runtime.graph.StageGraph` the runtime would
