@@ -38,6 +38,7 @@ EXPERIMENTS = {
     "runtimesmoke": "bench_runtime_smoke.py",
     "recovery": "bench_recovery_overhead.py",
     "planopt": "bench_planopt.py",
+    "traceoverhead": "bench_trace_overhead.py",
 }
 
 

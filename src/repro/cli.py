@@ -12,10 +12,15 @@ Examples::
     python -m repro lint gnmf --format json
     python -m repro lint --selftest                   # prove the rules fire
     python -m repro chaos pagerank --seed 7 --faults "lostblock:instance=rank,iteration=3"
+    python -m repro run gnmf --trace                  # traced run + timeline
+    python -m repro trace pagerank --format chrome --out trace.json  # Perfetto
 
 Exit codes: 0 on success, 1 when the lint reports error-severity findings
 (or a chaos run's recovered results diverge from the clean run), 2 when a
 program or fault spec fails to parse.
+
+Every ``--format json`` subcommand prints exactly one JSON document on
+stdout; human-readable progress and diagnostics go to stderr.
 """
 
 from __future__ import annotations
@@ -155,7 +160,14 @@ def _workload(args: argparse.Namespace):
 def _cmd_run(args: argparse.Namespace) -> int:
     program, inputs, svd_names = _workload(args)
     session = _session(args)
-    result = session.run(program, inputs)
+    tracer = None
+    if getattr(args, "trace", False):
+        from repro.trace import TraceCollector, assert_reconciled
+
+        tracer = TraceCollector()
+    result = session.run(program, inputs, tracer=tracer)
+    if tracer is not None:
+        assert_reconciled(tracer)
     baseline = None
     if args.compare:
         baseline = _session(args).run_systemml(program, inputs)
@@ -182,12 +194,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if baseline is not None:
             report["baseline_comm_bytes"] = baseline.comm_bytes
             report["baseline_simulated_seconds"] = baseline.simulated_seconds
+        if tracer is not None:
+            from repro.trace import reconcile
+
+            report["trace"] = {
+                "reconciled": reconcile(tracer)["ok"],
+                "metrics": tracer.metrics().to_json_dict(),
+            }
         print(json.dumps(report, indent=2))
         return 0
     _report(f"DMac {args.app}", result, baseline)
     if svd_names is not None:
         values = singular_values(result.scalars, svd_names)
         print("top singular values:", np.array2string(values[:5], precision=3))
+    if tracer is not None:
+        from repro.trace import format_summary
+
+        print(format_summary(tracer))
     return 0
 
 
@@ -418,6 +441,50 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return EXIT_OK if results_match else EXIT_LINT_ERRORS
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace import (
+        TraceCollector,
+        assert_reconciled,
+        format_summary,
+        to_chrome_trace,
+        to_json_dict,
+    )
+
+    chaos = None
+    if args.faults:
+        from repro.errors import FaultSpecError
+        from repro.faults import ChaosEngine, parse_fault_spec
+
+        try:
+            clauses = parse_fault_spec(args.faults)
+        except FaultSpecError as exc:
+            print(f"fault spec error: {exc}", file=sys.stderr)
+            return EXIT_PARSE_ERROR
+        chaos = ChaosEngine(args.seed, clauses)
+    program, inputs, __ = _workload(args)
+    session = _session(args)
+    tracer = TraceCollector()
+    print(f"tracing {args.app} on {args.workers} workers ...", file=sys.stderr)
+    session.run(program, inputs, chaos=chaos, tracer=tracer)
+    # The cross-check: trace-summed bytes/seconds must reconcile exactly
+    # with the CommunicationLedger and the SimulatedClock.
+    assert_reconciled(tracer)
+    print("trace reconciled against ledger and clock", file=sys.stderr)
+    if args.format == "chrome":
+        payload = to_chrome_trace(tracer)
+    elif args.format == "json":
+        payload = json.dumps(to_json_dict(tracer), indent=2, sort_keys=True)
+    else:
+        payload = format_summary(tracer)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(payload)
+    return EXIT_OK
+
+
 def _add_app_args(parser: argparse.ArgumentParser, positional: bool = True) -> None:
     if positional:
         parser.add_argument("app", choices=list(APPS))
@@ -447,6 +514,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--format", choices=["text", "json"], default="text",
                      help="report format (default: text); json includes "
                           "per-link shuffle traffic and cache statistics")
+    run.add_argument("--trace", action="store_true",
+                     help="record a structured trace of the run, reconcile "
+                          "it against the ledger/clock, and append a "
+                          "timeline (text) or trace metrics (json)")
     run.set_defaults(func=_cmd_run)
 
     plan = sub.add_parser("plan", help="print the DMac plan for an application")
@@ -513,6 +584,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="launch a speculative copy of a straggler at N x "
                             "the median sibling duration (0 = off)")
     chaos.set_defaults(func=_cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an application with structured tracing and export the "
+             "trace (Chrome/Perfetto JSON, raw JSON, or a terminal timeline)",
+    )
+    _add_app_args(trace)
+    _add_cluster_args(trace)
+    trace.add_argument("--format", choices=["json", "chrome", "summary"],
+                       default="summary",
+                       help="export format (default: summary); chrome emits "
+                            "Chrome trace-event JSON loadable in Perfetto")
+    trace.add_argument("--out", default=None, metavar="FILE",
+                       help="write the export to FILE instead of stdout")
+    trace.add_argument("--faults", default=None,
+                       help="optional fault spec (see `repro chaos`); the "
+                            "traced run then executes under a seeded "
+                            "ChaosEngine and records fault/recovery events")
+    trace.set_defaults(func=_cmd_trace)
 
     script = sub.add_parser("script", help="run a DML-style script file")
     script.add_argument("path", help="script file (see repro.lang.dml)")

@@ -37,6 +37,11 @@ class ExecutionError(ReproError):
     """A plan failed during distributed execution."""
 
 
+class TraceReconciliationError(ExecutionError):
+    """A traced run's summed bytes/seconds disagree with the metering
+    layer's own books (CommunicationLedger / SimulatedClock)."""
+
+
 class ProgramError(ReproError):
     """A matrix program is malformed (unknown variable, bad operator, ...)."""
 

@@ -26,6 +26,7 @@ from typing import Callable, Iterator
 
 from repro.errors import TransferFault, WorkerCrashed
 from repro.faults.spec import FaultClause, parse_fault_spec
+from repro.trace.emit import active_tracer, current_stage
 
 
 class _StageScope:
@@ -250,3 +251,16 @@ class ChaosEngine:
             sink = self._sink
         if sink is not None:
             sink(event)
+        tracer = active_tracer()
+        if tracer is not None:
+            stage = (
+                (event["node"], event["stage"])
+                if "node" in event and "stage" in event
+                else current_stage()
+            )
+            attrs = {
+                k: v
+                for k, v in event.items()
+                if k not in ("event", "fault", "node", "stage")
+            }
+            tracer.event("fault", event.get("fault", "unknown"), stage=stage, **attrs)

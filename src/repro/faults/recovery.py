@@ -30,6 +30,7 @@ from repro.faults.lineage import LineageTracker
 from repro.matrix.distributed import DistributedMatrix
 from repro.rdd.sizeof import model_sizeof
 from repro.runtime.metering import active_meter
+from repro.trace.emit import active_tracer, current_stage
 
 
 def _ssa_version(name: str) -> int | None:
@@ -266,5 +267,15 @@ class RecoveringResources:
                     "steps": len(cone),
                     "bytes": bytes_after - bytes_before,
                 }
+            )
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.event(
+                "recovery",
+                "cone",
+                stage=current_stage(),
+                instance=str(instance),
+                steps=len(cone),
+                bytes=bytes_after - bytes_before,
             )
         return matrix

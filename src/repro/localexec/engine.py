@@ -21,6 +21,7 @@ caller invokes :meth:`LocalEngine.release_grid`.
 
 from __future__ import annotations
 
+import contextvars
 import dataclasses
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -41,7 +42,8 @@ from repro.localexec.tasks import (
     buffered_matmul_tasks,
     inplace_matmul_tasks,
 )
-from repro.runtime.metering import active_meter, metered
+from repro.runtime.metering import active_meter
+from repro.trace.emit import active_tracer, current_stage
 
 Grid = dict[BlockKey, Block]
 
@@ -173,10 +175,11 @@ class LocalEngine:
     ) -> list[TaskResult]:
         tasks = list(tasks)
         self.stats.add_tasks(len(tasks))
+        runner = _traced(runner)
         if self.threads == 1 or len(tasks) <= 1:
             return [runner(task) for task in tasks]
         with ThreadPoolExecutor(max_workers=self.threads) as executor:
-            return list(executor.map(_meter_preserving(runner), tasks))
+            return _map_in_copied_contexts(executor, runner, tasks)
 
     def _run_inplace_task(self, task: MultiplyAccumulateTask) -> TaskResult:
         target = self.pool.acquire(*task.result_shape)
@@ -201,11 +204,12 @@ class LocalEngine:
             self._record(flops, task.left.is_sparse or task.right.is_sparse)
             return task.result_key, partial
 
+        multiply = _traced(multiply)
         if self.threads == 1 or len(tasks) <= 1:
             partials = [multiply(task) for task in tasks]
         else:
             with ThreadPoolExecutor(max_workers=self.threads) as executor:
-                partials = list(executor.map(_meter_preserving(multiply), tasks))
+                partials = _map_in_copied_contexts(executor, multiply, tasks)
 
         # All partials are alive here -- this is the Buffer strategy's peak.
         grouped: dict[BlockKey, list[DenseBlock]] = {}
@@ -288,16 +292,40 @@ class LocalEngine:
         self.stats.record(flops, sparse)
 
 
-def _meter_preserving(runner: Callable) -> Callable:
-    """Wrap a task runner so engine pool threads inherit the submitting
-    stage's :class:`~repro.runtime.metering.StageMeter` (context variables
-    do not propagate into :class:`ThreadPoolExecutor` workers by default)."""
-    meter = active_meter()
-    if meter is None:
+def _map_in_copied_contexts(
+    executor: ThreadPoolExecutor, runner: Callable, tasks: list
+) -> list:
+    """``executor.map(runner, tasks)``, with each task run under a fresh
+    copy of the submitting thread's :mod:`contextvars` context.
+
+    Context variables do not propagate into :class:`ThreadPoolExecutor`
+    workers by default, so without this the pool threads would lose the
+    submitting stage's entire execution context: its
+    :class:`~repro.runtime.metering.StageMeter`, the
+    :class:`~repro.rdd.ledger.CommunicationLedger` scope stack (block
+    tasks used to record transfers under an *empty* scope), and the
+    tracer's stage position.  Each task gets its own copy because a single
+    ``Context`` object cannot be entered by two threads at once.
+    """
+    contexts = [contextvars.copy_context() for _ in tasks]
+    futures = [
+        executor.submit(context.run, runner, task)
+        for context, task in zip(contexts, tasks)
+    ]
+    return [future.result() for future in futures]
+
+
+def _traced(runner: Callable) -> Callable:
+    """Wrap a task runner in a block-task span when a tracer is active
+    (the common no-tracer case returns ``runner`` untouched)."""
+    tracer = active_tracer()
+    if tracer is None:
         return runner
 
     def run(task):
-        with metered(meter):
+        stage = current_stage()
+        attrs = {"node": stage[0], "stage": stage[1]} if stage is not None else {}
+        with tracer.span("block-task", type(task).__name__, **attrs):
             return runner(task)
 
     return run

@@ -13,13 +13,30 @@ so benchmarks can break communication down the way the paper's figures do.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import dataclasses
 import threading
 from collections import defaultdict
 from typing import Iterator
 
+from repro.trace.emit import active_tracer, current_stage
+
 #: The kinds of cross-worker transfer the substrate can perform.
 TRANSFER_KINDS = ("shuffle", "broadcast")
+
+#: Scope stacks per ledger instance, keyed by ``id(ledger)``.  A
+#: :mod:`contextvars` variable -- not ``threading.local`` -- so that when
+#: :meth:`repro.localexec.engine.LocalEngine._run` copies the submitting
+#: stage's context into its pool threads, block tasks inherit the stage's
+#: scope and tag their transfers correctly.  (The old thread-local stack
+#: made pool threads record under an *empty* scope; the trace
+#: reconciliation pass in :mod:`repro.trace.reconcile` catches exactly
+#: that class of misattribution.)  The stack is an immutable tuple: each
+#: ``scope()`` entry sets a new value and resets its token on exit, so
+#: copied contexts snapshot the stack instead of sharing a mutable list.
+_SCOPES: contextvars.ContextVar[dict[int, tuple[str, ...]]] = contextvars.ContextVar(
+    "repro_ledger_scopes", default={}
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -38,34 +55,35 @@ class TransferRecord:
 class CommunicationLedger:
     """Thread-safe accumulator of cross-worker traffic.
 
-    The record list is guarded by a lock; the scope stack is *thread-local*,
-    so concurrently executing stages (each on its own scheduler thread) tag
-    their transfers independently instead of corrupting a shared stack.
+    The record list is guarded by a lock; the scope stack is a *context
+    variable* (the same pattern as ``StageMeter`` in
+    :mod:`repro.runtime.metering`), so concurrently executing stages --
+    each on its own scheduler thread -- tag their transfers independently,
+    and engine pool threads that run under a copy of the stage's context
+    inherit the stage's scope.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._records: list[TransferRecord] = []
-        self._scopes = threading.local()
 
     # -- scoping ------------------------------------------------------------
 
-    def _scope_stack(self) -> list[str]:
-        stack = getattr(self._scopes, "stack", None)
-        if stack is None:
-            stack = self._scopes.stack = []
-        return stack
+    def _scope_stack(self) -> tuple[str, ...]:
+        return _SCOPES.get().get(id(self), ())
 
     @contextlib.contextmanager
     def scope(self, label: str) -> Iterator[None]:
         """Tag all transfers recorded inside the block with ``label``
-        (nested scopes join with ``/``).  Scopes are per-thread."""
-        stack = self._scope_stack()
-        stack.append(label)
+        (nested scopes join with ``/``).  Scopes are per-context: they
+        follow ``contextvars`` copies into pool threads."""
+        stacks = dict(_SCOPES.get())
+        stacks[id(self)] = stacks.get(id(self), ()) + (label,)
+        token = _SCOPES.set(stacks)
         try:
             yield
         finally:
-            stack.pop()
+            _SCOPES.reset(token)
 
     def current_scope(self) -> str:
         return "/".join(self._scope_stack())
@@ -86,6 +104,16 @@ class CommunicationLedger:
         scope = "/".join(self._scope_stack())
         with self._lock:
             self._records.append(TransferRecord(kind, nbytes, scope, link))
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.event(
+                "transfer",
+                kind,
+                stage=current_stage(),
+                nbytes=nbytes,
+                link=link,
+                scope=scope,
+            )
 
     # -- reporting ----------------------------------------------------------
 
@@ -101,15 +129,30 @@ class CommunicationLedger:
                 out[record.kind] += record.nbytes
         return dict(out)
 
-    def bytes_by_link(self) -> dict[tuple[int, int], int]:
+    def bytes_by_link(
+        self, include_unattributed: bool = False
+    ) -> dict[tuple[int, int] | None, int]:
         """Bytes per (source worker, target worker) pair, for records that
-        carry link attribution (shuffles do; broadcasts do not)."""
-        out: dict[tuple[int, int], int] = defaultdict(int)
+        carry link attribution (shuffles do; broadcasts do not).
+
+        With ``include_unattributed=True`` link-less records are returned
+        under an explicit ``None`` bucket, so the per-link sums add up to
+        :attr:`total_bytes` instead of silently dropping broadcast bytes.
+        """
+        out: dict[tuple[int, int] | None, int] = defaultdict(int)
         with self._lock:
             for record in self._records:
                 if record.link is not None:
                     out[record.link] += record.nbytes
+                elif include_unattributed:
+                    out[None] += record.nbytes
         return dict(out)
+
+    @property
+    def unattributed_bytes(self) -> int:
+        """Bytes of records with no link attribution (broadcasts)."""
+        with self._lock:
+            return sum(r.nbytes for r in self._records if r.link is None)
 
     def bytes_by_scope(self) -> dict[str, int]:
         out: dict[str, int] = defaultdict(int)

@@ -20,6 +20,7 @@ same scopes -- only the simulated seconds now reflect stage overlap.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import threading
 import time
@@ -39,6 +40,7 @@ from repro.runtime.registry import spec_for
 from repro.runtime.resources import BlockCache, ResourceManager
 from repro.runtime.scalars import evaluate_scalar  # noqa: F401  (re-export)
 from repro.runtime.scheduler import SchedulerReport, StageScheduler, StageTiming
+from repro.trace.emit import active_tracer, install_tracer, stage_scope
 
 
 @dataclasses.dataclass(frozen=True)
@@ -68,6 +70,9 @@ class ExecutionResult:
     critical_path: tuple[int, ...] = ()  # stage-graph nodes charged to the clock
     recovery: dict | None = None  # fault/recovery summary (chaos runs only)
     cache: dict | None = None  # BlockCache stats (plans with cache_pins only)
+    #: The run's TraceCollector when executed with a tracer installed
+    #: (``repro.trace``); ``None`` otherwise.
+    tracing: object | None = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -171,6 +176,7 @@ class PlanExecutor:
         inputs: dict[str, np.ndarray] | None = None,
         trace: bool = False,
         chaos=None,
+        tracer=None,
     ) -> ExecutionResult:
         """Run ``plan``; ``inputs`` binds LoadOp names to driver arrays.
         With ``trace=True`` the result carries a per-step record of bytes,
@@ -180,7 +186,23 @@ class PlanExecutor:
         lost blocks are recomputed through their lineage cone; the result's
         ``recovery`` field summarises what happened.  With ``chaos=None``
         (the default) every fault path is inert and the run is bit-identical
-        to one without this machinery."""
+        to one without this machinery.  ``tracer`` installs a
+        :class:`~repro.trace.TraceCollector` for the duration of the run
+        (returned on ``result.tracing``); with ``tracer=None`` every emit
+        site is inert, same discipline as ``chaos``."""
+        if tracer is not None:
+            with install_tracer(tracer):
+                return self._execute(plan, inputs, trace, chaos, tracer)
+        return self._execute(plan, inputs, trace, chaos, None)
+
+    def _execute(
+        self,
+        plan: Plan,
+        inputs: dict[str, np.ndarray] | None,
+        trace: bool,
+        chaos,
+        tracer,
+    ) -> ExecutionResult:
         inputs = inputs or {}
         if plan.num_stages == 0:
             schedule_stages(plan)
@@ -252,8 +274,15 @@ class PlanExecutor:
         }
 
         bytes_before = backend.ledger.snapshot()
+        records_before = len(backend.ledger.records()) if tracer is not None else 0
+        clock_before = backend.clock.elapsed if tracer is not None else None
         wall_start = time.perf_counter()
         scheduler = StageScheduler(self.max_concurrent_stages, **scheduler_kwargs)
+        plan_span = (
+            tracer.begin_span("plan", "plan", num_stages=plan.num_stages)
+            if tracer is not None
+            else None
+        )
         try:
             report = scheduler.run(
                 graph,
@@ -264,10 +293,22 @@ class PlanExecutor:
             matrices = self._materialise_outputs(plan, state)
             cache_stats = cache.stats() if cache is not None else None
         finally:
+            if plan_span is not None:
+                tracer.end_span(plan_span)
             state.resources.close()
             if chaos is not None:
                 backend.install_chaos(None)
         backend.clock.advance(report.elapsed)
+        if tracer is not None:
+            tracer.apply_schedule(report.timings, report.critical_path)
+            tracer.attach_elapsed(report.elapsed)
+            tracer.attach_ledger_window(backend.ledger.records()[records_before:])
+            clock_after = backend.clock.elapsed
+            tracer.attach_clock_delta(
+                clock_after.network_seconds - clock_before.network_seconds,
+                clock_after.compute_seconds - clock_before.compute_seconds,
+                clock_after.overhead_seconds - clock_before.overhead_seconds,
+            )
 
         recovery = None
         if chaos is not None:
@@ -291,6 +332,7 @@ class PlanExecutor:
             critical_path=report.critical_path,
             recovery=recovery,
             cache=cache_stats,
+            tracing=tracer,
         )
 
     # -- one stage-graph node ------------------------------------------------
@@ -305,8 +347,22 @@ class PlanExecutor:
         chaos=None,
     ) -> StageMeter:
         meter = StageMeter()
+        tracer = active_tracer()
         try:
-            with metered(meter):
+            with contextlib.ExitStack() as stack:
+                if tracer is not None:
+                    # One stage span per *attempt* (retries open a new one);
+                    # sim times are assigned post-run from the schedule.
+                    stack.enter_context(
+                        tracer.span(
+                            "stage",
+                            f"stage-{node.stage}",
+                            node=node.index,
+                            stage=node.stage,
+                        )
+                    )
+                    stack.enter_context(stage_scope(node.index, node.stage))
+                stack.enter_context(metered(meter))
                 if chaos is None:
                     self._run_steps(node, plan, state, worker_of_stats, trace, meter)
                 else:
@@ -333,28 +389,57 @@ class PlanExecutor:
         meter: StageMeter,
     ) -> None:
         backend = state.backend
+        tracer = active_tracer()
         backend.clock.advance_stage_overhead(1)
         for plan_index in node.steps:
             if state.is_step_completed(plan_index):
                 continue  # a retried node re-runs only its unfinished steps
             step = plan.steps[plan_index]
             step_wall = time.perf_counter()
+            step_span = (
+                tracer.begin_span(
+                    "step",
+                    str(step),
+                    node=node.index,
+                    stage=step.stage,
+                    plan_index=plan_index,
+                    # Where within the node's metered duration this step
+                    # starts: placed on the simulated timeline post-run.
+                    sim_offset=meter.total_seconds,
+                )
+                if tracer is not None
+                else None
+            )
             kernel = spec_for(step).kernel
-            with backend.ledger.scope(f"stage-{step.stage}"):
-                with backend.ledger.scope(str(step)):
-                    kernel(step, state)
-            dense: dict[int, int] = {}
-            sparse: dict[int, int] = {}
-            flops = 0
-            for stats, dense_flops, sparse_flops in meter.take_step_flops():
-                worker = worker_of_stats.get(id(stats))
-                if worker is None:  # pragma: no cover - foreign stats object
-                    continue
-                dense[worker] = dense.get(worker, 0) + dense_flops
-                sparse[worker] = sparse.get(worker, 0) + sparse_flops
-                flops += dense_flops + sparse_flops
-            backend.clock.advance_compute(dense, sparse, backend.threads_per_worker)
-            step_bytes = meter.take_step_bytes()
+            try:
+                with backend.ledger.scope(f"stage-{step.stage}"):
+                    with backend.ledger.scope(str(step)):
+                        kernel(step, state)
+                dense: dict[int, int] = {}
+                sparse: dict[int, int] = {}
+                flops = 0
+                for stats, dense_flops, sparse_flops in meter.take_step_flops():
+                    worker = worker_of_stats.get(id(stats))
+                    if worker is None:  # pragma: no cover - foreign stats object
+                        continue
+                    dense[worker] = dense.get(worker, 0) + dense_flops
+                    sparse[worker] = sparse.get(worker, 0) + sparse_flops
+                    flops += dense_flops + sparse_flops
+                backend.clock.advance_compute(
+                    dense, sparse, backend.threads_per_worker
+                )
+                step_bytes = meter.take_step_bytes()
+            except BaseException:
+                if step_span is not None:  # keep spans balanced on faults
+                    tracer.end_span(step_span)
+                raise
+            if step_span is not None:
+                tracer.end_span(
+                    step_span,
+                    sim_duration=meter.total_seconds - step_span.attrs["sim_offset"],
+                    bytes=step_bytes,
+                    flops=flops,
+                )
             if trace:
                 state.record_trace(
                     plan_index,

@@ -11,9 +11,10 @@ counters) the global state.  The scheduler then owns exact per-stage
 durations and can commit only the critical path to the global clock.
 
 A context variable -- not a plain thread-local -- because a worker engine
-fans block tasks out to its own thread pool; the engine re-installs the
-submitting task's meter in each pool thread (see
-:meth:`repro.localexec.engine.LocalEngine._run`).
+fans block tasks out to its own thread pool; the engine runs each pool
+task under a copy of the submitting task's context, so the meter (and the
+ledger's scope stack, which follows the same pattern) travels with it
+(see :meth:`repro.localexec.engine.LocalEngine._run`).
 
 This module intentionally imports nothing from :mod:`repro`: it sits below
 the clock and the engines in the import graph.

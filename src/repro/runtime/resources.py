@@ -36,6 +36,7 @@ import threading
 from repro.core.plan import MatrixInstance, Plan, Step
 from repro.errors import ExecutionError, MemoryLimitExceeded
 from repro.matrix.distributed import DistributedMatrix
+from repro.trace.emit import active_tracer, current_stage
 
 #: Default cap on the lifecycle event log.  Long iterative runs with
 #: retries would otherwise grow it without bound; the cap is generous
@@ -286,6 +287,11 @@ class ResourceManager:
         if matrix is not None:
             if self._cache is not None:
                 self._cache.touch(instance)
+                tracer = active_tracer()
+                if tracer is not None and self._cache.is_hosted(instance):
+                    tracer.event(
+                        "cache", "hit", stage=current_stage(), instance=str(instance)
+                    )
             return matrix
         if spilled:
             return self._refill(instance)
@@ -407,6 +413,9 @@ class ResourceManager:
             return
         for victim in self._cache.admit(instance, matrix):
             self._spill(victim)
+        tracer = active_tracer()
+        if tracer is not None and self._cache.is_hosted(instance):
+            tracer.event("cache", "pin", stage=current_stage(), instance=str(instance))
 
     def _spill(self, victim: MatrixInstance) -> None:
         """Free a cache-evicted instance; a later ``get`` refills it."""
@@ -416,6 +425,9 @@ class ResourceManager:
                 return  # already consumed to zero refs, lost, or spilled
             self._spilled.add(victim)
             self._log(("spill", victim))
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.event("cache", "spill", stage=current_stage(), instance=str(victim))
         self._free(matrix)
 
     def _refill(self, instance: MatrixInstance) -> DistributedMatrix:
@@ -473,5 +485,14 @@ class ResourceManager:
                 self._log(("refill", instance))
             if self._cache is not None:
                 self._cache.refilled += 1
+                tracer = active_tracer()
+                if tracer is not None:
+                    tracer.event(
+                        "cache",
+                        "refill",
+                        stage=current_stage(),
+                        instance=str(instance),
+                        steps_recomputed=len(cone),
+                    )
             self._maybe_admit(instance, matrix)
             return matrix

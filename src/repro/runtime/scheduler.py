@@ -51,6 +51,7 @@ from repro.errors import StageExecutionError
 from repro.rdd.clock import TimeBreakdown
 from repro.runtime.graph import StageGraph, StageNode
 from repro.runtime.metering import StageMeter
+from repro.trace.emit import active_tracer
 
 #: Upper bound on concurrently dispatched stages when the config does not
 #: pin one.  Stage concurrency is about overlapping *simulated* stages, not
@@ -262,6 +263,18 @@ class StageScheduler:
         )
 
     def _emit(self, event: dict) -> None:
+        tracer = active_tracer()
+        if tracer is not None and event.get("event") in ("retry", "speculation"):
+            attrs = {
+                k: v for k, v in event.items() if k not in ("event", "node", "stage")
+            }
+            name = attrs.pop("error", None) or "speculative-copy"
+            tracer.event(
+                event["event"],
+                name,
+                stage=(event["node"], event["stage"]),
+                **attrs,
+            )
         if self._event_sink is None:
             return
         with self._event_lock:

@@ -57,6 +57,7 @@ class DMacSession:
         estimation_mode: str = "worst",
         lint: str = "off",
         optimize: bool = False,
+        trace: bool = False,
     ) -> None:
         if lint not in LINT_MODES:
             raise PlanError(
@@ -69,6 +70,9 @@ class DMacSession:
         self.estimation_mode = estimation_mode
         self.lint = lint
         self.optimize = optimize
+        #: With ``trace=True`` every run records a full structured trace
+        #: (``result.tracing`` is its :class:`~repro.trace.TraceCollector`).
+        self.trace = trace
 
     def plan(self, program: MatrixProgram) -> Plan:
         """Generate and stage-schedule the DMac plan for a program.
@@ -110,6 +114,7 @@ class DMacSession:
         plan: Plan | None = None,
         trace: bool = False,
         chaos=None,
+        tracer=None,
     ) -> ExecutionResult:
         """Plan (unless a plan is supplied) and execute under DMac.
 
@@ -121,12 +126,21 @@ class DMacSession:
         run: its faults fire at their seeded points, the runtime recovers
         (retries, lineage recomputation, checkpoints), and the result's
         ``recovery`` field reports what that cost.
+
+        ``tracer`` installs a :class:`~repro.trace.TraceCollector` for the
+        run; a session constructed with ``trace=True`` creates one per run
+        automatically.  Either way the collector comes back on
+        ``result.tracing``.
         """
         plan = plan or self.plan(program)
         if self.lint != "off":
             self._lint(plan)
+        if tracer is None and self.trace:
+            from repro.trace import TraceCollector
+
+            tracer = TraceCollector()
         executor = PlanExecutor(self.context, self.config.block_size)
-        return executor.execute(plan, inputs, trace=trace, chaos=chaos)
+        return executor.execute(plan, inputs, trace=trace, chaos=chaos, tracer=tracer)
 
     def _lint(self, plan: Plan) -> None:
         from repro.lint import LintContext, lint_plan

@@ -1,0 +1,41 @@
+"""repro.trace -- structured tracing + metrics for simulated executions.
+
+The tracer records what an execution *did* -- spans (plan -> stage -> step
+-> block-task) and point events (transfers, cache transitions, faults,
+retries) -- on both the wall clock and the simulated clock, aggregates
+them into a metrics registry, exports Chrome trace-event JSON (Perfetto)
+and a terminal timeline, and cross-checks its own sums against the
+CommunicationLedger and SimulatedClock (see :mod:`repro.trace.reconcile`).
+
+Tracing is strictly opt-in: with no tracer installed every emit site is a
+single global read that finds ``None`` (see :mod:`repro.trace.emit`).
+"""
+
+from repro.trace.collector import MetricsRegistry, TraceCollector
+from repro.trace.emit import (
+    active_tracer,
+    current_stage,
+    install_tracer,
+    stage_scope,
+)
+from repro.trace.export import format_summary, to_chrome_trace, to_json_dict
+from repro.trace.model import EVENT_KINDS, SPAN_KINDS, PointEvent, Span
+from repro.trace.reconcile import assert_reconciled, reconcile
+
+__all__ = [
+    "EVENT_KINDS",
+    "SPAN_KINDS",
+    "MetricsRegistry",
+    "PointEvent",
+    "Span",
+    "TraceCollector",
+    "active_tracer",
+    "assert_reconciled",
+    "current_stage",
+    "format_summary",
+    "install_tracer",
+    "reconcile",
+    "stage_scope",
+    "to_chrome_trace",
+    "to_json_dict",
+]

@@ -1,0 +1,148 @@
+"""The reconciliation pass: the trace must agree with the books, exactly.
+
+A traced run double-enters every cost.  Bytes are entered once by the
+:class:`~repro.rdd.ledger.CommunicationLedger` (the system of record) and
+once as trace ``transfer`` events; simulated seconds are entered once by
+the scheduler/clock and once as placed stage spans.  This module asserts
+the two sets of books agree **exactly** -- integer equality for bytes, and
+float equality (not tolerance) for seconds, because the stage spans carry
+the very same ``StageTiming`` components the scheduler summed, added here
+in the same critical-path order.
+
+This is what makes the tracer a standing correctness audit of the
+metering layer: a transfer recorded under the wrong stage scope (the
+pre-fix ``threading.local`` ledger bug), or dropped from a per-link sum
+(the pre-fix ``bytes_by_link`` broadcast bug), fails a check below.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import TraceReconciliationError
+from repro.trace.collector import TraceCollector
+
+
+def _stage_of_scope(scope: str) -> int | None:
+    """The stage number a ledger scope attributes to (``"stage-3/..."``
+    -> 3), or ``None`` for driver-side / special scopes."""
+    if not scope.startswith("stage-"):
+        return None
+    head = scope.split("/", 1)[0]
+    try:
+        return int(head[len("stage-") :])
+    except ValueError:
+        return None
+
+
+def _check(name: str, expected, actual) -> dict:
+    return {"name": name, "ok": expected == actual, "expected": expected, "actual": actual}
+
+
+def reconcile(collector: TraceCollector) -> dict:
+    """Cross-check the trace against the ledger window and the clock.
+
+    Returns ``{"ok": bool, "checks": [...]}``; every check lists what the
+    ledger/clock said (``expected``) and what the trace summed (``actual``).
+    """
+    checks: list[dict] = []
+    records = collector.meta.get("ledger_records", [])
+    transfers = collector.events("transfer")
+
+    # -- bytes: totals, by kind, by link, by scope ---------------------------
+    checks.append(
+        _check(
+            "bytes.total",
+            sum(r.nbytes for r in records),
+            sum(e.attrs.get("nbytes", 0) for e in transfers),
+        )
+    )
+    by_kind: dict[str, int] = defaultdict(int)
+    by_link: dict = defaultdict(int)
+    by_scope: dict[str, int] = defaultdict(int)
+    for record in records:
+        by_kind[record.kind] += record.nbytes
+        by_link[record.link] += record.nbytes
+        by_scope[record.scope] += record.nbytes
+    traced_kind: dict[str, int] = defaultdict(int)
+    traced_link: dict = defaultdict(int)
+    traced_scope: dict[str, int] = defaultdict(int)
+    for event in transfers:
+        nbytes = event.attrs.get("nbytes", 0)
+        traced_kind[event.name] += nbytes
+        traced_link[event.attrs.get("link")] += nbytes
+        traced_scope[event.attrs.get("scope", "")] += nbytes
+
+    def _linkname(link) -> str:
+        return "unattributed" if link is None else f"{link[0]}->{link[1]}"
+
+    checks.append(_check("bytes.by_kind", dict(by_kind), dict(traced_kind)))
+    checks.append(
+        _check(
+            "bytes.by_link",
+            {_linkname(k): v for k, v in sorted(by_link.items(), key=lambda i: _linkname(i[0]))},
+            {_linkname(k): v for k, v in sorted(traced_link.items(), key=lambda i: _linkname(i[0]))},
+        )
+    )
+    checks.append(
+        _check(
+            "bytes.by_scope",
+            dict(sorted(by_scope.items())),
+            dict(sorted(traced_scope.items())),
+        )
+    )
+
+    # -- stage attribution: each transfer's thread-context stage must agree
+    # with its ledger scope.  This is the check the threading.local scope
+    # stack failed: pool threads recorded under an empty scope while their
+    # submitting stage's context said otherwise.
+    misattributed = []
+    for event in transfers:
+        scope = event.attrs.get("scope", "")
+        scoped_stage = _stage_of_scope(scope)
+        context_stage = event.stage[1] if event.stage is not None else None
+        if scoped_stage != context_stage:
+            misattributed.append(
+                {"scope": scope, "context_stage": context_stage, "nbytes": event.attrs.get("nbytes", 0)}
+            )
+    checks.append(_check("bytes.stage_attribution", [], misattributed))
+
+    # -- seconds: critical-path stage spans vs the scheduler's elapsed -------
+    elapsed = collector.meta.get("elapsed")
+    if elapsed is not None:
+        critical_path = collector.meta.get("critical_path", ())
+        spans_by_node = {s.attrs["node"]: s for s in collector.final_stage_spans()}
+        network = compute = overhead = 0.0
+        # Same components, same order, same float additions as the
+        # scheduler's critical-path sum: equality is exact, not approximate.
+        for node in critical_path:
+            span = spans_by_node.get(node)
+            if span is None:
+                network = compute = overhead = float("nan")
+                break
+            network += span.attrs["network_seconds"]
+            compute += span.attrs["compute_seconds"]
+            overhead += span.attrs["overhead_seconds"]
+        checks.append(
+            _check("seconds.critical_path", tuple(elapsed), (network, compute, overhead))
+        )
+    clock_delta = collector.meta.get("clock_delta")
+    if clock_delta is not None and elapsed is not None:
+        checks.append(_check("seconds.clock_delta", tuple(clock_delta), tuple(elapsed)))
+
+    return {"ok": all(c["ok"] for c in checks), "checks": checks}
+
+
+def assert_reconciled(collector: TraceCollector) -> dict:
+    """Run :func:`reconcile`; raise on any mismatch, return the report."""
+    report = reconcile(collector)
+    if not report["ok"]:
+        failed = [c for c in report["checks"] if not c["ok"]]
+        detail = "; ".join(
+            f"{c['name']}: expected {c['expected']!r}, trace summed {c['actual']!r}"
+            for c in failed
+        )
+        raise TraceReconciliationError(
+            f"trace does not reconcile with the metering layer: {detail}"
+        )
+    return report

@@ -1,0 +1,73 @@
+"""Audit of the CLI's machine-readable contract: every ``--format json``
+subcommand prints *exactly one* parseable JSON document on stdout, with
+any human-readable progress on stderr."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+#: One representative invocation per JSON-capable subcommand, kept small.
+JSON_COMMANDS = {
+    "run": ["run", "pagerank", "--scale", "1e-3", "--iterations", "2",
+            "--format", "json"],
+    "run-trace": ["run", "linreg", "--rows", "120", "--features", "12",
+                  "--iterations", "2", "--trace", "--format", "json"],
+    "plan": ["plan", "gnmf", "--scale", "1e-3", "--iterations", "1",
+             "--factors", "4", "--format", "json"],
+    "stages": ["stages", "gnmf", "--scale", "1e-3", "--iterations", "1",
+               "--factors", "4", "--format", "json"],
+    "lint": ["lint", "pagerank", "--scale", "1e-3", "--iterations", "2",
+             "--format", "json"],
+    "chaos": ["chaos", "pagerank", "--scale", "1e-3", "--iterations", "2",
+              "--seed", "7", "--faults", "flaky:p=0.3", "--format", "json"],
+    "trace": ["trace", "pagerank", "--scale", "1e-3", "--iterations", "2",
+              "--format", "json"],
+    "trace-chrome": ["trace", "linreg", "--rows", "120", "--features", "12",
+                     "--iterations", "2", "--format", "chrome"],
+}
+
+
+@pytest.mark.parametrize("argv", JSON_COMMANDS.values(),
+                         ids=JSON_COMMANDS.keys())
+def test_stdout_is_exactly_one_json_document(argv, capsys):
+    code = main(argv)
+    assert code == 0
+    out, err = capsys.readouterr()
+    document = json.loads(out)  # the whole of stdout parses as one doc
+    assert isinstance(document, dict)
+    for line in err.splitlines():  # progress lines are prose, not JSON
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(line)
+
+
+def test_trace_out_writes_the_document_to_a_file(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    argv = ["trace", "pagerank", "--scale", "1e-3", "--iterations", "2",
+            "--format", "chrome", "--out", str(path)]
+    assert main(argv) == 0
+    out, __ = capsys.readouterr()
+    assert out == ""  # --out leaves stdout clean
+    document = json.loads(path.read_text())
+    assert document["otherData"]["clock"] == "simulated"
+
+
+def test_run_without_trace_has_no_trace_key(capsys):
+    argv = ["run", "pagerank", "--scale", "1e-3", "--iterations", "2",
+            "--format", "json"]
+    assert main(argv) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert "trace" not in document
+
+
+def test_run_with_trace_reports_reconciliation(capsys):
+    argv = ["run", "pagerank", "--scale", "1e-3", "--iterations", "2",
+            "--trace", "--format", "json"]
+    assert main(argv) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["trace"]["reconciled"] is True
+    assert (
+        document["trace"]["metrics"]["counters"]["bytes.total"]
+        == document["comm_bytes"]
+    )

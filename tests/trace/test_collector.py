@@ -1,0 +1,103 @@
+"""TraceCollector unit behaviour: span linkage, canonical ordering,
+attempt numbering, metrics aggregation."""
+
+from repro.trace import TraceCollector
+from repro.trace.collector import MetricsRegistry
+from repro.trace.model import EVENT_KINDS, SPAN_KINDS, PointEvent, Span
+
+
+class TestSpans:
+    def test_parent_linkage_follows_context(self):
+        collector = TraceCollector()
+        with collector.span("plan", "plan") as plan:
+            with collector.span("stage", "stage-1", node=0, stage=1) as stage:
+                with collector.span("step", "multiply", node=0) as step:
+                    assert step.parent_id == stage.span_id
+                assert stage.parent_id == plan.span_id
+        assert plan.parent_id is None
+
+    def test_stage_spans_get_attempt_numbers_per_node(self):
+        collector = TraceCollector()
+        for __ in range(2):
+            with collector.span("stage", "stage-1", node=0, stage=1):
+                pass
+        with collector.span("stage", "stage-1", node=1, stage=1):
+            pass
+        attempts = [
+            (s.attrs["node"], s.attrs["attempt"]) for s in collector.spans("stage")
+        ]
+        assert sorted(attempts) == [(0, 1), (0, 2), (1, 1)]
+
+    def test_end_span_merges_attrs(self):
+        collector = TraceCollector()
+        span = collector.begin_span("step", "multiply", node=0)
+        collector.end_span(span, bytes=10, flops=20)
+        assert span.attrs["bytes"] == 10
+        assert span.wall_end is not None and span.wall_end >= span.wall_start
+
+    def test_kind_filter(self):
+        collector = TraceCollector()
+        with collector.span("plan", "plan"):
+            with collector.span("stage", "stage-1", node=0, stage=1):
+                pass
+        assert [s.kind for s in collector.spans("stage")] == ["stage"]
+        assert len(collector.spans()) == 2
+
+
+class TestEvents:
+    def test_events_sort_canonically_not_by_arrival(self):
+        collector = TraceCollector()
+        collector.event("transfer", "shuffle", stage=(1, 1), nbytes=2)
+        collector.event("cache", "hit", stage=(0, 1))
+        collector.event("transfer", "broadcast", stage=(0, 1), nbytes=1)
+        kinds = [e.kind for e in collector.events()]
+        assert kinds == sorted(
+            kinds, key=EVENT_KINDS.index
+        ), "canonical order groups by kind rank"
+        transfers = collector.events("transfer")
+        assert [e.name for e in transfers] == ["broadcast", "shuffle"]
+
+    def test_model_kind_tuples_cover_the_emitters(self):
+        assert set(SPAN_KINDS) == {"plan", "stage", "step", "block-task"}
+        assert set(EVENT_KINDS) == {
+            "transfer", "cache", "fault", "recovery", "retry", "speculation"
+        }
+
+    def test_sort_keys_ignore_wall_clock(self):
+        early = PointEvent("cache", "hit", wall_time=1.0, stage=(0, 1))
+        late = PointEvent("cache", "hit", wall_time=99.0, stage=(0, 1))
+        assert early.sort_key() == late.sort_key()
+        a = Span(0, None, "stage", "stage-1", wall_start=1.0,
+                 sim_start=0.5, attrs={"node": 2})
+        b = Span(9, None, "stage", "stage-1", wall_start=50.0,
+                 sim_start=0.5, attrs={"node": 2})
+        assert a.sort_key() == b.sort_key()
+
+
+class TestMetrics:
+    def test_registry_aggregates(self):
+        registry = MetricsRegistry()
+        registry.count("n")
+        registry.count("n", 2)
+        registry.gauge("g", 0.5)
+        registry.observe("h", 1.0)
+        registry.observe("h", 3.0)
+        payload = registry.to_json_dict()
+        assert payload["counters"]["n"] == 3
+        assert payload["gauges"]["g"] == 0.5
+        assert payload["histograms"]["h"] == {
+            "count": 2, "sum": 4.0, "min": 1.0, "max": 3.0, "mean": 2.0
+        }
+
+    def test_collector_metrics_bucket_transfers(self):
+        collector = TraceCollector()
+        collector.event("transfer", "shuffle", stage=(0, 1),
+                        nbytes=10, link=(1, 0), scope="stage-1/x")
+        collector.event("transfer", "broadcast", stage=None,
+                        nbytes=4, link=None, scope="broadcast")
+        metrics = collector.metrics().to_json_dict()["counters"]
+        assert metrics["bytes.total"] == 14
+        assert metrics["bytes.kind.shuffle"] == 10
+        assert metrics["bytes.link.1->0"] == 10
+        assert metrics["bytes.unattributed"] == 4
+        assert metrics["transfers"] == 2

@@ -1,0 +1,77 @@
+"""The emit API: a global tracer slot plus a context-local stage marker,
+both dark (single ``None`` read) when tracing is off."""
+
+import pytest
+
+from repro import ClusterConfig, DMacSession
+from repro.datasets import sparse_random
+from repro.programs import build_linreg_program
+from repro.trace import TraceCollector, active_tracer, install_tracer
+from repro.trace.emit import current_stage, stage_scope
+
+
+class TestTracerSlot:
+    def test_no_tracer_by_default(self):
+        assert active_tracer() is None
+
+    def test_install_and_reset(self):
+        collector = TraceCollector()
+        with install_tracer(collector):
+            assert active_tracer() is collector
+        assert active_tracer() is None
+
+    def test_reset_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with install_tracer(TraceCollector()):
+                raise RuntimeError("boom")
+        assert active_tracer() is None
+
+    def test_nested_install_rejected(self):
+        with install_tracer(TraceCollector()):
+            with pytest.raises(RuntimeError):
+                with install_tracer(TraceCollector()):
+                    pass  # pragma: no cover
+        assert active_tracer() is None
+
+    def test_install_none_is_a_noop_window(self):
+        with install_tracer(None):
+            assert active_tracer() is None
+
+
+class TestStageScope:
+    def test_no_stage_by_default(self):
+        assert current_stage() is None
+
+    def test_scope_sets_and_resets(self):
+        with stage_scope(3, 7):
+            assert current_stage() == (3, 7)
+        assert current_stage() is None
+
+    def test_scopes_nest(self):
+        with stage_scope(0, 1):
+            with stage_scope(2, 5):
+                assert current_stage() == (2, 5)
+            assert current_stage() == (0, 1)
+
+
+class TestDarkWhenOff:
+    def test_untraced_run_collects_nothing(self):
+        design = sparse_random(60, 8, 0.2, seed=1)
+        target = sparse_random(60, 1, 1.0, seed=2)
+        program = build_linreg_program(design.shape, 0.2, iterations=1)
+        session = DMacSession(ClusterConfig(num_workers=2, block_size=8))
+        result = session.run(program, {"V": design, "y": target})
+        assert result.tracing is None
+        assert active_tracer() is None
+
+    def test_session_trace_flag_creates_a_collector(self):
+        design = sparse_random(60, 8, 0.2, seed=1)
+        target = sparse_random(60, 1, 1.0, seed=2)
+        program = build_linreg_program(design.shape, 0.2, iterations=1)
+        session = DMacSession(
+            ClusterConfig(num_workers=2, block_size=8), trace=True
+        )
+        result = session.run(program, {"V": design, "y": target})
+        assert isinstance(result.tracing, TraceCollector)
+        assert result.tracing.spans("stage")
+        assert active_tracer() is None  # uninstalled after the run

@@ -1,0 +1,95 @@
+"""The cross-check pass: trace-summed bytes/seconds must reconcile
+*exactly* with the CommunicationLedger and the SimulatedClock, for every
+application of the equivalence suite, clean and under injected faults."""
+
+import pytest
+
+from repro import ClusterConfig, DMacSession
+from repro.errors import TraceReconciliationError
+from repro.faults import ChaosEngine
+from repro.trace import TraceCollector, assert_reconciled, reconcile
+
+from .conftest import seven_apps
+
+
+def _checks(report):
+    return {check["name"]: check for check in report["checks"]}
+
+
+@pytest.mark.parametrize(
+    "app,program,inputs", seven_apps(),
+    ids=lambda value: value if isinstance(value, str) else "",
+)
+def test_every_app_reconciles_exactly(app, program, inputs, traced_session):
+    tracer = TraceCollector()
+    result = traced_session.run(program, inputs, tracer=tracer)
+    report = assert_reconciled(tracer)
+
+    checks = _checks(report)
+    # Bytes: integer equality against the ledger, per kind/link/scope.
+    assert checks["bytes.total"]["expected"] == checks["bytes.total"]["actual"]
+    assert checks["bytes.total"]["actual"] == result.comm_bytes
+    assert checks["bytes.by_link"]["ok"] and checks["bytes.by_scope"]["ok"]
+    # Stage attribution: no transfer recorded under a scope that disagrees
+    # with the recording thread's stage context.
+    assert checks["bytes.stage_attribution"]["actual"] == []
+    # Seconds: float *equality* (same components, same addition order as
+    # the scheduler's critical-path sum), not a tolerance.
+    network, compute, overhead = checks["seconds.critical_path"]["actual"]
+    assert (network, compute, overhead) == checks["seconds.critical_path"]["expected"]
+    assert network + compute + overhead == result.simulated_seconds
+    assert checks["seconds.clock_delta"]["ok"]
+
+
+def test_reconciles_under_injected_faults(traced_session):
+    __, program, inputs = seven_apps()[1]  # pagerank
+    engine = ChaosEngine(11, "crash:p=0.3;flaky:p=0.2;straggler:p=0.3,factor=4")
+    tracer = TraceCollector()
+    traced_session.run(program, inputs, chaos=engine, tracer=tracer)
+    assert engine.injected, "seed 11 must actually fire faults"
+    report = assert_reconciled(tracer)
+    assert _checks(report)["bytes.stage_attribution"]["actual"] == []
+    assert tracer.events("fault")
+
+
+def test_reconciles_with_concurrent_stages_and_optimizer():
+    app, program, inputs = seven_apps()[0]  # gnmf: widest stage graph
+    session = DMacSession(
+        ClusterConfig(num_workers=4, threads_per_worker=2, block_size=8),
+        optimize=True,
+    )
+    tracer = TraceCollector()
+    session.run(program, inputs, tracer=tracer)
+    assert_reconciled(tracer)
+
+
+def test_tampered_trace_fails_reconciliation(traced_session):
+    __, program, inputs = seven_apps()[2]  # linreg: smallest
+    tracer = TraceCollector()
+    traced_session.run(program, inputs, tracer=tracer)
+    # Forge one transfer event the ledger never saw.
+    tracer.event("transfer", "shuffle", stage=(0, 1),
+                 nbytes=1, link=(0, 1), scope="stage-1/forged")
+    report = reconcile(tracer)
+    assert not report["ok"]
+    failed = {c["name"] for c in report["checks"] if not c["ok"]}
+    assert "bytes.total" in failed
+    with pytest.raises(TraceReconciliationError, match="bytes.total"):
+        assert_reconciled(tracer)
+
+
+def test_misattributed_scope_is_caught(traced_session):
+    __, program, inputs = seven_apps()[2]
+    tracer = TraceCollector()
+    traced_session.run(program, inputs, tracer=tracer)
+    # A record whose ledger scope says stage 2 but whose recording context
+    # said stage 1 -- the shape of the old threading.local bug.
+    record = tracer.meta["ledger_records"][0]
+    tracer.meta["ledger_records"].append(
+        type(record)("shuffle", 8, "stage-2/forged", (0, 1))
+    )
+    tracer.event("transfer", "shuffle", stage=(0, 1),
+                 nbytes=8, link=(0, 1), scope="stage-2/forged")
+    report = reconcile(tracer)
+    failed = {c["name"] for c in report["checks"] if not c["ok"]}
+    assert "bytes.stage_attribution" in failed
