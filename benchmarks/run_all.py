@@ -39,6 +39,7 @@ EXPERIMENTS = {
     "recovery": "bench_recovery_overhead.py",
     "planopt": "bench_planopt.py",
     "traceoverhead": "bench_trace_overhead.py",
+    "verifyoverhead": "bench_verify_overhead.py",
 }
 
 

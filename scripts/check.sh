@@ -11,6 +11,13 @@ else
     echo "== ruff not installed; skipping style check =="
 fi
 
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy (strict on repro.verify) =="
+    mypy
+else
+    echo "== mypy not installed; skipping type check =="
+fi
+
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q
 

@@ -33,6 +33,8 @@ from repro.errors import (
     ShuffleBlockLost,
     StageExecutionError,
     TransferFault,
+    TranslationValidationError,
+    VerificationError,
     WorkerCrashed,
 )
 from repro.faults import ChaosEngine, parse_fault_spec
@@ -74,6 +76,8 @@ __all__ = [
     "StageExecutionError",
     "StageGraph",
     "TransferFault",
+    "TranslationValidationError",
+    "VerificationError",
     "WorkerCrashed",
     "parse_fault_spec",
     "__version__",

@@ -11,12 +11,16 @@ Examples::
     python -m repro lint examples/gnmf.dml            # static analysis
     python -m repro lint gnmf --format json
     python -m repro lint --selftest                   # prove the rules fire
+    python -m repro verify gnmf                       # certificates + hazards + memory bound
+    python -m repro verify pagerank --execute --format json
     python -m repro chaos pagerank --seed 7 --faults "lostblock:instance=rank,iteration=3"
     python -m repro run gnmf --trace                  # traced run + timeline
     python -m repro trace pagerank --format chrome --out trace.json  # Perfetto
 
 Exit codes: 0 on success, 1 when the lint reports error-severity findings
-(or a chaos run's recovered results diverge from the clean run), 2 when a
+(likewise when verify finds hazards, fails a rewrite certificate, or an
+``--execute`` cross-check observes a peak above the static bound, or a
+chaos run's recovered results diverge from the clean run), 2 when a
 program or fault spec fails to parse.
 
 Every ``--format json`` subcommand prints exactly one JSON document on
@@ -396,6 +400,74 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return EXIT_LINT_ERRORS if report.has_errors else EXIT_OK
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.errors import TranslationValidationError
+    from repro.verify import verify_plan
+
+    try:
+        program = _resolve_plan_target(args, args.target)
+    except ProgramError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
+    chaos = None
+    if args.faults:
+        from repro.errors import FaultSpecError
+        from repro.faults import ChaosEngine, parse_fault_spec
+
+        try:
+            clauses = parse_fault_spec(args.faults)
+        except FaultSpecError as exc:
+            print(f"fault spec error: {exc}", file=sys.stderr)
+            return EXIT_PARSE_ERROR
+        chaos = ChaosEngine(args.seed, clauses)
+        args.execute = True  # a fault spec only matters on a real run
+    session = _session(args)
+    print(f"verifying {args.target} on {args.workers} workers ...", file=sys.stderr)
+    try:
+        plan = session.plan(program)
+    except TranslationValidationError as exc:
+        print(f"translation validation failed: {exc}", file=sys.stderr)
+        return EXIT_LINT_ERRORS
+    report = verify_plan(
+        plan,
+        num_workers=args.workers,
+        threads_per_worker=args.threads,
+        block_size=args.block_size,
+        target=args.target,
+    )
+    execution = None
+    if args.execute:
+        if args.target not in APPS:
+            print("verify --execute: script targets have no bundled inputs; "
+                  f"use one of {', '.join(APPS)}", file=sys.stderr)
+            return EXIT_PARSE_ERROR
+        __, inputs, ___ = _workload(args)  # same seed -> same data
+        result = _session(args).run(program, inputs, chaos=chaos)
+        observed = result.peak_memory_bytes
+        predicted = result.predicted_peak_memory_bytes
+        execution = {
+            "observed_peak_bytes": observed,
+            "predicted_peak_bytes": predicted,
+            "faults": args.faults,
+            "sound": predicted is not None and observed <= predicted,
+        }
+    if args.format == "json":
+        document = report.to_json_dict()
+        if execution is not None:
+            document["execution"] = execution
+        print(json.dumps(document, indent=2))
+    else:
+        print(report.format_human())
+        if execution is not None:
+            verdict = "within" if execution["sound"] else "EXCEEDS"
+            print(f"[execute] observed per-worker peak "
+                  f"{execution['observed_peak_bytes']} bytes {verdict} the "
+                  f"static bound {execution['predicted_peak_bytes']}"
+                  + (f" (faults: {args.faults})" if args.faults else ""))
+    failed = report.has_errors or (execution is not None and not execution["sound"])
+    return EXIT_LINT_ERRORS if failed else EXIT_OK
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.config import RecoveryConfig
     from repro.errors import FaultSpecError
@@ -561,6 +633,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="corrupt a reference plan once per rule and "
                            "verify each rule fires")
     lint.set_defaults(func=_cmd_lint)
+
+    verify = sub.add_parser(
+        "verify",
+        help="statically verify a plan: optimizer rewrite certificates, "
+             "ordering hazards, and a sound per-worker peak-memory bound",
+    )
+    verify.add_argument("target", metavar="app|script.dml",
+                        help=f"one of {', '.join(APPS)}, or a .dml script path")
+    _add_app_args(verify, positional=False)
+    _add_cluster_args(verify)
+    verify.set_defaults(optimize=True)  # certificates exist on optimized plans
+    verify.add_argument("--format", choices=["text", "json"], default="text",
+                        help="report format (default: text)")
+    verify.add_argument("--execute", action="store_true",
+                        help="also run the application and cross-check the "
+                             "observed per-worker peak against the static bound")
+    verify.add_argument("--faults", default=None,
+                        help="fault spec (see `repro chaos`) for the --execute "
+                             "cross-check run; implies --execute")
+    verify.set_defaults(func=_cmd_verify)
 
     chaos = sub.add_parser(
         "chaos",

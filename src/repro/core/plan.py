@@ -259,6 +259,9 @@ class Plan:
     cache_pins: tuple[MatrixInstance, ...] = ()
     #: Audit trail of optimizer rewrites (``repro plan --show-rewrites``).
     rewrites: tuple = ()
+    #: Translation-validation certificates issued by :mod:`repro.verify`:
+    #: one per applied optimizer pass plus one end-to-end record.
+    certificates: tuple = ()
 
     def communicating_steps(self) -> list[Step]:
         return [step for step in self.steps if step.communicates]

@@ -33,6 +33,30 @@ class LintError(PlanError):
     (raised by sessions configured with ``lint="error"``)."""
 
 
+class VerificationError(PlanError):
+    """The :mod:`repro.verify` dataflow framework rejected a plan
+    (hazards, unsound facts, or a failed certification obligation)."""
+
+
+class TranslationValidationError(VerificationError):
+    """An optimizer rewrite could not be certified equivalence-preserving.
+
+    Raised by :func:`repro.planopt.optimize_plan` *before* the rewritten
+    plan can execute; carries the pass name and the failed obligations.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pass_name: str | None = None,
+        obligations: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.pass_name = pass_name
+        self.obligations = obligations
+
+
 class ExecutionError(ReproError):
     """A plan failed during distributed execution."""
 

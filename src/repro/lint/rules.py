@@ -1,6 +1,6 @@
 """The rule catalog: DMac's static invariants and inefficiency lints.
 
-Two families, mirroring the paper's correctness and cost claims:
+Three families, mirroring the paper's correctness and cost claims:
 
 * ``DM1xx`` -- **invariant violations** (error severity).  A plan that
   trips one of these would compute a wrong answer, break a guarantee the
@@ -10,6 +10,11 @@ Two families, mirroring the paper's correctness and cost claims:
   executable but provably wasteful under the Section-4.1 dependency-
   oriented cost model: bytes are moved (or work is done) that a better
   plan would not move.
+* ``DM3xx`` -- **ordering hazards** (error severity).  The plan's
+  publish/consume event schedule is not covered by the stage graph's
+  happens-before relation (:mod:`repro.verify.hazards`): a pool thread
+  may read an instance before its publish is visible, or two publishes
+  race for one logical matrix.
 
 Every rule is registered in :data:`RULES` with its id, severity, family,
 one-line title, the paper section it enforces, and a generic fix hint; the
@@ -737,16 +742,19 @@ def check_rebroadcast(inputs: LintInput) -> Iterator[Diagnostic]:
     "DM206",
     severity=Severity.WARNING,
     family="inefficiency",
-    title="cache pins exceed the per-worker memory budget",
+    title="predicted peak memory exceeds the per-worker budget",
     paper="Section 5.3, Equation 2 (per-worker memory model)",
     hint="pinning more than the budget guarantees the block cache will "
     "spill and recompute; raise cache_limit_bytes / memory_limit_bytes "
     "or reduce the pin set",
 )
 def check_cache_pin_budget(inputs: LintInput) -> Iterator[Diagnostic]:
-    """The optimizer's pinned working set (``plan.cache_pins``) must fit
-    the declared per-worker budget, or the cache thrashes: every pin is
-    resident for the whole run, so their per-worker shares add up."""
+    """The liveness-based peak-memory bound of a plan with cache pins must
+    fit the declared per-worker budget, or the cache thrashes: every pin
+    is resident from its publish to the end of the run, so the sound bound
+    is the pinned prefix *plus* the heaviest co-resident step transients
+    (:func:`repro.verify.memory.predict_peak_memory`), not the pin shares
+    alone."""
     this = _rule("DM206")
     facts = inputs.facts
     budget = inputs.context.memory_limit_bytes
@@ -755,22 +763,91 @@ def check_cache_pin_budget(inputs: LintInput) -> Iterator[Diagnostic]:
     pins = getattr(facts.plan, "cache_pins", ())
     if not pins:
         return
-    workers = inputs.context.num_workers
-    total = 0
-    shares = []
-    for instance in pins:
-        nbytes = facts.nbytes(instance.name)
-        # A replica is fully resident on every worker; a one-dimensional
-        # layout spreads its blocks, ceil(|A| / K) per worker.
-        share = nbytes if instance.scheme is Scheme.BROADCAST else -(-nbytes // workers)
-        total += share
-        shares.append(f"{instance}~{share}")
-    if total > budget:
+    from repro.verify.memory import predict_peak_memory
+
+    prediction = predict_peak_memory(
+        facts.plan,
+        num_workers=inputs.context.num_workers,
+        threads_per_worker=inputs.context.threads_per_worker,
+        block_size=inputs.context.block_size,
+        max_concurrent_stages=1,
+        estimation_mode=inputs.context.estimation_mode,
+    )
+    if prediction.serial_peak_bytes > budget:
         yield this.diagnostic(
-            f"pinned working set weighs ~{total} bytes per worker "
-            f"({', '.join(shares)}), above the {budget}-byte budget: "
-            f"the cache will spill and recompute pins every iteration",
+            f"predicted per-worker peak is ~{prediction.serial_peak_bytes} "
+            f"bytes (pinned working set ~{prediction.pinned_bytes} plus "
+            f"co-resident step transients, liveness serial bound), above "
+            f"the {budget}-byte budget: the cache will spill and recompute "
+            f"pins every iteration",
         )
+
+
+# ---------------------------------------------------------------------------
+# Ordering hazards (DM3xx, error severity)
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "DM301",
+    severity=Severity.ERROR,
+    family="hazard",
+    title="read before publish",
+    paper="Section 5.2 (stage edges order every publish before its readers)",
+    hint="regenerate the stage graph (repro.core.stages.schedule_stages): "
+    "every consumer must be reachable from a producer through node "
+    "ordering edges",
+)
+def check_read_before_publish(inputs: LintInput) -> Iterator[Diagnostic]:
+    """Every block-instance (and driver-scalar) read must be ordered after
+    some publish of it by the stage graph's happens-before relation --
+    serial order within a node, transitive ``deps`` edges across nodes.  A
+    consumer no producer reaches may observe missing state when nodes run
+    concurrently on pool threads."""
+    this = _rule("DM301")
+    if inputs.facts is None:
+        return
+    from repro.runtime.graph import StageGraph
+    from repro.verify.hazards import READ_BEFORE_PUBLISH, find_hazards
+
+    graph = StageGraph.from_plan(inputs.facts.plan)
+    for hazard in find_hazards(graph):
+        if hazard.kind == READ_BEFORE_PUBLISH:
+            yield this.diagnostic(
+                f"{hazard.subject} is {hazard.detail}",
+                step=hazard.step,
+                subject=hazard.subject,
+            )
+
+
+@rule(
+    "DM302",
+    severity=Severity.ERROR,
+    family="hazard",
+    title="conflicting double publish",
+    paper="Section 4.2 (matrix versions are immutable; one publish each)",
+    hint="rename one of the producers to a fresh matrix version; the "
+    "runtime raises 'produced twice' at whichever publish loses the race",
+)
+def check_double_publish(inputs: LintInput) -> Iterator[Diagnostic]:
+    """Two steps publishing *different* symbolic values for one logical
+    matrix race for its blocks.  Re-publications of the identical value
+    (a duplicated broadcast, a transpose round-trip) are redundancy, not a
+    race, and stay with the DM2xx inefficiency rules."""
+    this = _rule("DM302")
+    if inputs.facts is None:
+        return
+    from repro.runtime.graph import StageGraph
+    from repro.verify.hazards import DOUBLE_PUBLISH, find_hazards
+
+    graph = StageGraph.from_plan(inputs.facts.plan)
+    for hazard in find_hazards(graph):
+        if hazard.kind == DOUBLE_PUBLISH:
+            yield this.diagnostic(
+                f"{hazard.subject} is {hazard.detail}",
+                step=hazard.step,
+                subject=hazard.subject,
+            )
 
 
 def invariant_rules() -> list[Rule]:
@@ -779,3 +856,7 @@ def invariant_rules() -> list[Rule]:
 
 def inefficiency_rules() -> list[Rule]:
     return [r for r in RULES.values() if r.family == "inefficiency"]
+
+
+def hazard_rules() -> list[Rule]:
+    return [r for r in RULES.values() if r.family == "hazard"]

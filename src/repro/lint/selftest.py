@@ -306,6 +306,59 @@ def _corrupt_cache_pins(plan: Plan, context: LintContext):
     return plan, dataclasses.replace(context, memory_limit_bytes=budget)
 
 
+def _corrupt_scalar_order(plan: Plan, context: LintContext):
+    """Replace the plan outright: a driver scalar's producing aggregate is
+    moved *after* its consumer, dropping the ordering edge the stage graph
+    would otherwise guarantee (the PR-5 bug class: a pool thread reads
+    state before its producer's publish is visible).  Stages are left
+    untouched, so the stage-purity rule (which only watches matrix
+    availability) stays silent; the dataflow rule ignores scalars too."""
+    pb = ProgramBuilder()
+    A = pb.random("A", (24, 24))
+    s = pb.scalar("s", A.sum())
+    pb.output(pb.assign("B", A * s))
+    bad = plan_for(pb.build(), context)
+    aggregate = _find_step(bad, lambda s: s.scalar_output() is not None)
+    scalar_name = bad.steps[aggregate].scalar_output()
+    consumer = _find_step(bad, lambda s: scalar_name in s.scalar_inputs())
+    assert aggregate < consumer, "planner must order the aggregate first"
+    step = bad.steps.pop(aggregate)
+    bad.steps.insert(consumer, step)  # lands just after the (shifted) consumer
+    return bad, context
+
+
+def _corrupt_conflicting_publish(plan: Plan, context: LintContext):
+    """Replace the plan outright: two cell-wise steps publish *different*
+    symbolic values (add vs subtract of the same operands) for one logical
+    matrix.  All steps share one stage and one scheme, nothing
+    communicates, and the loser of the publish race determines the
+    result -- exactly the DM302 defect, invisible to every other rule."""
+    from repro.core.plan import CellwiseStep
+    from repro.lang.program import CellwiseOp
+
+    pb = ProgramBuilder()
+    A = pb.random("A", (8, 8))
+    B = pb.random("B", (8, 8))
+    pb.output(pb.assign("C", A + B))
+    program = pb.build()
+    a_name = program.bindings["A"]
+    b_name = program.bindings["B"]
+    c_name = program.bindings["C"]
+    cellwise = next(op for op in program.ops if isinstance(op, CellwiseOp))
+    a = MatrixInstance(a_name, False, Scheme.ROW)
+    b = MatrixInstance(b_name, False, Scheme.ROW)
+    c = MatrixInstance(c_name, False, Scheme.ROW)
+    conflicting = dataclasses.replace(cellwise, op="subtract")
+    steps = [
+        SourceStep(next(o for o in program.ops if o.output == a_name), a),
+        SourceStep(next(o for o in program.ops if o.output == b_name), b),
+        CellwiseStep(cellwise, a, b, c),
+        CellwiseStep(conflicting, a, b, c),
+    ]
+    bad = Plan(program=program, steps=steps, outputs={c_name: c}, predicted_bytes=0)
+    return bad, context
+
+
 CORRUPTIONS: tuple[Corruption, ...] = (
     Corruption("transposed declared dimensions", "DM101", _corrupt_shape),
     Corruption("mutated matmul strategy", "DM102", _corrupt_scheme),
@@ -320,6 +373,8 @@ CORRUPTIONS: tuple[Corruption, ...] = (
     Corruption("cpmm on a tall-thin product", "DM204", _corrupt_cpmm_choice),
     Corruption("duplicated broadcast", "DM205", _corrupt_rebroadcast),
     Corruption("overweight cache pin set", "DM206", _corrupt_cache_pins),
+    Corruption("reordered scalar producer", "DM301", _corrupt_scalar_order),
+    Corruption("conflicting double publish", "DM302", _corrupt_conflicting_publish),
 )
 
 assert {c.rule for c in CORRUPTIONS} == set(RULES), "every rule needs a corruption"

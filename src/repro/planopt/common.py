@@ -56,6 +56,7 @@ def clone_plan(plan: Plan) -> Plan:
         num_stages=0,
         cache_pins=tuple(plan.cache_pins),
         rewrites=tuple(plan.rewrites),
+        certificates=tuple(plan.certificates),
     )
 
 

@@ -101,26 +101,66 @@ def optimize_plan(
     num_workers: int,
     estimation_mode: str = "worst",
     passes: tuple[Pass, ...] | None = None,
+    validate: bool = True,
 ) -> Plan:
-    """Run the pass pipeline; returns a new, stage-scheduled plan."""
+    """Run the pass pipeline; returns a new, stage-scheduled plan.
+
+    With ``validate=True`` (the default) every pass application is
+    *translation-validated*: :func:`repro.verify.certify` proves the pre-
+    and post-rewrite plans equivalent (symbolic value keys on every output,
+    well-ordered dataflow, stable shape facts) and issues a certificate
+    recorded on ``plan.certificates``; an uncertifiable rewrite aborts
+    optimization with :class:`~repro.errors.TranslationValidationError`
+    before the broken plan can reach the executor.  A final end-to-end
+    certificate covers the whole pipeline, snapshots included.
+    """
     context = PassContext(num_workers=num_workers, estimation_mode=estimation_mode)
+    if validate:
+        from repro.verify.certify import certify
+    original = clone_plan(plan) if validate else plan
     optimized = clone_plan(plan)
     pipeline = DEFAULT_PASSES if passes is None else tuple(passes)
     rewrites: list[AppliedRewrite] = list(optimized.rewrites)
+    certificates: list = list(optimized.certificates)
     hoisters = [p for p in pipeline if isinstance(p, HoistPass)]
     rounds = [p for p in pipeline if not isinstance(p, HoistPass)]
+
+    def run_validated(the_pass: Pass) -> list[AppliedRewrite]:
+        snapshot = clone_plan(optimized) if validate else None
+        applied = the_pass.run(optimized, context)
+        if applied and snapshot is not None:
+            certificates.append(
+                certify(
+                    snapshot,
+                    optimized,
+                    pass_name=the_pass.name,
+                    rewrites=len(applied),
+                )
+            )
+        return applied
+
     for __ in range(MAX_PIPELINE_ROUNDS):
         changed = False
         for the_pass in rounds:
-            applied = the_pass.run(optimized, context)
+            applied = run_validated(the_pass)
             if applied:
                 changed = True
                 rewrites.extend(applied)
         if not changed:
             break
     for the_pass in hoisters:
-        rewrites.extend(the_pass.run(optimized, context))
+        rewrites.extend(run_validated(the_pass))
     toposort_steps(optimized)
     recompute_predicted_bytes(optimized, num_workers, estimation_mode)
+    if validate:
+        certificates.append(
+            certify(
+                original,
+                optimized,
+                pass_name="pipeline",
+                rewrites=len(rewrites) - len(plan.rewrites),
+            )
+        )
     optimized.rewrites = tuple(rewrites)
+    optimized.certificates = tuple(certificates)
     return schedule_stages(optimized)

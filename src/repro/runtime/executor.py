@@ -73,6 +73,10 @@ class ExecutionResult:
     #: The run's TraceCollector when executed with a tracer installed
     #: (``repro.trace``); ``None`` otherwise.
     tracing: object | None = None
+    #: Static per-worker peak-memory bound from :mod:`repro.verify.memory`,
+    #: computed before execution under this run's exact block size and
+    #: concurrency; ``None`` if the prediction was unavailable.
+    predicted_peak_memory_bytes: int | None = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -214,6 +218,7 @@ class PlanExecutor:
             else backend.default_block_size(plan)
         )
         config = self.context.config
+        predicted_peak = self._predict_peak(plan, graph, block_size, config)
         cache = None
         if getattr(plan, "cache_pins", ()):
             budget = getattr(config, "cache_limit_bytes", None)
@@ -333,7 +338,29 @@ class PlanExecutor:
             recovery=recovery,
             cache=cache_stats,
             tracing=tracer,
+            predicted_peak_memory_bytes=predicted_peak,
         )
+
+    def _predict_peak(self, plan, graph, block_size, config) -> int | None:
+        """Static per-worker peak bound for this exact run configuration.
+        Imported lazily -- repro.verify sits above the runtime -- and never
+        fatal: a plan the analyser cannot size simply reports ``None``."""
+        from repro.errors import ReproError
+
+        try:
+            from repro.verify.memory import predict_peak_memory
+
+            return predict_peak_memory(
+                plan,
+                num_workers=config.num_workers,
+                threads_per_worker=config.threads_per_worker,
+                block_size=block_size,
+                inplace=getattr(config, "inplace", True),
+                max_concurrent_stages=self.max_concurrent_stages,
+                graph=graph,
+            ).peak_bytes
+        except ReproError:
+            return None
 
     # -- one stage-graph node ------------------------------------------------
 

@@ -30,7 +30,7 @@ from repro.core.executor import ExecutionResult, PlanExecutor
 from repro.core.plan import Plan
 from repro.core.planner import DMacPlanner
 from repro.core.stages import schedule_stages
-from repro.errors import LintError, PlanError
+from repro.errors import LintError, PlanError, VerificationError
 from repro.lang.program import MatrixProgram
 from repro.rdd.context import ClusterContext
 
@@ -38,6 +38,12 @@ from repro.rdd.context import ClusterContext
 #: stderr, "error" additionally refuses to execute plans with error-severity
 #: findings (raising :class:`repro.errors.LintError`).
 LINT_MODES = ("off", "warn", "error")
+
+#: Session verify modes: "off" skips static verification, "warn" prints the
+#: hazard report to stderr, "error" additionally refuses to execute plans
+#: with hazards (raising :class:`repro.errors.VerificationError`).  This is
+#: independent of translation validation, which the optimizer always runs.
+VERIFY_MODES = ("off", "warn", "error")
 
 
 class DMacSession:
@@ -56,6 +62,7 @@ class DMacSession:
         re_assignment: bool = True,
         estimation_mode: str = "worst",
         lint: str = "off",
+        verify: str = "off",
         optimize: bool = False,
         trace: bool = False,
     ) -> None:
@@ -63,12 +70,17 @@ class DMacSession:
             raise PlanError(
                 f"unknown lint mode {lint!r} (choose from {LINT_MODES})"
             )
+        if verify not in VERIFY_MODES:
+            raise PlanError(
+                f"unknown verify mode {verify!r} (choose from {VERIFY_MODES})"
+            )
         self.config = config or ClusterConfig()
         self.context = ClusterContext(self.config)
         self.pull_up_broadcast = pull_up_broadcast
         self.re_assignment = re_assignment
         self.estimation_mode = estimation_mode
         self.lint = lint
+        self.verify = verify
         self.optimize = optimize
         #: With ``trace=True`` every run records a full structured trace
         #: (``result.tracing`` is its :class:`~repro.trace.TraceCollector`).
@@ -120,7 +132,10 @@ class DMacSession:
 
         With ``lint="warn"`` or ``lint="error"``, the plan is statically
         analysed first; error mode refuses to execute a plan carrying
-        error-severity findings.
+        error-severity findings.  ``verify="warn"``/``"error"`` likewise
+        runs the :mod:`repro.verify` suite (hazard detection, certificate
+        audit, peak-memory prediction) before execution; error mode
+        refuses plans with ordering hazards.
 
         ``chaos`` installs a :class:`~repro.faults.ChaosEngine` for the
         run: its faults fire at their seeded points, the runtime recovers
@@ -135,6 +150,8 @@ class DMacSession:
         plan = plan or self.plan(program)
         if self.lint != "off":
             self._lint(plan)
+        if self.verify != "off":
+            self._verify(plan)
         if tracer is None and self.trace:
             from repro.trace import TraceCollector
 
@@ -153,6 +170,26 @@ class DMacSession:
         if self.lint == "error" and report.has_errors:
             raise LintError(
                 "plan failed static analysis:\n" + report.format_human()
+            )
+        print(report.format_human(), file=sys.stderr)
+
+    def _verify(self, plan: Plan) -> None:
+        from repro.verify import verify_plan
+
+        report = verify_plan(
+            plan,
+            num_workers=self.config.num_workers,
+            threads_per_worker=self.config.threads_per_worker,
+            block_size=self.config.block_size,
+            inplace=self.config.inplace,
+            max_concurrent_stages=self.config.max_concurrent_stages,
+            estimation_mode=self.estimation_mode,
+        )
+        if not report.has_errors:
+            return
+        if self.verify == "error":
+            raise VerificationError(
+                "plan failed static verification:\n" + report.format_human()
             )
         print(report.format_human(), file=sys.stderr)
 

@@ -1,0 +1,83 @@
+"""repro.verify -- static verification of DMac plans.
+
+A worklist fixpoint dataflow framework over the plan IR (shape, NNZ
+intervals with widening, layouts, liveness; transfer functions derived
+from the operator registry) with three clients:
+
+* **translation validation** (:mod:`repro.verify.certify`) -- certify
+  every optimizer rewrite equivalence-preserving, or hard-fail
+  optimization with :class:`~repro.errors.TranslationValidationError`;
+* **hazard detection** (:mod:`repro.verify.hazards`) -- happens-before
+  over the stage graph vs the plan's publish/consume events, surfacing
+  read-before-publish and conflicting double-publish defects (the lint's
+  DM3xx rules);
+* **memory prediction** (:mod:`repro.verify.memory`) -- a sound
+  per-worker peak bound mirroring the engines' tracker charges, exposed
+  on ``ExecutionResult.predicted_peak_memory_bytes`` and behind DM206.
+
+Entry points: :func:`verify_plan` for everything at once,
+``repro verify <app>`` on the command line, ``DMacSession(verify=...)``
+in a session.
+"""
+
+from repro.verify.analysis import PlanAnalysis, analyse_plan, base_name
+from repro.verify.certify import (
+    Certificate,
+    ValueConflict,
+    ValueSummary,
+    certify,
+    value_summary,
+)
+from repro.verify.engine import FixpointResult, solve
+from repro.verify.hazards import (
+    DOUBLE_PUBLISH,
+    READ_BEFORE_PUBLISH,
+    Hazard,
+    ancestor_masks,
+    find_hazards,
+    happens_before,
+)
+from repro.verify.lattice import (
+    TOP,
+    FlatLattice,
+    Interval,
+    IntervalLattice,
+    Lattice,
+    PowersetLattice,
+)
+from repro.verify.memory import (
+    MemoryPrediction,
+    StepFootprint,
+    predict_peak_memory,
+)
+from repro.verify.report import VerificationReport, verify_plan
+
+__all__ = [
+    "Certificate",
+    "DOUBLE_PUBLISH",
+    "FixpointResult",
+    "FlatLattice",
+    "Hazard",
+    "Interval",
+    "IntervalLattice",
+    "Lattice",
+    "MemoryPrediction",
+    "PlanAnalysis",
+    "PowersetLattice",
+    "READ_BEFORE_PUBLISH",
+    "StepFootprint",
+    "TOP",
+    "ValueConflict",
+    "ValueSummary",
+    "VerificationReport",
+    "analyse_plan",
+    "ancestor_masks",
+    "base_name",
+    "certify",
+    "find_hazards",
+    "happens_before",
+    "predict_peak_memory",
+    "solve",
+    "value_summary",
+    "verify_plan",
+]

@@ -20,6 +20,10 @@ JSON_COMMANDS = {
                "--factors", "4", "--format", "json"],
     "lint": ["lint", "pagerank", "--scale", "1e-3", "--iterations", "2",
              "--format", "json"],
+    "verify": ["verify", "gnmf", "--scale", "1e-3", "--iterations", "2",
+               "--factors", "4", "--format", "json"],
+    "verify-execute": ["verify", "linreg", "--rows", "120", "--features", "12",
+                       "--iterations", "2", "--execute", "--format", "json"],
     "chaos": ["chaos", "pagerank", "--scale", "1e-3", "--iterations", "2",
               "--seed", "7", "--faults", "flaky:p=0.3", "--format", "json"],
     "trace": ["trace", "pagerank", "--scale", "1e-3", "--iterations", "2",
@@ -51,6 +55,38 @@ def test_trace_out_writes_the_document_to_a_file(tmp_path, capsys):
     assert out == ""  # --out leaves stdout clean
     document = json.loads(path.read_text())
     assert document["otherData"]["clock"] == "simulated"
+
+
+def test_verify_parse_error_exits_2(tmp_path, capsys):
+    bad = tmp_path / "broken.dml"
+    bad.write_text("H = ???~~~(")
+    assert main(["verify", str(bad)]) == 2
+    out, err = capsys.readouterr()
+    assert out == ""  # nothing but JSON ever reaches stdout
+    assert "parse error" in err
+
+
+def test_verify_hazards_exit_1_and_mark_the_document(capsys, monkeypatch):
+    import dataclasses
+
+    import repro.verify as verify_mod
+    from repro.verify import READ_BEFORE_PUBLISH, Hazard
+
+    real = verify_mod.verify_plan
+
+    def hazardous(plan, **kwargs):
+        report = real(plan, **kwargs)
+        injected = Hazard(kind=READ_BEFORE_PUBLISH, step=0, subject="X",
+                          detail="injected for the exit-code contract")
+        return dataclasses.replace(report, hazards=(injected,))
+
+    monkeypatch.setattr(verify_mod, "verify_plan", hazardous)
+    code = main(["verify", "gnmf", "--scale", "1e-3", "--iterations", "1",
+                 "--factors", "4", "--format", "json"])
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["ok"] is False
+    assert document["hazards"][0]["kind"] == READ_BEFORE_PUBLISH
 
 
 def test_run_without_trace_has_no_trace_key(capsys):

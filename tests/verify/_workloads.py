@@ -1,0 +1,27 @@
+"""Small, fast parameterisations of the seven paper applications, shared
+by the verification tests (certification audit + memory cross-checks)."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli import APPS, _workload
+
+#: Shapes small enough that running every app twice stays in CI budget.
+SMALL_ARGS = dict(
+    scale=3e-3,
+    seed=7,
+    factors=10,
+    iterations=2,
+    graph="LiveJournal",
+    rows=600,
+    features=40,
+    sparsity=0.05,
+    rank=6,
+)
+
+
+def small_workload(app: str):
+    """(program, inputs, svd_names) for one app at reduced scale."""
+    assert app in APPS
+    return _workload(argparse.Namespace(app=app, **SMALL_ARGS))

@@ -1,0 +1,108 @@
+"""Translation validation: identity and strategy changes certify, value
+changes are rejected, and a broken optimizer pass can never hand its plan
+to the executor."""
+
+import pytest
+
+from repro import ClusterConfig, DMacSession
+from repro.cli import APPS
+from repro.core.plan import CellwiseStep, MatMulStep
+from repro.errors import TranslationValidationError
+from repro.planopt import optimize_plan
+from repro.planopt.common import AppliedRewrite, clone_plan
+from repro.verify import certify, value_summary
+from repro.verify.certify import OBLIGATIONS
+
+from tests.verify._workloads import small_workload
+
+
+def _gnmf_plan():
+    program, __, ___ = small_workload("gnmf")
+    return DMacSession(ClusterConfig(num_workers=4)).plan(program)
+
+
+def test_identity_certifies_every_obligation():
+    plan = _gnmf_plan()
+    certificate = certify(plan, clone_plan(plan), pass_name="identity")
+    assert certificate.obligations == OBLIGATIONS
+    assert certificate.outputs == len(plan.outputs)
+
+
+def test_matmul_strategy_is_a_free_degree_of_freedom():
+    plan = _gnmf_plan()
+    rewritten = clone_plan(plan)
+    matmuls = [s for s in rewritten.steps if isinstance(s, MatMulStep)]
+    assert matmuls, "GNMF must contain matmul steps"
+    for step in matmuls:
+        step.strategy = "cpmm" if step.strategy != "cpmm" else "rmm1"
+    certify(plan, rewritten, pass_name="restrategise")  # must not raise
+
+
+def test_swapped_divide_operands_fail_value_equivalence():
+    plan = _gnmf_plan()
+    rewritten = clone_plan(plan)
+    divide = next(
+        s for s in rewritten.steps
+        if isinstance(s, CellwiseStep) and s.op.op == "divide"
+    )
+    divide.left, divide.right = divide.right, divide.left
+    with pytest.raises(TranslationValidationError, match="value-equivalence"):
+        certify(plan, rewritten, pass_name="swap")
+
+
+def test_duplicate_publish_of_the_same_value_is_not_a_conflict():
+    plan = _gnmf_plan()
+    summary = value_summary(plan)
+    assert summary.conflicts == ()
+    assert summary.order_violations == ()
+
+
+class _EvilPass:
+    """A plausible-looking rewrite that silently swaps divide operands --
+    the classic broken-optimizer bug translation validation must catch."""
+
+    name = "evil"
+
+    def run(self, plan, context):
+        divide = next(
+            s for s in plan.steps
+            if isinstance(s, CellwiseStep) and s.op.op == "divide"
+        )
+        divide.left, divide.right = divide.right, divide.left
+        return [AppliedRewrite(pass_name=self.name,
+                               description="swap divide operands")]
+
+
+def test_broken_pass_is_rejected_before_any_plan_escapes():
+    plan = _gnmf_plan()
+    with pytest.raises(TranslationValidationError, match="pass 'evil'"):
+        optimize_plan(plan, num_workers=4, passes=(_EvilPass(),))
+
+
+def test_validation_can_be_disabled_explicitly():
+    # With validate=False the same broken pass sails through -- proving the
+    # default pipeline really is what stops it.
+    plan = _gnmf_plan()
+    broken = optimize_plan(
+        plan, num_workers=4, passes=(_EvilPass(),), validate=False
+    )
+    assert broken.certificates == ()
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_every_optimizer_rewrite_on_the_paper_apps_is_certified(app):
+    program, __, ___ = small_workload(app)
+    session = DMacSession(ClusterConfig(num_workers=4), optimize=True)
+    plan = session.plan(program)
+    certificates = plan.certificates
+    assert certificates, "optimized plans must carry a certificate trail"
+    assert certificates[-1].pass_name == "pipeline"
+    for certificate in certificates:
+        assert certificate.obligations == OBLIGATIONS
+    # Every applied rewrite is covered by exactly one per-pass certificate,
+    # and the end-to-end pipeline certificate agrees on the total.
+    per_pass = sum(
+        c.rewrites for c in certificates if c.pass_name != "pipeline"
+    )
+    assert per_pass == len(plan.rewrites)
+    assert certificates[-1].rewrites == len(plan.rewrites)
