@@ -82,6 +82,19 @@ def density(array) -> float:
     return float(np.count_nonzero(array)) / array.size
 
 
+def registry_workload(app: str, **overrides):
+    """Program + inputs for a registered app (see repro.programs.registry).
+
+    ``overrides`` patch individual :class:`WorkloadParams` fields
+    (``scale``, ``iterations``, ``rows``, ...); everything else keeps the
+    CLI defaults, so a benchmark measures exactly what ``repro run <app>``
+    executes.
+    """
+    from repro.programs.registry import WorkloadParams, build_workload
+
+    return build_workload(app, WorkloadParams(**overrides))
+
+
 def assert_plan_clean(plan, config=None, estimation_mode: str = "worst") -> None:
     """Fail the benchmark if its plan has error-severity lint findings.
 

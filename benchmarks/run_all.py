@@ -40,6 +40,7 @@ EXPERIMENTS = {
     "planopt": "bench_planopt.py",
     "traceoverhead": "bench_trace_overhead.py",
     "verifyoverhead": "bench_verify_overhead.py",
+    "compileoverhead": "bench_compile_overhead.py",
 }
 
 

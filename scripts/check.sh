@@ -12,7 +12,7 @@ else
 fi
 
 if command -v mypy >/dev/null 2>&1; then
-    echo "== mypy (strict on repro.verify) =="
+    echo "== mypy (strict on repro.verify and repro.frontend) =="
     mypy
 else
     echo "== mypy not installed; skipping type check =="
@@ -30,5 +30,13 @@ for script in examples/*.py examples/*.dml; do
     echo "-- $script"
     PYTHONPATH=src python -m repro lint "$script"
 done
+
+echo "== frontend smoke (registry compiles, staged run converges) =="
+for app in gnmf pagerank linreg logreg jacobi cf svd ridge; do
+    echo "-- lint $app"
+    PYTHONPATH=src python -m repro lint "$app" --scale 1e-3 --iterations 2 \
+        --factors 4 --rows 200 --features 20
+done
+PYTHONPATH=src python -m repro run powiter --rows 100 --eps 1e-5 --trace
 
 echo "All checks passed."

@@ -40,23 +40,15 @@ import numpy as np
 from repro import ClusterConfig, DMacSession
 from repro.core.analysis import explain, format_statistics
 from repro.core.viz import plan_to_dot
-from repro.datasets import (
-    PAPER_GRAPHS,
-    graph_like,
-    netflix_like,
-    row_normalize,
-    sparse_random,
-)
+from repro.datasets import PAPER_GRAPHS
 from repro.errors import ProgramError
-from repro.programs import (
-    build_cf_program,
-    build_gnmf_program,
-    build_jacobi_program,
-    build_linreg_program,
-    build_logreg_program,
-    build_pagerank_program,
-    build_svd_program,
-    singular_values,
+from repro.frontend.staged import StagedProgram
+from repro.programs import singular_values
+from repro.programs.registry import (
+    ALL_APPS,
+    PAPER_APPS,
+    WorkloadParams,
+    build_workload,
 )
 
 #: Exit codes shared by the plan/lint subcommands.
@@ -64,11 +56,10 @@ EXIT_OK = 0
 EXIT_LINT_ERRORS = 1
 EXIT_PARSE_ERROR = 2
 
-APPS = ("gnmf", "pagerank", "linreg", "logreg", "jacobi", "cf", "svd")
-
-
-def _density(array: np.ndarray) -> float:
-    return float(np.count_nonzero(array)) / array.size
+#: The paper's seven applications.  Kept under the historical name for the
+#: tests and benchmarks that parameterise over it; the full runnable list
+#: (frontend demos included) is :data:`repro.programs.registry.ALL_APPS`.
+APPS = PAPER_APPS
 
 
 def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
@@ -108,70 +99,51 @@ def _report(label: str, result, baseline=None) -> None:
 
 
 def _workload(args: argparse.Namespace):
-    """Build (program, inputs) for the app named in args.app."""
-    if args.app == "gnmf":
-        data = netflix_like(scale=args.scale, seed=args.seed)
-        program = build_gnmf_program(
-            data.shape, _density(data), factors=args.factors, iterations=args.iterations
-        )
-        return program, {"V": data}, None
-    if args.app == "pagerank":
-        link = row_normalize(graph_like(args.graph, scale=args.scale, seed=args.seed))
-        program = build_pagerank_program(
-            link.shape[0], _density(link), iterations=args.iterations
-        )
-        return program, {"link": link}, None
-    if args.app == "linreg":
-        design = sparse_random(args.rows, args.features, args.sparsity, seed=args.seed)
-        target = sparse_random(args.rows, 1, 1.0, seed=args.seed + 1)
-        program = build_linreg_program(
-            design.shape, _density(design), iterations=args.iterations
-        )
-        return program, {"V": design, "y": target}, None
-    if args.app == "logreg":
-        design = sparse_random(args.rows, args.features, args.sparsity, seed=args.seed)
-        rng = np.random.default_rng(args.seed + 2)
-        labels = (rng.random((args.rows, 1)) > 0.5).astype(float)
-        program = build_logreg_program(
-            design.shape, _density(design), iterations=args.iterations
-        )
-        return program, {"V": design, "y": labels}, None
-    if args.app == "jacobi":
-        from repro.programs import split_system
+    """Build (program, inputs, extra) for the registered app in args.app."""
+    try:
+        workload = build_workload(args.app, WorkloadParams.from_namespace(args))
+    except ProgramError as exc:
+        raise SystemExit(str(exc)) from exc
+    return workload.program, workload.inputs, workload.extra
 
-        rng = np.random.default_rng(args.seed)
-        n = args.rows
-        matrix = rng.random((n, n)) * (rng.random((n, n)) < args.sparsity)
-        np.fill_diagonal(matrix, np.abs(matrix).sum(axis=1) + 1.0)
-        remainder, dinv, rhs = split_system(matrix, rng.random((n, 1)))
-        program = build_jacobi_program(
-            n, _density(remainder), iterations=args.iterations
-        )
-        return program, {"R": remainder, "dinv": dinv, "b": rhs}, None
-    if args.app == "cf":
-        ratings = netflix_like(scale=args.scale, seed=args.seed).T
-        program = build_cf_program(ratings.shape, _density(ratings))
-        return program, {"R": ratings}, None
-    if args.app == "svd":
-        data = netflix_like(scale=args.scale, seed=args.seed)
-        program, names = build_svd_program(
-            data.shape, _density(data), rank=args.rank
-        )
-        return program, {"V": data}, names
-    raise SystemExit(f"unknown application {args.app!r}")
+
+def _segment_plans(session: DMacSession, program, target: str):
+    """Label/plan pairs: one pair for a plain program, the prologue and
+    the loop body for a staged convergence program."""
+    if isinstance(program, StagedProgram):
+        return [
+            (f"{target} [{label}]", session.plan(segment))
+            for label, segment in program.segments()
+        ]
+    return [(target, session.plan(program))]
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     program, inputs, svd_names = _workload(args)
+    staged = isinstance(program, StagedProgram)
+    if args.compare and staged:
+        print("run --compare: the SystemML-S baseline cannot execute a "
+              "staged convergence loop", file=sys.stderr)
+        return EXIT_PARSE_ERROR
     session = _session(args)
     tracer = None
     if getattr(args, "trace", False):
-        from repro.trace import TraceCollector, assert_reconciled
+        if staged:
+            session.trace = True  # one reconciled collector per segment
+        else:
+            from repro.trace import TraceCollector
 
-        tracer = TraceCollector()
+            tracer = TraceCollector()
     result = session.run(program, inputs, tracer=tracer)
-    if tracer is not None:
-        assert_reconciled(tracer)
+    if getattr(args, "trace", False):
+        from repro.trace import assert_reconciled
+
+        if staged:
+            for record in result.segments:
+                assert_reconciled(record.result.tracing)
+            tracer = result.tracing  # last segment, for the reports below
+        else:
+            assert_reconciled(tracer)
     baseline = None
     if args.compare:
         baseline = _session(args).run_systemml(program, inputs)
@@ -195,6 +167,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "peak_memory_bytes": result.peak_memory_bytes,
             "cache": result.cache,
         }
+        if staged:
+            report["staged"] = True
+            report["segments"] = result.num_segments
         if baseline is not None:
             report["baseline_comm_bytes"] = baseline.comm_bytes
             report["baseline_simulated_seconds"] = baseline.simulated_seconds
@@ -208,6 +183,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(json.dumps(report, indent=2))
         return 0
     _report(f"DMac {args.app}", result, baseline)
+    if staged:
+        print(result.describe())
     if svd_names is not None:
         values = singular_values(result.scalars, svd_names)
         print("top singular values:", np.array2string(values[:5], precision=3))
@@ -260,7 +237,7 @@ def _cmd_script(args: argparse.Namespace) -> int:
 def _resolve_plan_target(args: argparse.Namespace, target: str):
     """An app name or a ``.dml`` path -> its program (ProgramError on a
     script that fails to parse)."""
-    if target in APPS:
+    if target in ALL_APPS:
         args.app = target
         program, __, ___ = _workload(args)
         return program
@@ -274,7 +251,7 @@ def _resolve_plan_target(args: argparse.Namespace, target: str):
             raise ProgramError(f"cannot read {target}: {exc}") from exc
         return parse_program(source)
     raise SystemExit(
-        f"unknown target {target!r}: expected one of {', '.join(APPS)} "
+        f"unknown target {target!r}: expected one of {', '.join(ALL_APPS)} "
         f"or a .dml script path"
     )
 
@@ -288,13 +265,14 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     if args.show_rewrites:
         args.optimize = True  # rewrites only exist on optimized plans
     session = _session(args)
-    plan = session.plan(program)
+    plans = _segment_plans(session, program, args.app)
     if args.dot:
-        print(plan_to_dot(plan, title=f"DMac plan: {args.app}"))
+        for label, plan in plans:
+            print(plan_to_dot(plan, title=f"DMac plan: {label}"))
     elif args.format == "json":
-        print(json.dumps(
+        documents = [
             {
-                "target": args.app,
+                "target": label,
                 "optimized": args.optimize,
                 "predicted_bytes": plan.predicted_bytes,
                 "num_stages": plan.num_stages,
@@ -309,21 +287,29 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                      "description": str(step)}
                     for step in plan.steps
                 ],
-            },
-            indent=2,
-        ))
+            }
+            for label, plan in plans
+        ]
+        if len(documents) == 1:
+            print(json.dumps(documents[0], indent=2))
+        else:
+            print(json.dumps(
+                {"target": args.app, "staged": True, "segments": documents},
+                indent=2,
+            ))
     else:
-        print(f"# {args.app}")
-        print(format_statistics(explain(plan, args.workers)))
-        print(plan.describe())
-        if args.show_rewrites:
-            rewrites = getattr(plan, "rewrites", ())
-            print(f"\n# applied rewrites ({len(rewrites)})")
-            for rewrite in rewrites:
-                print(rewrite.format_human())
-            pins = getattr(plan, "cache_pins", ())
-            if pins:
-                print("# cache pins: " + ", ".join(str(i) for i in pins))
+        for label, plan in plans:
+            print(f"# {label}")
+            print(format_statistics(explain(plan, args.workers)))
+            print(plan.describe())
+            if args.show_rewrites:
+                rewrites = getattr(plan, "rewrites", ())
+                print(f"\n# applied rewrites ({len(rewrites)})")
+                for rewrite in rewrites:
+                    print(rewrite.format_human())
+                pins = getattr(plan, "cache_pins", ())
+                if pins:
+                    print("# cache pins: " + ", ".join(str(i) for i in pins))
     return EXIT_OK
 
 
@@ -334,12 +320,34 @@ def _cmd_stages(args: argparse.Namespace) -> int:
         print(f"parse error: {exc}", file=sys.stderr)
         return EXIT_PARSE_ERROR
     session = _session(args)
-    graph = session.stage_graph(program)
-    if args.format == "json":
-        print(json.dumps({"target": args.app, **graph.to_json_dict()}, indent=2))
+    if isinstance(program, StagedProgram):
+        graphs = [
+            (f"{args.app} [{label}]", session.stage_graph(segment))
+            for label, segment in program.segments()
+        ]
     else:
-        print(f"# {args.app}")
-        print(graph.describe())
+        graphs = [(args.app, session.stage_graph(program))]
+    if args.format == "json":
+        if len(graphs) == 1:
+            print(json.dumps(
+                {"target": args.app, **graphs[0][1].to_json_dict()}, indent=2
+            ))
+        else:
+            print(json.dumps(
+                {
+                    "target": args.app,
+                    "staged": True,
+                    "segments": [
+                        {"segment": label, **graph.to_json_dict()}
+                        for label, graph in graphs
+                    ],
+                },
+                indent=2,
+            ))
+    else:
+        for label, graph in graphs:
+            print(f"# {label}")
+            print(graph.describe())
     return EXIT_OK
 
 
@@ -369,21 +377,28 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
     suppress = tuple(args.suppress or ())
     try:
-        if args.target in APPS:
+        if args.target in ALL_APPS:
             args.app = args.target
             program, __, ___ = _workload(args)
-            plan = plan_for(program, context)
-            if args.optimize:
-                from repro.planopt import optimize_plan
+            segments = (
+                program.segments()
+                if isinstance(program, StagedProgram)
+                else ((None, program),)
+            )
+            reports = []
+            for label, segment in segments:
+                plan = plan_for(segment, context)
+                if args.optimize:
+                    from repro.planopt import optimize_plan
 
-                plan = optimize_plan(plan, num_workers=args.workers)
-            report = lint_plan(plan, context, suppress)
+                    plan = optimize_plan(plan, num_workers=args.workers)
+                reports.append((label, lint_plan(plan, context, suppress)))
         elif os.path.exists(args.target):
-            report = lint_path(args.target, context, suppress)
+            reports = [(None, lint_path(args.target, context, suppress))]
         else:
             print(
                 f"unknown lint target {args.target!r}: expected one of "
-                f"{', '.join(APPS)} or an existing .dml/.py file",
+                f"{', '.join(ALL_APPS)} or an existing .dml/.py file",
                 file=sys.stderr,
             )
             return EXIT_PARSE_ERROR
@@ -394,10 +409,28 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"lint: {exc}", file=sys.stderr)
         return EXIT_PARSE_ERROR
     if args.format == "json":
-        print(report.to_json_string())
+        if len(reports) == 1:
+            print(reports[0][1].to_json_string())
+        else:
+            print(json.dumps(
+                {
+                    "target": args.target,
+                    "staged": True,
+                    "segments": [
+                        {"segment": label,
+                         "report": json.loads(report.to_json_string())}
+                        for label, report in reports
+                    ],
+                },
+                indent=2,
+            ))
     else:
-        print(report.format_human())
-    return EXIT_LINT_ERRORS if report.has_errors else EXIT_OK
+        for label, report in reports:
+            if label is not None:
+                print(f"# {args.target} [{label}]")
+            print(report.format_human())
+    failed = any(report.has_errors for __, report in reports)
+    return EXIT_LINT_ERRORS if failed else EXIT_OK
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -424,22 +457,25 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     session = _session(args)
     print(f"verifying {args.target} on {args.workers} workers ...", file=sys.stderr)
     try:
-        plan = session.plan(program)
+        plans = _segment_plans(session, program, args.target)
     except TranslationValidationError as exc:
         print(f"translation validation failed: {exc}", file=sys.stderr)
         return EXIT_LINT_ERRORS
-    report = verify_plan(
-        plan,
-        num_workers=args.workers,
-        threads_per_worker=args.threads,
-        block_size=args.block_size,
-        target=args.target,
-    )
+    reports = [
+        (label, verify_plan(
+            plan,
+            num_workers=args.workers,
+            threads_per_worker=args.threads,
+            block_size=args.block_size,
+            target=label,
+        ))
+        for label, plan in plans
+    ]
     execution = None
     if args.execute:
-        if args.target not in APPS:
+        if args.target not in ALL_APPS:
             print("verify --execute: script targets have no bundled inputs; "
-                  f"use one of {', '.join(APPS)}", file=sys.stderr)
+                  f"use one of {', '.join(ALL_APPS)}", file=sys.stderr)
             return EXIT_PARSE_ERROR
         __, inputs, ___ = _workload(args)  # same seed -> same data
         result = _session(args).run(program, inputs, chaos=chaos)
@@ -451,20 +487,32 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             "faults": args.faults,
             "sound": predicted is not None and observed <= predicted,
         }
+        if isinstance(program, StagedProgram):
+            execution["segments"] = result.num_segments
     if args.format == "json":
-        document = report.to_json_dict()
+        if len(reports) == 1:
+            document = reports[0][1].to_json_dict()
+        else:
+            document = {
+                "target": args.target,
+                "staged": True,
+                "segments": [report.to_json_dict() for __, report in reports],
+            }
         if execution is not None:
             document["execution"] = execution
         print(json.dumps(document, indent=2))
     else:
-        print(report.format_human())
+        for __, report in reports:
+            print(report.format_human())
         if execution is not None:
             verdict = "within" if execution["sound"] else "EXCEEDS"
             print(f"[execute] observed per-worker peak "
                   f"{execution['observed_peak_bytes']} bytes {verdict} the "
                   f"static bound {execution['predicted_peak_bytes']}"
                   + (f" (faults: {args.faults})" if args.faults else ""))
-    failed = report.has_errors or (execution is not None and not execution["sound"])
+    failed = any(report.has_errors for __, report in reports) or (
+        execution is not None and not execution["sound"]
+    )
     return EXIT_LINT_ERRORS if failed else EXIT_OK
 
 
@@ -535,13 +583,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         chaos = ChaosEngine(args.seed, clauses)
     program, inputs, __ = _workload(args)
     session = _session(args)
-    tracer = TraceCollector()
     print(f"tracing {args.app} on {args.workers} workers ...", file=sys.stderr)
-    session.run(program, inputs, chaos=chaos, tracer=tracer)
     # The cross-check: trace-summed bytes/seconds must reconcile exactly
     # with the CommunicationLedger and the SimulatedClock.
-    assert_reconciled(tracer)
-    print("trace reconciled against ledger and clock", file=sys.stderr)
+    if isinstance(program, StagedProgram):
+        session.trace = True  # one collector per segment
+        result = session.run(program, inputs, chaos=chaos)
+        for record in result.segments:
+            assert_reconciled(record.result.tracing)
+        print(f"trace reconciled against ledger and clock on "
+              f"{len(result.segments)} segment(s); exporting the final one",
+              file=sys.stderr)
+        tracer = result.tracing
+    else:
+        tracer = TraceCollector()
+        session.run(program, inputs, chaos=chaos, tracer=tracer)
+        assert_reconciled(tracer)
+        print("trace reconciled against ledger and clock", file=sys.stderr)
     if args.format == "chrome":
         payload = to_chrome_trace(tracer)
     elif args.format == "json":
@@ -559,7 +617,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _add_app_args(parser: argparse.ArgumentParser, positional: bool = True) -> None:
     if positional:
-        parser.add_argument("app", choices=list(APPS))
+        parser.add_argument("app", choices=list(ALL_APPS))
     parser.add_argument("--scale", type=float, default=3e-3,
                         help="dataset scale factor (gnmf/pagerank/cf/svd)")
     parser.add_argument("--graph", choices=sorted(PAPER_GRAPHS), default="soc-pokec",
@@ -567,9 +625,18 @@ def _add_app_args(parser: argparse.ArgumentParser, positional: bool = True) -> N
     parser.add_argument("--iterations", type=int, default=5)
     parser.add_argument("--factors", type=int, default=16, help="GNMF rank")
     parser.add_argument("--rank", type=int, default=10, help="SVD rank")
-    parser.add_argument("--rows", type=int, default=2000, help="linreg examples")
-    parser.add_argument("--features", type=int, default=80, help="linreg features")
-    parser.add_argument("--sparsity", type=float, default=0.1, help="linreg V sparsity")
+    parser.add_argument("--rows", type=int, default=2000,
+                        help="examples / matrix dimension "
+                             "(linreg/logreg/jacobi/ridge/powiter)")
+    parser.add_argument("--features", type=int, default=80,
+                        help="regression features (linreg/logreg/ridge)")
+    parser.add_argument("--sparsity", type=float, default=0.1,
+                        help="design-matrix sparsity (linreg/logreg/ridge)")
+    parser.add_argument("--eps", type=float, default=1e-3,
+                        help="powiter convergence threshold "
+                             "(stop when ||Ax - lambda x|| < eps)")
+    parser.add_argument("--ridge", type=float, default=1e-3,
+                        help="L2 regulariser weight for the ridge app")
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -594,7 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     plan = sub.add_parser("plan", help="print the DMac plan for an application")
     plan.add_argument("app", metavar="app|script.dml",
-                      help=f"one of {', '.join(APPS)}, or a .dml script path")
+                      help=f"one of {', '.join(ALL_APPS)}, or a .dml script path")
     _add_app_args(plan, positional=False)
     _add_cluster_args(plan)
     plan.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
@@ -609,7 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
         "stages", help="print the runtime's stage graph for an application"
     )
     stages.add_argument("app", metavar="app|script.dml",
-                        help=f"one of {', '.join(APPS)}, or a .dml script path")
+                        help=f"one of {', '.join(ALL_APPS)}, or a .dml script path")
     _add_app_args(stages, positional=False)
     _add_cluster_args(stages)
     stages.add_argument("--format", choices=["text", "json"], default="text",
@@ -620,7 +687,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="statically analyse a program's plan without executing it"
     )
     lint.add_argument("target", nargs="?", metavar="app|script.dml|builder.py",
-                      help=f"one of {', '.join(APPS)}, or a .dml/.py file")
+                      help=f"one of {', '.join(ALL_APPS)}, or a .dml/.py file")
     _add_app_args(lint, positional=False)
     _add_cluster_args(lint)
     lint.add_argument("--format", choices=["text", "json"], default="text",
@@ -640,7 +707,7 @@ def build_parser() -> argparse.ArgumentParser:
              "ordering hazards, and a sound per-worker peak-memory bound",
     )
     verify.add_argument("target", metavar="app|script.dml",
-                        help=f"one of {', '.join(APPS)}, or a .dml script path")
+                        help=f"one of {', '.join(ALL_APPS)}, or a .dml script path")
     _add_app_args(verify, positional=False)
     _add_cluster_args(verify)
     verify.set_defaults(optimize=True)  # certificates exist on optimized plans

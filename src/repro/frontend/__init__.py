@@ -1,0 +1,35 @@
+"""Python ``ast`` compiler frontend: typed functions -> plan IR.
+
+One pipeline from user code to execution: a ``@matrix_program`` function
+over :class:`Matrix`/:class:`Scalar` handles is lowered -- never executed
+-- into the same :class:`~repro.lang.program.MatrixProgram` IR the rest of
+the stack (planner, optimizer, verifier, executor, tracer) already
+consumes.  Data-dependent ``while`` convergence loops compile to a
+:class:`StagedProgram`, which the session runs segment by segment,
+extending the plan dynamically until the condition scalar flips.
+"""
+
+from repro.frontend.errors import FrontendError
+from repro.frontend.program import CompiledProgram, FrontendProgram, matrix_program
+from repro.frontend.staged import (
+    CarriedVar,
+    ConditionSpec,
+    StagedOutput,
+    StagedProgram,
+)
+from repro.frontend.types import Matrix, MatrixInput, Scalar, matrix_input
+
+__all__ = [
+    "CarriedVar",
+    "CompiledProgram",
+    "ConditionSpec",
+    "FrontendError",
+    "FrontendProgram",
+    "Matrix",
+    "MatrixInput",
+    "Scalar",
+    "StagedOutput",
+    "StagedProgram",
+    "matrix_input",
+    "matrix_program",
+]

@@ -1,0 +1,87 @@
+"""Importable names for the ``@matrix_program`` surface syntax.
+
+The compiler resolves these names *structurally* from the ``ast`` -- it
+never calls them -- but importing them keeps decorated program modules
+honest Python: linters see defined names, IDEs show signatures, and
+accidentally calling one outside a compiled body fails with a clear
+diagnostic instead of a silent wrong answer.
+
+``sum`` and ``abs`` intentionally shadow the Python builtins inside
+program modules: in a matrix program they are the matrix aggregate /
+element-wise magnitude, exactly like the DML builtins of the same names.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, NoReturn
+
+from repro.frontend.errors import FrontendError
+
+__all__ = [
+    "abs",
+    "col_sums",
+    "exp",
+    "full",
+    "load",
+    "log",
+    "norm2",
+    "ones",
+    "output",
+    "output_scalar",
+    "random",
+    "reciprocal",
+    "row_sums",
+    "sigmoid",
+    "sign",
+    "sqrt",
+    "sqsum",
+    "sum",
+    "t",
+    "value",
+    "zeros",
+]
+
+
+def _placeholder(name: str, doc: str) -> Callable[..., Any]:
+    def surface_name(*args: Any, **kwargs: Any) -> NoReturn:
+        raise FrontendError(
+            f"{name}() is matrix-program surface syntax; it is compiled by "
+            "@matrix_program and cannot be called as a Python function"
+        )
+
+    surface_name.__name__ = name
+    surface_name.__qualname__ = name
+    surface_name.__doc__ = doc
+    return surface_name
+
+
+# -- sources (assignment right-hand sides only) ------------------------------
+load = _placeholder("load", "load(rows, cols, sparsity=1.0): a runtime-bound input matrix.")
+random = _placeholder("random", "random(rows, cols, seed=0): a dense random matrix.")
+full = _placeholder("full", "full(rows, cols, value): a constant-filled matrix.")
+zeros = _placeholder("zeros", "zeros(rows, cols): a zero-filled matrix.")
+ones = _placeholder("ones", "ones(rows, cols): a one-filled matrix.")
+
+# -- aggregates (matrix -> runtime scalar expression) ------------------------
+sum = _placeholder("sum", "sum(X): sum of all cells.")
+sqsum = _placeholder("sqsum", "sqsum(X): sum of squared cells.")
+norm2 = _placeholder("norm2", "norm2(X): the Frobenius/2-norm, sqrt(sqsum(X)).")
+value = _placeholder("value", "value(X): the single cell of a 1x1 matrix.")
+
+# -- structural / element-wise helpers ---------------------------------------
+t = _placeholder("t", "t(X): the transpose (same as X.T).")
+row_sums = _placeholder("row_sums", "row_sums(X): per-row sums as a column vector.")
+col_sums = _placeholder("col_sums", "col_sums(X): per-column sums as a row vector.")
+exp = _placeholder("exp", "exp(X): element-wise exponential.")
+log = _placeholder("log", "log(X): element-wise natural logarithm.")
+sqrt = _placeholder("sqrt", "sqrt(x): element-wise / scalar square root.")
+abs = _placeholder("abs", "abs(x): element-wise / scalar magnitude.")
+sign = _placeholder("sign", "sign(X): element-wise sign.")
+sigmoid = _placeholder("sigmoid", "sigmoid(X): element-wise logistic function.")
+reciprocal = _placeholder("reciprocal", "reciprocal(X): element-wise 1/x.")
+
+# -- result declarations (statements) ----------------------------------------
+output = _placeholder("output", "output(X): materialise a matrix at the end of the run.")
+output_scalar = _placeholder(
+    "output_scalar", "output_scalar(s): report a driver scalar at the end of the run."
+)

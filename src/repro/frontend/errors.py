@@ -1,0 +1,46 @@
+"""Frontend diagnostics: compile errors that point at user source lines.
+
+Every error the :mod:`repro.frontend` compiler raises carries the function
+name, the source file, and the **absolute** line number of the offending
+statement, so a failing ``@matrix_program`` reads like a Python traceback
+("gnmf.py:14: matmul inner dimensions differ ...") rather than a planner
+internal.  :class:`FrontendError` subclasses
+:class:`~repro.errors.ProgramError`, so every CLI/session code path that
+already turns program errors into exit code 2 keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+
+
+class FrontendError(ProgramError):
+    """A compile-time diagnostic from the Python ``ast`` frontend.
+
+    Attributes:
+        function: name of the ``@matrix_program`` function being compiled.
+        filename: source file the function was defined in (or ``None``).
+        line: absolute 1-based line number in that file (or ``None`` when
+            the error is not attributable to a single statement, e.g. a
+            missing compile-time binding).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        function: str | None = None,
+        filename: str | None = None,
+        line: int | None = None,
+    ) -> None:
+        self.function = function
+        self.filename = filename
+        self.line = line
+        location = ""
+        if function is not None:
+            location = function
+            if line is not None:
+                short = filename.rsplit("/", 1)[-1] if filename else "<source>"
+                location = f"{function} ({short}:{line})"
+            location += ": "
+        super().__init__(f"{location}{message}")

@@ -1,0 +1,76 @@
+"""Surface types of the Python frontend: parameter annotations + bindings.
+
+A ``@matrix_program`` function declares its interface with ordinary Python
+annotations:
+
+* ``Matrix`` -- a distributed matrix handle.  Its data is bound at
+  execution time (like ``ProgramBuilder.load``); its *shape and sparsity*
+  are bound at compile time via :func:`matrix_input`.
+* ``Scalar`` (or plain ``float``) -- a compile-time scalar constant, e.g.
+  a step size or convergence threshold.
+* ``int`` -- a compile-time integer, e.g. an iteration count or rank.
+* ``bool`` -- a compile-time flag selecting between program variants
+  (``if`` branches on it are resolved during compilation).
+
+Compile-time values specialise the emitted :class:`MatrixProgram` exactly
+the way the legacy hand-built ``build_*_program`` factories did with
+ordinary Python arguments; only matrix *data* remains a runtime input.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.frontend.errors import FrontendError
+
+
+class Matrix:
+    """Annotation marker: a distributed matrix parameter.
+
+    Inside a ``@matrix_program`` body a ``Matrix`` parameter supports the
+    full expression language (``@``, ``*``, ``+``, ``.T``, aggregates) plus
+    the compile-time shape accessors ``.rows`` and ``.cols``.
+    """
+
+    # Purely an annotation: never instantiated.
+    def __init__(self) -> None:  # pragma: no cover - guarded construction
+        raise FrontendError(
+            "Matrix is an annotation, not a value; bind data with "
+            "matrix_input(shape, sparsity=...) at compile time"
+        )
+
+
+class Scalar:
+    """Annotation marker: a compile-time scalar parameter (same as ``float``)."""
+
+    def __init__(self) -> None:  # pragma: no cover - guarded construction
+        raise FrontendError("Scalar is an annotation, not a value; pass a float")
+
+
+@dataclasses.dataclass(frozen=True)
+class MatrixInput:
+    """Compile-time binding for a ``Matrix`` parameter: shape + sparsity."""
+
+    rows: int
+    cols: int
+    sparsity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise FrontendError(
+                f"matrix dimensions must be >= 1, got {self.rows}x{self.cols}"
+            )
+        if not 0.0 <= self.sparsity <= 1.0:
+            raise FrontendError(
+                f"sparsity must lie in [0, 1], got {self.sparsity}"
+            )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+
+def matrix_input(shape: tuple[int, int], sparsity: float = 1.0) -> MatrixInput:
+    """The compile-time description of one ``Matrix`` argument."""
+    rows, cols = shape
+    return MatrixInput(int(rows), int(cols), float(sparsity))

@@ -6,6 +6,8 @@ from repro.programs.jacobi import build_jacobi_program, split_system
 from repro.programs.linreg import DEFAULT_LAMBDA, build_linreg_program
 from repro.programs.logreg import build_logreg_program
 from repro.programs.pagerank import DAMPING, build_pagerank_program
+from repro.programs.power_iteration import build_power_iteration_program
+from repro.programs.ridge import build_ridge_program
 from repro.programs.svd import (
     LanczosScalars,
     build_svd_program,
@@ -23,6 +25,8 @@ __all__ = [
     "build_linreg_program",
     "build_logreg_program",
     "build_pagerank_program",
+    "build_power_iteration_program",
+    "build_ridge_program",
     "build_svd_program",
     "singular_values",
     "split_system",

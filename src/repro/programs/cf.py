@@ -7,19 +7,31 @@ are ``R @ R^T @ R``, followed by a normalisation.  The paper's point
 multiplies, but SystemML-S "needs to broadcast matrix R twice in each task
 and partition the intermediate result R R^T" -- a dense ~300M-non-zero
 matrix on Netflix -- while DMac's total communication is ``n x |R|``.
+
+Defined through the :mod:`repro.frontend` compiler.
 """
 
 from __future__ import annotations
 
 from repro.errors import ProgramError
-from repro.lang.program import MatrixProgram, ProgramBuilder
+from repro.frontend import Matrix, matrix_input, matrix_program
+from repro.frontend.dsl import output, sqrt, sum
+from repro.lang.program import MatrixProgram
+
+
+@matrix_program
+def cf(R: Matrix):
+    result = R @ R.T @ R
+    norm = sqrt(sum(result * result))
+    predict = result * (1.0 / norm)
+    output(predict)
 
 
 def build_cf_program(
     r_shape: tuple[int, int],
     r_sparsity: float,
 ) -> MatrixProgram:
-    """Build the collaborative-filtering program.
+    """Compile the collaborative-filtering program.
 
     Args:
         r_shape: ``(items, users)`` of the rating matrix ``R``.
@@ -32,10 +44,6 @@ def build_cf_program(
     items, users = r_shape
     if items < 1 or users < 1:
         raise ProgramError(f"rating matrix must be non-empty, got {r_shape}")
-    pb = ProgramBuilder()
-    r = pb.load("R", (items, users), sparsity=r_sparsity)
-    result = pb.assign("result", r @ r.T @ r)
-    norm = pb.scalar("norm", (result * result).sum().sqrt())
-    predict = pb.assign("predict", result * (1.0 / norm))
-    pb.output(predict)
-    return pb.build()
+    program = cf.compile(R=matrix_input((items, users), r_sparsity))
+    assert isinstance(program, MatrixProgram)
+    return program

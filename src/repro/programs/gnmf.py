@@ -9,12 +9,29 @@ multiplicative updates of Lee & Seung::
 This is the paper's primary benchmark (Figures 6 and 10): each iteration
 touches ``W`` four times and ``W^T`` twice, so a dependency-blind planner
 repartitions ``W`` four times per iteration while DMac partitions it once.
+
+Defined through the :mod:`repro.frontend` compiler: the decorated function
+below *is* the program; :func:`build_gnmf_program` keeps the historical
+factory signature and compiles it.
 """
 
 from __future__ import annotations
 
 from repro.errors import ProgramError
-from repro.lang.program import MatrixProgram, ProgramBuilder
+from repro.frontend import Matrix, matrix_input, matrix_program
+from repro.frontend.dsl import output, random
+from repro.lang.program import MatrixProgram
+
+
+@matrix_program
+def gnmf(V: Matrix, factors: int, iterations: int, seed: int = 0):
+    W = random(V.rows, factors, seed=seed)
+    H = random(factors, V.cols, seed=seed + 1)
+    for _ in range(iterations):
+        H = H * (W.T @ V) / (W.T @ W @ H)
+        W = W * (V @ H.T) / (W @ H @ H.T)
+    output(W)
+    output(H)
 
 
 def build_gnmf_program(
@@ -24,7 +41,7 @@ def build_gnmf_program(
     iterations: int = 10,
     seed: int = 0,
 ) -> MatrixProgram:
-    """Build the GNMF program for a ``d x w`` input of given sparsity.
+    """Compile the GNMF program for a ``d x w`` input of given sparsity.
 
     Args:
         v_shape: dimensions of the input matrix ``V``.
@@ -38,14 +55,11 @@ def build_gnmf_program(
         raise ProgramError(f"iterations must be >= 1, got {iterations}")
     if factors < 1:
         raise ProgramError(f"factors must be >= 1, got {factors}")
-    rows, cols = v_shape
-    pb = ProgramBuilder()
-    v = pb.load("V", (rows, cols), sparsity=v_sparsity)
-    w = pb.random("W", (rows, factors), seed=seed)
-    h = pb.random("H", (factors, cols), seed=seed + 1)
-    for __ in range(iterations):
-        h = pb.assign("H", h * (w.T @ v) / (w.T @ w @ h))
-        w = pb.assign("W", w * (v @ h.T) / (w @ h @ h.T))
-    pb.output(w)
-    pb.output(h)
-    return pb.build()
+    program = gnmf.compile(
+        V=matrix_input(v_shape, v_sparsity),
+        factors=factors,
+        iterations=iterations,
+        seed=seed,
+    )
+    assert isinstance(program, MatrixProgram)
+    return program

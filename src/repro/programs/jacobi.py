@@ -12,12 +12,26 @@ the first iteration nothing but the small iterate vector ever moves.
 
 Inputs: ``R`` (the off-diagonal part), ``dinv`` (the element-wise inverse
 diagonal, ``n x 1``) and ``b`` (the right-hand side, ``n x 1``).
+Defined through the :mod:`repro.frontend` compiler.
 """
 
 from __future__ import annotations
 
 from repro.errors import ProgramError
-from repro.lang.program import MatrixProgram, ProgramBuilder
+from repro.frontend import Matrix, matrix_input, matrix_program
+from repro.frontend.dsl import full, output, output_scalar, sum
+from repro.lang.program import MatrixProgram
+
+
+@matrix_program
+def jacobi(R: Matrix, dinv: Matrix, b: Matrix, iterations: int):
+    x = full(R.rows, 1, 0.0)
+    for _ in range(iterations):
+        x = dinv * (b - R @ x)
+    step = dinv * (b - R @ x) - x
+    delta2 = sum(step * step)
+    output_scalar(delta2)
+    output(x)
 
 
 def build_jacobi_program(
@@ -25,7 +39,7 @@ def build_jacobi_program(
     r_sparsity: float,
     iterations: int = 25,
 ) -> MatrixProgram:
-    """Build the Jacobi solver program for an ``n x n`` system.
+    """Compile the Jacobi solver program for an ``n x n`` system.
 
     Args:
         n: system size.
@@ -40,20 +54,14 @@ def build_jacobi_program(
         raise ProgramError(f"system size must be >= 1, got {n}")
     if iterations < 1:
         raise ProgramError(f"iterations must be >= 1, got {iterations}")
-    pb = ProgramBuilder()
-    remainder = pb.load("R", (n, n), sparsity=r_sparsity)
-    dinv = pb.load("dinv", (n, 1), sparsity=1.0)
-    rhs = pb.load("b", (n, 1), sparsity=1.0)
-    x = pb.full("x", (n, 1), 0.0)
-
-    for __ in range(iterations):
-        x = pb.assign("x", dinv * (rhs - remainder @ x))
-
-    step = pb.assign("step", dinv * (rhs - remainder @ x) - x)
-    delta2 = pb.scalar("delta2", (step * step).sum())
-    pb.scalar_output(delta2)
-    pb.output(x)
-    return pb.build()
+    program = jacobi.compile(
+        R=matrix_input((n, n), r_sparsity),
+        dinv=matrix_input((n, 1)),
+        b=matrix_input((n, 1)),
+        iterations=iterations,
+    )
+    assert isinstance(program, MatrixProgram)
+    return program
 
 
 def split_system(matrix, rhs):

@@ -6,15 +6,43 @@ Solves the ridge-regularised normal equations
 ``V`` once for the *whole* program -- ``V^T``'s Column scheme comes free from
 ``V``'s Row scheme via the Transpose dependency -- while SystemML-S
 repartitions ``V`` twice per iteration.
+
+Defined through the :mod:`repro.frontend` compiler; note the bare-name
+scalar alias ``old_norm_r2 = norm_r2``, which binds a second name to the
+same driver scalar without emitting an operator.
 """
 
 from __future__ import annotations
 
 from repro.errors import ProgramError
-from repro.lang.program import MatrixProgram, ProgramBuilder
+from repro.frontend import Matrix, Scalar, matrix_input, matrix_program
+from repro.frontend.dsl import full, output, output_scalar, sum, value
+from repro.lang.program import MatrixProgram
 
 #: The paper's regularisation constant (Code 4, line 5).
 DEFAULT_LAMBDA = 1e-6
+
+
+@matrix_program
+def linreg(V: Matrix, y: Matrix, iterations: int, ridge: Scalar = DEFAULT_LAMBDA):
+    # Code 4 initialises ``w`` randomly but seeds CG with the w=0 residual
+    # ``r = -V^T y``; with a random start the output would be offset by w0.
+    # We start at zero so the program actually solves the normal equations.
+    w = full(V.cols, 1, 0.0)
+    r = (V.T @ y) * -1.0
+    p = r * -1.0
+    norm_r2 = sum(r * r)
+    for _ in range(iterations):
+        q = (V.T @ (V @ p)) + p * ridge
+        alpha = norm_r2 / value(p.T @ q)
+        w = w + p * alpha
+        old_norm_r2 = norm_r2
+        r = r + q * alpha
+        norm_r2 = sum(r * r)
+        beta = norm_r2 / old_norm_r2
+        p = r * -1.0 + p * beta
+    output(w)
+    output_scalar(norm_r2)
 
 
 def build_linreg_program(
@@ -24,40 +52,23 @@ def build_linreg_program(
     seed: int = 0,
     ridge: float = DEFAULT_LAMBDA,
 ) -> MatrixProgram:
-    """Build the CG linear-regression program.
+    """Compile the CG linear-regression program.
 
     Args:
         v_shape: ``(examples, features)`` of the design matrix ``V``.
         v_sparsity: declared non-zero fraction of ``V``.
         iterations: CG iterations (paper: 10).
-        seed: seed for the initial weight vector.
+        seed: kept for signature compatibility (the zero start ignores it).
         ridge: the ``lambda`` regulariser.
     """
     if iterations < 1:
         raise ProgramError(f"iterations must be >= 1, got {iterations}")
     examples, features = v_shape
-    pb = ProgramBuilder()
-    v = pb.load("V", (examples, features), sparsity=v_sparsity)
-    y = pb.load("y", (examples, 1), sparsity=1.0)
-    # Code 4 initialises ``w`` randomly but seeds CG with the w=0 residual
-    # ``r = -V^T y``; with a random start the output would be offset by w0.
-    # We start at zero so the program actually solves the normal equations.
-    w = pb.full("w", (features, 1), 0.0)
-
-    r = pb.assign("r", (v.T @ y) * -1.0)
-    p = pb.assign("p", r * -1.0)
-    norm_r2 = pb.scalar("norm_r2", (r * r).sum())
-
-    for __ in range(iterations):
-        q = pb.assign("q", (v.T @ (v @ p)) + p * ridge)
-        alpha = pb.scalar("alpha", norm_r2 / (p.T @ q).value())
-        w = pb.assign("w", w + p * alpha)
-        old_norm_r2 = norm_r2
-        r = pb.assign("r", r + q * alpha)
-        norm_r2 = pb.scalar("norm_r2", (r * r).sum())
-        beta = pb.scalar("beta", norm_r2 / old_norm_r2)
-        p = pb.assign("p", r * -1.0 + p * beta)
-
-    pb.output(w)
-    pb.scalar_output(norm_r2)
-    return pb.build()
+    program = linreg.compile(
+        V=matrix_input((examples, features), v_sparsity),
+        y=matrix_input((examples, 1)),
+        iterations=iterations,
+        ridge=ridge,
+    )
+    assert isinstance(program, MatrixProgram)
+    return program

@@ -6,12 +6,30 @@ whose inner loop is ``V^T (sigmoid(V w) - y)``.  Like linear regression it
 touches ``V`` and ``V^T`` every iteration, so DMac's Transpose dependency
 keeps the design matrix partitioned once for the whole program; it also
 exercises the element-wise unary operator (``sigmoid``) end to end.
+
+Defined through the :mod:`repro.frontend` compiler.
 """
 
 from __future__ import annotations
 
 from repro.errors import ProgramError
-from repro.lang.program import MatrixProgram, ProgramBuilder
+from repro.frontend import Matrix, Scalar, matrix_input, matrix_program
+from repro.frontend.dsl import full, output, output_scalar, sigmoid, sum
+from repro.lang.program import MatrixProgram
+
+
+@matrix_program
+def logreg(V: Matrix, y: Matrix, iterations: int, learning_rate: Scalar = 0.5):
+    w = full(V.cols, 1, 0.0)
+    step = learning_rate / V.rows
+    for _ in range(iterations):
+        p = sigmoid(V @ w)
+        r = p - y
+        g = V.T @ r
+        w = w - g * step
+    sq_err = sum(r * r)
+    output_scalar(sq_err)
+    output(w)
 
 
 def build_logreg_program(
@@ -20,7 +38,7 @@ def build_logreg_program(
     iterations: int = 10,
     learning_rate: float = 0.5,
 ) -> MatrixProgram:
-    """Build the gradient-descent logistic-regression program.
+    """Compile the gradient-descent logistic-regression program.
 
     Args:
         v_shape: ``(examples, features)`` of the design matrix ``V``.
@@ -36,19 +54,11 @@ def build_logreg_program(
     if learning_rate <= 0:
         raise ProgramError(f"learning_rate must be positive, got {learning_rate}")
     examples, features = v_shape
-    pb = ProgramBuilder()
-    v = pb.load("V", (examples, features), sparsity=v_sparsity)
-    y = pb.load("y", (examples, 1), sparsity=1.0)
-    w = pb.full("w", (features, 1), 0.0)
-
-    step = learning_rate / examples
-    for __ in range(iterations):
-        predictions = pb.assign("p", (v @ w).sigmoid())
-        residual = pb.assign("r", predictions - y)
-        gradient = pb.assign("g", v.T @ residual)
-        w = pb.assign("w", w - gradient * step)
-
-    sq_err = pb.scalar("sq_err", (residual * residual).sum())
-    pb.scalar_output(sq_err)
-    pb.output(w)
-    return pb.build()
+    program = logreg.compile(
+        V=matrix_input((examples, features), v_sparsity),
+        y=matrix_input((examples, 1)),
+        iterations=iterations,
+        learning_rate=learning_rate,
+    )
+    assert isinstance(program, MatrixProgram)
+    return program

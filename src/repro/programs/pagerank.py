@@ -9,15 +9,41 @@ where ``D`` is the uniform teleport vector.  The paper's point (Figure 9a):
 DMac caches the Column scheme of ``link`` across iterations (Reference
 dependency) so only the tiny ``rank`` vector is broadcast each round, while
 SystemML-S repartitions the big ``link`` matrix every iteration.
+
+Defined through the :mod:`repro.frontend` compiler; the ``normalize``
+variant is a compile-time ``bool`` parameter whose ``if`` branch is
+resolved during lowering.
 """
 
 from __future__ import annotations
 
 from repro.errors import ProgramError
-from repro.lang.program import MatrixProgram, ProgramBuilder
+from repro.frontend import Matrix, Scalar, matrix_input, matrix_program
+from repro.frontend.dsl import full, output, random, row_sums
+from repro.lang.program import MatrixProgram
 
 #: The standard damping factor used in the paper's program.
 DAMPING = 0.85
+
+
+@matrix_program
+def pagerank(
+    link: Matrix,
+    iterations: int,
+    seed: int = 0,
+    damping: Scalar = DAMPING,
+    normalize: bool = False,
+):
+    nodes = link.cols
+    if normalize:
+        ones = full(1, nodes, 1.0)
+        link_n = link / (row_sums(link) @ ones)
+        link = link_n
+    rank = random(1, nodes, seed=seed)
+    D = full(1, nodes, 1.0 / nodes)
+    for _ in range(iterations):
+        rank = (rank @ link) * damping + D * (1.0 - damping)
+    output(rank)
 
 
 def build_pagerank_program(
@@ -28,7 +54,7 @@ def build_pagerank_program(
     damping: float = DAMPING,
     normalize: bool = False,
 ) -> MatrixProgram:
-    """Build the PageRank program over an ``N x N`` link matrix.
+    """Compile the PageRank program over an ``N x N`` link matrix.
 
     Args:
         nodes: node count ``N``.
@@ -45,14 +71,12 @@ def build_pagerank_program(
         raise ProgramError(f"iterations must be >= 1, got {iterations}")
     if not 0 < damping < 1:
         raise ProgramError(f"damping must lie in (0, 1), got {damping}")
-    pb = ProgramBuilder()
-    link = pb.load("link", (nodes, nodes), sparsity=link_sparsity)
-    if normalize:
-        ones = pb.full("ones", (1, nodes), 1.0)
-        link = pb.assign("link_n", link / (link.row_sums() @ ones))
-    rank = pb.random("rank", (1, nodes), seed=seed)
-    teleport = pb.full("D", (1, nodes), 1.0 / nodes)
-    for __ in range(iterations):
-        rank = pb.assign("rank", (rank @ link) * damping + teleport * (1.0 - damping))
-    pb.output(rank)
-    return pb.build()
+    program = pagerank.compile(
+        link=matrix_input((nodes, nodes), link_sparsity),
+        iterations=iterations,
+        seed=seed,
+        damping=damping,
+        normalize=normalize,
+    )
+    assert isinstance(program, MatrixProgram)
+    return program

@@ -1,0 +1,61 @@
+"""Ridge regression by gradient descent (frontend-only application).
+
+A deliberately frontend-native program: it has no hand-built
+``ProgramBuilder`` ancestor and exists only as the decorated function
+below.  The loop body ``V^T (V w - y) + lambda w`` is the same
+touch-``V``-and-``V^T``-every-iteration pattern as linear/logistic
+regression, so DMac's Transpose dependency keeps the design matrix
+partitioned once across the unrolled plan.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+from repro.frontend import Matrix, Scalar, matrix_input, matrix_program
+from repro.frontend.dsl import full, output, output_scalar, sum
+from repro.lang.program import MatrixProgram
+
+
+@matrix_program
+def ridge(V: Matrix, y: Matrix, iterations: int, lam: Scalar, step: Scalar):
+    w = full(V.cols, 1, 0.0)
+    rate = step / V.rows
+    for _ in range(iterations):
+        g = V.T @ (V @ w - y) + w * lam
+        w = w - g * rate
+    r = V @ w - y
+    sq_err = sum(r * r)
+    output(w)
+    output_scalar(sq_err)
+
+
+def build_ridge_program(
+    v_shape: tuple[int, int],
+    v_sparsity: float,
+    iterations: int = 10,
+    lam: float = 1e-3,
+    step: float = 0.5,
+) -> MatrixProgram:
+    """Compile the gradient-descent ridge-regression program.
+
+    Args:
+        v_shape: ``(examples, features)`` of the design matrix ``V``.
+        v_sparsity: declared non-zero fraction of ``V``.
+        iterations: gradient steps.
+        lam: the L2 regulariser weight.
+        step: step size (applied to the mean gradient).
+    """
+    if iterations < 1:
+        raise ProgramError(f"iterations must be >= 1, got {iterations}")
+    if step <= 0:
+        raise ProgramError(f"step must be positive, got {step}")
+    examples, features = v_shape
+    program = ridge.compile(
+        V=matrix_input((examples, features), v_sparsity),
+        y=matrix_input((examples, 1)),
+        iterations=iterations,
+        lam=lam,
+        step=step,
+    )
+    assert isinstance(program, MatrixProgram)
+    return program

@@ -10,6 +10,10 @@ a local tridiagonal matrix whose eigenvalues approximate those of
 The published pseudo-code has two slips (``alpha`` computed against ``vp``
 and the vectors never normalised); this implementation follows the
 standard three-term Lanczos recurrence, which is clearly what ran.
+
+Defined through the :mod:`repro.frontend` compiler; the scalar version
+names (``alpha``, ``alpha@2``, ...) are recovered from the compiled
+program's ``scalar_outputs`` to rebuild :class:`LanczosScalars`.
 """
 
 from __future__ import annotations
@@ -19,7 +23,9 @@ import dataclasses
 import numpy as np
 
 from repro.errors import ProgramError
-from repro.lang.program import MatrixProgram, ProgramBuilder
+from repro.frontend import Matrix, matrix_input, matrix_program
+from repro.frontend.dsl import full, norm2, output, output_scalar, random, value
+from repro.lang.program import MatrixProgram
 
 
 @dataclasses.dataclass(frozen=True)
@@ -30,13 +36,35 @@ class LanczosScalars:
     betas: tuple[str, ...]  # betas[i] couples iterations i and i+1
 
 
+@matrix_program
+def svd(V: Matrix, rank: int, seed: int = 0):
+    vc = random(V.cols, 1, seed=seed)
+    start_norm = norm2(vc)
+    vc = vc * (1.0 / start_norm)
+    vp = full(V.cols, 1, 0.0)
+    beta_prev = 0.0
+    for i in range(rank):
+        w = V.T @ (V @ vc)
+        alpha = value(vc.T @ w)
+        output_scalar(alpha)
+        w = w - vp * beta_prev
+        w = w - vc * alpha
+        if i + 1 < rank:
+            beta = norm2(w)
+            output_scalar(beta)
+            vp = vc
+            vc = w * (1.0 / beta)
+            beta_prev = beta
+    output(vc)
+
+
 def build_svd_program(
     v_shape: tuple[int, int],
     v_sparsity: float,
     rank: int = 10,
     seed: int = 0,
 ) -> tuple[MatrixProgram, LanczosScalars]:
-    """Build the Lanczos-SVD program.
+    """Compile the Lanczos-SVD program.
 
     Args:
         v_shape: dimensions of the matrix to decompose.
@@ -50,32 +78,26 @@ def build_svd_program(
     if rank < 1:
         raise ProgramError(f"rank must be >= 1, got {rank}")
     rows, cols = v_shape
-    pb = ProgramBuilder()
-    v = pb.load("V", (rows, cols), sparsity=v_sparsity)
-    vc = pb.random("vc", (cols, 1), seed=seed)
-    start_norm = pb.scalar("start_norm", vc.norm2())
-    vc = pb.assign("vc", vc * (1.0 / start_norm))
-    vp = pb.full("vp", (cols, 1), 0.0)
+    program = svd.compile(
+        V=matrix_input((rows, cols), v_sparsity), rank=rank, seed=seed
+    )
+    assert isinstance(program, MatrixProgram)
+    return program, lanczos_scalars(program)
 
-    alphas: list[str] = []
-    betas: list[str] = []
-    beta_prev: object = 0.0
-    for i in range(rank):
-        w = pb.assign("w", v.T @ (v @ vc))
-        alpha = pb.scalar("alpha", (vc.T @ w).value())
-        pb.scalar_output(alpha)
-        alphas.append(alpha.name)
-        w = pb.assign("w", w - vp * beta_prev)
-        w = pb.assign("w", w - vc * alpha)
-        if i + 1 < rank:
-            beta = pb.scalar("beta", w.norm2())
-            pb.scalar_output(beta)
-            betas.append(beta.name)
-            vp = vc
-            vc = pb.assign("vc", w * (1.0 / beta))
-            beta_prev = beta
-    pb.output(vc)
-    return pb.build(), LanczosScalars(tuple(alphas), tuple(betas))
+
+def lanczos_scalars(program: MatrixProgram) -> LanczosScalars:
+    """Recover the alpha/beta version names from a compiled SVD program."""
+    alphas = tuple(
+        name
+        for name in program.scalar_outputs
+        if name == "alpha" or name.startswith("alpha@")
+    )
+    betas = tuple(
+        name
+        for name in program.scalar_outputs
+        if name == "beta" or name.startswith("beta@")
+    )
+    return LanczosScalars(alphas, betas)
 
 
 def tridiagonal_matrix(

@@ -60,6 +60,41 @@ class SimulatedClock:
         self.config = config or ClockConfig()
         self._lock = threading.Lock()
         self._time = TimeBreakdown()
+        self._windows: list[TimeBreakdown] = []
+
+    def _charge(self, network: float = 0.0, compute: float = 0.0,
+                overhead: float = 0.0) -> None:
+        """Add to the global total and every open window.  Caller holds
+        the lock."""
+        self._time.network_seconds += network
+        self._time.compute_seconds += compute
+        self._time.overhead_seconds += overhead
+        for window in self._windows:
+            window.network_seconds += network
+            window.compute_seconds += compute
+            window.overhead_seconds += overhead
+
+    def begin_window(self) -> TimeBreakdown:
+        """Open an exact measurement window.
+
+        Every subsequent charge is added to the returned breakdown as well
+        as the global total.  Because the window starts from zero and sees
+        the very same float additions, its totals are *bitwise* equal to
+        the sum of the charges in the window -- unlike ``after - before``
+        subtraction on the accumulated totals, which drifts by ulps once
+        the clock carries earlier runs (e.g. prior segments of a staged
+        program).  The trace reconciliation depends on this exactness.
+        """
+        window = TimeBreakdown()
+        with self._lock:
+            self._windows.append(window)
+        return window
+
+    def end_window(self, window: TimeBreakdown) -> TimeBreakdown:
+        """Close a window opened by :meth:`begin_window` and return it."""
+        with self._lock:
+            self._windows.remove(window)
+        return window
 
     def advance_network(self, nbytes: int) -> None:
         """Charge a cross-worker transfer of ``nbytes``."""
@@ -71,7 +106,7 @@ class SimulatedClock:
             meter.add_network(nbytes, seconds)
             return
         with self._lock:
-            self._time.network_seconds += seconds
+            self._charge(network=seconds)
 
     def advance_compute(
         self,
@@ -100,7 +135,7 @@ class SimulatedClock:
             meter.add_compute(slowest)
             return
         with self._lock:
-            self._time.compute_seconds += slowest
+            self._charge(compute=slowest)
 
     def advance_disk(self, nbytes: int) -> None:
         """Charge a disk write/read of ``nbytes`` (checkpoint persistence).
@@ -117,7 +152,7 @@ class SimulatedClock:
             meter.add_overhead(seconds)
             return
         with self._lock:
-            self._time.overhead_seconds += seconds
+            self._charge(overhead=seconds)
 
     def advance_stage_overhead(self, stages: int = 1) -> None:
         """Charge fixed scheduling latency for ``stages`` stage launches."""
@@ -127,15 +162,17 @@ class SimulatedClock:
             meter.add_overhead(seconds)
             return
         with self._lock:
-            self._time.overhead_seconds += seconds
+            self._charge(overhead=seconds)
 
     def advance(self, breakdown: TimeBreakdown) -> None:
         """Commit an already-split duration (the scheduler's critical path)
         straight to the global total, bypassing any meter."""
         with self._lock:
-            self._time.network_seconds += breakdown.network_seconds
-            self._time.compute_seconds += breakdown.compute_seconds
-            self._time.overhead_seconds += breakdown.overhead_seconds
+            self._charge(
+                network=breakdown.network_seconds,
+                compute=breakdown.compute_seconds,
+                overhead=breakdown.overhead_seconds,
+            )
 
     @property
     def elapsed(self) -> TimeBreakdown:

@@ -280,7 +280,7 @@ class PlanExecutor:
 
         bytes_before = backend.ledger.snapshot()
         records_before = len(backend.ledger.records()) if tracer is not None else 0
-        clock_before = backend.clock.elapsed if tracer is not None else None
+        clock_window = backend.clock.begin_window() if tracer is not None else None
         wall_start = time.perf_counter()
         scheduler = StageScheduler(self.max_concurrent_stages, **scheduler_kwargs)
         plan_span = (
@@ -297,6 +297,10 @@ class PlanExecutor:
             )
             matrices = self._materialise_outputs(plan, state)
             cache_stats = cache.stats() if cache is not None else None
+        except BaseException:
+            if clock_window is not None:
+                backend.clock.end_window(clock_window)
+            raise
         finally:
             if plan_span is not None:
                 tracer.end_span(plan_span)
@@ -308,11 +312,11 @@ class PlanExecutor:
             tracer.apply_schedule(report.timings, report.critical_path)
             tracer.attach_elapsed(report.elapsed)
             tracer.attach_ledger_window(backend.ledger.records()[records_before:])
-            clock_after = backend.clock.elapsed
+            window = backend.clock.end_window(clock_window)
             tracer.attach_clock_delta(
-                clock_after.network_seconds - clock_before.network_seconds,
-                clock_after.compute_seconds - clock_before.compute_seconds,
-                clock_after.overhead_seconds - clock_before.overhead_seconds,
+                window.network_seconds,
+                window.compute_seconds,
+                window.overhead_seconds,
             )
 
         recovery = None

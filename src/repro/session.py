@@ -30,7 +30,8 @@ from repro.core.executor import ExecutionResult, PlanExecutor
 from repro.core.plan import Plan
 from repro.core.planner import DMacPlanner
 from repro.core.stages import schedule_stages
-from repro.errors import LintError, PlanError, VerificationError
+from repro.errors import ExecutionError, LintError, PlanError, VerificationError
+from repro.frontend.staged import StagedProgram
 from repro.lang.program import MatrixProgram
 from repro.rdd.context import ClusterContext
 
@@ -121,7 +122,7 @@ class DMacSession:
 
     def run(
         self,
-        program: MatrixProgram,
+        program: MatrixProgram | StagedProgram,
         inputs: dict[str, np.ndarray] | None = None,
         plan: Plan | None = None,
         trace: bool = False,
@@ -146,7 +147,27 @@ class DMacSession:
         run; a session constructed with ``trace=True`` creates one per run
         automatically.  Either way the collector comes back on
         ``result.tracing``.
+
+        A :class:`~repro.frontend.staged.StagedProgram` (a frontend
+        ``while``-convergence program) is dispatched to
+        :meth:`run_staged`; its result quacks like an
+        :class:`ExecutionResult` for the common fields.
         """
+        if isinstance(program, StagedProgram):
+            if plan is not None:
+                raise PlanError(
+                    "staged programs plan their own segments; "
+                    "run() cannot take a pre-built plan for one"
+                )
+            if tracer is not None:
+                raise PlanError(
+                    "staged programs collect one tracer per segment; "
+                    "construct the session with trace=True instead of "
+                    "passing a tracer"
+                )
+            return self.run_staged(  # type: ignore[return-value]
+                program, inputs, trace=trace, chaos=chaos
+            )
         plan = plan or self.plan(program)
         if self.lint != "off":
             self._lint(plan)
@@ -158,6 +179,57 @@ class DMacSession:
             tracer = TraceCollector()
         executor = PlanExecutor(self.context, self.config.block_size)
         return executor.execute(plan, inputs, trace=trace, chaos=chaos, tracer=tracer)
+
+    def run_staged(
+        self,
+        staged: StagedProgram,
+        inputs: dict[str, np.ndarray] | None = None,
+        trace: bool = False,
+        chaos=None,
+    ):
+        """Execute a while-convergence program by dynamic plan extension.
+
+        The prologue runs first; then the loop body -- planned exactly
+        once, the plan re-used -- runs segment after segment, each
+        segment's carried outputs bound to the next segment's loads, until
+        the driver evaluates the condition scalars (``_while_lhs`` /
+        ``_while_rhs``) to false or ``staged.max_segments`` is hit.  Every
+        segment goes through the session's full static stack: lint and
+        verify modes fire per segment, ``trace=True`` sessions collect a
+        fresh reconciled :class:`~repro.trace.TraceCollector` per segment,
+        and one ``chaos`` engine spans the whole run (its faults land in
+        whichever segment reaches the seeded points).
+
+        Returns a :class:`~repro.runtime.segments.StagedResult`.
+        """
+        from repro.runtime.segments import SegmentRecord, aggregate, carried_inputs
+
+        inputs = dict(inputs or {})
+        prologue_plan = self.plan(staged.prologue)
+        body_plan = self.plan(staged.body)
+        prologue_result = self.run(
+            staged.prologue, inputs, plan=prologue_plan, trace=trace, chaos=chaos
+        )
+        keep_going = staged.condition.evaluate(prologue_result.scalars)
+        records = [SegmentRecord("prologue", prologue_result, keep_going)]
+        previous: ExecutionResult | None = None
+        while keep_going:
+            if len(records) - 1 >= staged.max_segments:
+                raise ExecutionError(
+                    f"staged program {staged.name!r} did not converge within "
+                    f"{staged.max_segments} segments "
+                    f"(while {staged.condition.describe()})"
+                )
+            bound = carried_inputs(staged, inputs, prologue_result, previous)
+            segment_result = self.run(
+                staged.body, bound, plan=body_plan, trace=trace, chaos=chaos
+            )
+            keep_going = staged.condition.evaluate(segment_result.scalars)
+            records.append(
+                SegmentRecord(f"segment-{len(records)}", segment_result, keep_going)
+            )
+            previous = segment_result
+        return aggregate(staged, records)
 
     def _lint(self, plan: Plan) -> None:
         from repro.lint import LintContext, lint_plan

@@ -1,0 +1,184 @@
+"""The hand-written ProgramBuilder factories the frontend replaced.
+
+Verbatim copies of the seven application builders as they existed before
+the :mod:`repro.frontend` migration (only renamed ``legacy_*``).  They
+exist solely as the ground truth for the byte-identical equivalence
+property tests in ``test_migration.py`` -- do not import them from
+production code.
+"""
+
+from __future__ import annotations
+
+from repro.lang.program import MatrixProgram, ProgramBuilder
+from repro.programs.pagerank import DAMPING
+from repro.programs.svd import LanczosScalars
+
+DEFAULT_LAMBDA = 1e-6
+
+
+def legacy_gnmf_program(
+    v_shape: tuple[int, int],
+    v_sparsity: float,
+    factors: int = 200,
+    iterations: int = 10,
+    seed: int = 0,
+) -> MatrixProgram:
+    rows, cols = v_shape
+    pb = ProgramBuilder()
+    v = pb.load("V", (rows, cols), sparsity=v_sparsity)
+    w = pb.random("W", (rows, factors), seed=seed)
+    h = pb.random("H", (factors, cols), seed=seed + 1)
+    for __ in range(iterations):
+        h = pb.assign("H", h * (w.T @ v) / (w.T @ w @ h))
+        w = pb.assign("W", w * (v @ h.T) / (w @ h @ h.T))
+    pb.output(w)
+    pb.output(h)
+    return pb.build()
+
+
+def legacy_pagerank_program(
+    nodes: int,
+    link_sparsity: float,
+    iterations: int = 10,
+    seed: int = 0,
+    damping: float = DAMPING,
+    normalize: bool = False,
+) -> MatrixProgram:
+    pb = ProgramBuilder()
+    link = pb.load("link", (nodes, nodes), sparsity=link_sparsity)
+    if normalize:
+        ones = pb.full("ones", (1, nodes), 1.0)
+        link = pb.assign("link_n", link / (link.row_sums() @ ones))
+    rank = pb.random("rank", (1, nodes), seed=seed)
+    teleport = pb.full("D", (1, nodes), 1.0 / nodes)
+    for __ in range(iterations):
+        rank = pb.assign("rank", (rank @ link) * damping + teleport * (1.0 - damping))
+    pb.output(rank)
+    return pb.build()
+
+
+def legacy_jacobi_program(
+    n: int,
+    r_sparsity: float,
+    iterations: int = 25,
+) -> MatrixProgram:
+    pb = ProgramBuilder()
+    remainder = pb.load("R", (n, n), sparsity=r_sparsity)
+    dinv = pb.load("dinv", (n, 1), sparsity=1.0)
+    rhs = pb.load("b", (n, 1), sparsity=1.0)
+    x = pb.full("x", (n, 1), 0.0)
+
+    for __ in range(iterations):
+        x = pb.assign("x", dinv * (rhs - remainder @ x))
+
+    step = pb.assign("step", dinv * (rhs - remainder @ x) - x)
+    delta2 = pb.scalar("delta2", (step * step).sum())
+    pb.scalar_output(delta2)
+    pb.output(x)
+    return pb.build()
+
+
+def legacy_linreg_program(
+    v_shape: tuple[int, int],
+    v_sparsity: float,
+    iterations: int = 10,
+    seed: int = 0,
+    ridge: float = DEFAULT_LAMBDA,
+) -> MatrixProgram:
+    examples, features = v_shape
+    pb = ProgramBuilder()
+    v = pb.load("V", (examples, features), sparsity=v_sparsity)
+    y = pb.load("y", (examples, 1), sparsity=1.0)
+    w = pb.full("w", (features, 1), 0.0)
+
+    r = pb.assign("r", (v.T @ y) * -1.0)
+    p = pb.assign("p", r * -1.0)
+    norm_r2 = pb.scalar("norm_r2", (r * r).sum())
+
+    for __ in range(iterations):
+        q = pb.assign("q", (v.T @ (v @ p)) + p * ridge)
+        alpha = pb.scalar("alpha", norm_r2 / (p.T @ q).value())
+        w = pb.assign("w", w + p * alpha)
+        old_norm_r2 = norm_r2
+        r = pb.assign("r", r + q * alpha)
+        norm_r2 = pb.scalar("norm_r2", (r * r).sum())
+        beta = pb.scalar("beta", norm_r2 / old_norm_r2)
+        p = pb.assign("p", r * -1.0 + p * beta)
+
+    pb.output(w)
+    pb.scalar_output(norm_r2)
+    return pb.build()
+
+
+def legacy_logreg_program(
+    v_shape: tuple[int, int],
+    v_sparsity: float,
+    iterations: int = 10,
+    learning_rate: float = 0.5,
+) -> MatrixProgram:
+    examples, features = v_shape
+    pb = ProgramBuilder()
+    v = pb.load("V", (examples, features), sparsity=v_sparsity)
+    y = pb.load("y", (examples, 1), sparsity=1.0)
+    w = pb.full("w", (features, 1), 0.0)
+
+    step = learning_rate / examples
+    for __ in range(iterations):
+        predictions = pb.assign("p", (v @ w).sigmoid())
+        residual = pb.assign("r", predictions - y)
+        gradient = pb.assign("g", v.T @ residual)
+        w = pb.assign("w", w - gradient * step)
+
+    sq_err = pb.scalar("sq_err", (residual * residual).sum())
+    pb.scalar_output(sq_err)
+    pb.output(w)
+    return pb.build()
+
+
+def legacy_cf_program(
+    r_shape: tuple[int, int],
+    r_sparsity: float,
+) -> MatrixProgram:
+    items, users = r_shape
+    pb = ProgramBuilder()
+    r = pb.load("R", (items, users), sparsity=r_sparsity)
+    result = pb.assign("result", r @ r.T @ r)
+    norm = pb.scalar("norm", (result * result).sum().sqrt())
+    predict = pb.assign("predict", result * (1.0 / norm))
+    pb.output(predict)
+    return pb.build()
+
+
+def legacy_svd_program(
+    v_shape: tuple[int, int],
+    v_sparsity: float,
+    rank: int = 10,
+    seed: int = 0,
+) -> tuple[MatrixProgram, LanczosScalars]:
+    rows, cols = v_shape
+    pb = ProgramBuilder()
+    v = pb.load("V", (rows, cols), sparsity=v_sparsity)
+    vc = pb.random("vc", (cols, 1), seed=seed)
+    start_norm = pb.scalar("start_norm", vc.norm2())
+    vc = pb.assign("vc", vc * (1.0 / start_norm))
+    vp = pb.full("vp", (cols, 1), 0.0)
+
+    alphas: list[str] = []
+    betas: list[str] = []
+    beta_prev: object = 0.0
+    for i in range(rank):
+        w = pb.assign("w", v.T @ (v @ vc))
+        alpha = pb.scalar("alpha", (vc.T @ w).value())
+        pb.scalar_output(alpha)
+        alphas.append(alpha.name)
+        w = pb.assign("w", w - vp * beta_prev)
+        w = pb.assign("w", w - vc * alpha)
+        if i + 1 < rank:
+            beta = pb.scalar("beta", w.norm2())
+            pb.scalar_output(beta)
+            betas.append(beta.name)
+            vp = vc
+            vc = pb.assign("vc", w * (1.0 / beta))
+            beta_prev = beta
+    pb.output(vc)
+    return pb.build(), LanczosScalars(tuple(alphas), tuple(betas))

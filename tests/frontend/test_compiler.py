@@ -1,0 +1,226 @@
+"""Lowering semantics of the ast frontend: decorated Python functions
+compile to the same MatrixProgram IR ProgramBuilder produces, and the
+compiled programs compute the right numbers on the simulated cluster."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, DMacSession
+from repro.frontend import Matrix, Scalar, matrix_input, matrix_program
+from repro.frontend.dsl import (
+    full,
+    norm2,
+    output,
+    output_scalar,
+    random,
+    row_sums,
+    sigmoid,
+    sum,
+    value,
+    zeros,
+)
+from repro.lang.program import MatrixProgram, ProgramBuilder
+
+
+def session() -> DMacSession:
+    return DMacSession(ClusterConfig(num_workers=2, threads_per_worker=2))
+
+
+def test_simple_program_matches_builder():
+    @matrix_program
+    def doubled(A: Matrix):
+        B = A + A
+        output(B)
+
+    program = doubled.compile(A=matrix_input((3, 4)))
+    assert isinstance(program, MatrixProgram)
+
+    pb = ProgramBuilder()
+    a = pb.load("A", (3, 4), sparsity=1.0)
+    pb.output(pb.assign("B", a + a))
+    assert program == pb.build()
+
+
+def test_matrix_params_load_in_signature_order():
+    @matrix_program
+    def two(A: Matrix, B: Matrix):
+        C = A @ B
+        output(C)
+
+    program = two.compile(A=matrix_input((2, 3)), B=matrix_input((3, 4)))
+    loads = [op for op in program.ops if type(op).__name__ == "LoadOp"]
+    assert [op.output for op in loads] == ["A", "B"]
+
+
+def test_tuple_binding_coerced_to_dense_input():
+    @matrix_program
+    def ident(A: Matrix):
+        output(A)
+
+    program = ident.compile(A=(5, 7))
+    load = program.ops[0]
+    assert (load.rows, load.cols) == (5, 7)
+    assert load.sparsity == 1.0
+
+
+def test_for_loop_unrolls_with_ssa_versions():
+    @matrix_program
+    def iterate(A: Matrix, iterations: int):
+        x = zeros(A.rows, 1)
+        for _ in range(iterations):
+            x = A @ x
+        output(x)
+
+    program = iterate.compile(A=matrix_input((4, 4)), iterations=3)
+    versions = [op.output for op in program.ops if hasattr(op, "output")]
+    assert "x@2" in versions and "x@3" in versions and "x@4" in versions
+
+
+def test_static_if_prunes_untaken_branch():
+    @matrix_program
+    def maybe(A: Matrix, flag: bool):
+        if flag:
+            A = A + A
+        else:
+            A = A * 3.0
+        output(A)
+
+    on = maybe.compile(A=matrix_input((2, 2)), flag=True)
+    off = maybe.compile(A=matrix_input((2, 2)), flag=False)
+    assert on != off
+    assert len(on.ops) == len(off.ops)
+
+
+def test_bare_alias_emits_no_op():
+    @matrix_program
+    def aliased(A: Matrix):
+        B = A + A
+        C = B
+        D = C + A
+        output(D)
+
+    pb = ProgramBuilder()
+    a = pb.load("A", (2, 2), sparsity=1.0)
+    b = pb.assign("B", a + a)
+    pb.output(pb.assign("D", b + a))
+    assert aliased.compile(A=matrix_input((2, 2))) == pb.build()
+
+
+def test_scalar_defaults_apply():
+    @matrix_program
+    def scaled(A: Matrix, factor: Scalar = 2.0):
+        B = A * factor
+        output(B)
+
+    default = scaled.compile(A=matrix_input((2, 2)))
+    explicit = scaled.compile(A=matrix_input((2, 2)), factor=2.0)
+    assert default == explicit
+
+
+def test_shape_accessors_are_compile_time():
+    @matrix_program
+    def shaped(A: Matrix):
+        o = full(A.cols, A.rows, 1.0)
+        B = A @ o
+        output(B)
+
+    program = shaped.compile(A=matrix_input((3, 5)))
+    ones_op = next(op for op in program.ops if op.output == "o")
+    assert (ones_op.rows, ones_op.cols) == (5, 3)
+
+
+def test_name_override():
+    @matrix_program(name="renamed")
+    def original(A: Matrix):
+        output(A)
+
+    assert original.name == "renamed"
+
+
+def test_method_and_function_reductions_agree():
+    @matrix_program
+    def via_methods(A: Matrix):
+        s = (A * A).sum()
+        output_scalar(s)
+        output(A)
+
+    @matrix_program
+    def via_functions(A: Matrix):
+        s = sum(A * A)
+        output_scalar(s)
+        output(A)
+
+    shape = matrix_input((3, 3))
+    assert via_methods.compile(A=shape) == via_functions.compile(A=shape)
+
+
+def test_execution_matches_numpy():
+    @matrix_program
+    def pipelineish(A: Matrix, y: Matrix):
+        p = sigmoid(A @ y)
+        rs = row_sums(A)
+        q = p * 2.0 - y
+        n = norm2(q)
+        total = sum(rs)
+        output(q)
+        output_scalar(n)
+        output_scalar(total)
+
+    rng = np.random.default_rng(11)
+    a = rng.random((6, 6))
+    yv = rng.random((6, 1))
+    program = pipelineish.compile(A=matrix_input((6, 6)), y=matrix_input((6, 1)))
+    result = session().run(program, {"A": a, "y": yv})
+
+    expected_p = 1.0 / (1.0 + np.exp(-(a @ yv)))
+    expected_q = expected_p * 2.0 - yv
+    np.testing.assert_allclose(result.matrices["q"], expected_q, atol=1e-12)
+    assert result.scalars["n"] == pytest.approx(np.linalg.norm(expected_q))
+    assert result.scalars["total"] == pytest.approx(a.sum())
+
+
+def test_value_scalar_extraction():
+    @matrix_program
+    def dotself(x: Matrix):
+        s = value(x.T @ x)
+        output_scalar(s)
+        output(x)
+
+    rng = np.random.default_rng(5)
+    xv = rng.random((7, 1))
+    program = dotself.compile(x=matrix_input((7, 1)))
+    result = session().run(program, {"x": xv})
+    assert result.scalars["s"] == pytest.approx((xv.T @ xv).item())
+
+
+def test_random_source_deterministic_per_seed():
+    @matrix_program
+    def seeded(n: int, seed: int = 0):
+        x = random(n, 1, seed=seed)
+        output(x)
+
+    p1 = seeded.compile(n=4, seed=3)
+    p2 = seeded.compile(n=4, seed=3)
+    p3 = seeded.compile(n=4, seed=4)
+    assert p1 == p2
+    assert p1 != p3
+    r1 = session().run(p1, {})
+    r2 = session().run(p2, {})
+    np.testing.assert_array_equal(r1.matrices["x"], r2.matrices["x"])
+
+
+def test_static_arithmetic_folds():
+    @matrix_program
+    def folded(A: Matrix, k: int):
+        step = 1.0 / (k * 2)
+        B = A * step
+        output(B)
+
+    program = folded.compile(A=matrix_input((2, 2)), k=4)
+
+    pb = ProgramBuilder()
+    a = pb.load("A", (2, 2), sparsity=1.0)
+    pb.output(pb.assign("B", a * 0.125))
+    assert program == pb.build()

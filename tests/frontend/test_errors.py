@@ -1,0 +1,242 @@
+"""Frontend diagnostics: every rejection names the offending source line.
+
+A failed ``@matrix_program`` must read like a Python traceback -- function
+name, file, 1-based absolute line -- so these tests assert not only the
+message but that ``FrontendError.line`` points at the exact statement
+(verified against the file's actual text via :mod:`linecache`).
+"""
+
+from __future__ import annotations
+
+import linecache
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.frontend import FrontendError, Matrix, Scalar, matrix_input, matrix_program
+from repro.frontend.dsl import load, norm2, output, output_scalar, sum, value
+
+
+def _line_text(exc: FrontendError) -> str:
+    assert exc.filename is not None and exc.line is not None
+    return linecache.getline(exc.filename, exc.line)
+
+
+def compile_error(program, **bindings) -> FrontendError:
+    with pytest.raises(FrontendError) as info:
+        program.compile(**bindings)
+    return info.value
+
+
+def test_unsupported_statement_names_its_line():
+    @matrix_program
+    def bad(A: Matrix):
+        x = A + A
+        del x
+        output(x)
+
+    exc = compile_error(bad, A=matrix_input((3, 3)))
+    assert "unsupported syntax: Delete" in str(exc)
+    assert exc.function == "bad"
+    assert "del x" in _line_text(exc)
+
+
+def test_untyped_argument_rejected_at_decoration():
+    with pytest.raises(FrontendError) as info:
+
+        @matrix_program
+        def bad(A, iterations: int):
+            output(A)
+
+    assert "untyped argument 'A'" in str(info.value)
+
+
+def test_unsupported_annotation_rejected():
+    with pytest.raises(FrontendError) as info:
+
+        @matrix_program
+        def bad(A: "list"):
+            output(A)
+
+    assert "bad" in str(info.value)
+
+
+def test_shape_mismatch_points_at_the_matmul():
+    @matrix_program
+    def bad(A: Matrix, B: Matrix):
+        C = A @ B
+        output(C)
+
+    exc = compile_error(bad, A=matrix_input((3, 4)), B=matrix_input((3, 4)))
+    assert "matmul inner dimensions differ" in str(exc)
+    assert "A @ B" in _line_text(exc)
+
+
+def test_unknown_variable_names_its_line():
+    @matrix_program
+    def bad(A: Matrix):
+        x = A + missing  # noqa: F821
+        output(x)
+
+    exc = compile_error(bad, A=matrix_input((2, 2)))
+    assert "unknown variable 'missing'" in str(exc)
+    assert "missing" in _line_text(exc)
+
+
+def test_while_condition_must_reduce_matrices():
+    @matrix_program
+    def bad(A: Matrix, eps: Scalar):
+        x = A + A
+        while x > eps:
+            x = x + A
+        output(x)
+
+    exc = compile_error(bad, A=matrix_input((2, 2)), eps=0.5)
+    assert "must compare scalars" in str(exc)
+    assert "norm2" in str(exc)  # the fix is suggested
+    assert "while x > eps" in _line_text(exc)
+
+
+def test_while_condition_must_be_a_comparison():
+    @matrix_program
+    def bad(A: Matrix):
+        x = A + A
+        while True:
+            x = x + A
+        output(x)
+
+    exc = compile_error(bad, A=matrix_input((2, 2)))
+    assert "single comparison" in str(exc)
+
+
+def test_constant_while_condition_rejected():
+    @matrix_program
+    def bad(A: Matrix):
+        x = A + A
+        while 1.0 > 0.5:
+            x = x + A
+        output(x)
+
+    exc = compile_error(bad, A=matrix_input((2, 2)))
+    assert "constant at compile time" in str(exc)
+
+
+def test_reserved_while_prefix_rejected():
+    @matrix_program
+    def bad(A: Matrix):
+        _while_thing = A + A
+        output(_while_thing)
+
+    exc = compile_error(bad, A=matrix_input((2, 2)))
+    assert "reserved" in str(exc)
+
+
+def test_runtime_if_condition_rejected():
+    @matrix_program
+    def bad(A: Matrix):
+        s = sum(A)
+        if s > 1.0:
+            A = A + A
+        output(A)
+
+    exc = compile_error(bad, A=matrix_input((2, 2)))
+    assert "if" in str(exc) and "compile-time" in str(exc)
+    assert "if s > 1.0" in _line_text(exc)
+
+
+def test_output_inside_while_body_rejected():
+    @matrix_program
+    def bad(A: Matrix, eps: Scalar):
+        y = A + A
+        r = norm2(y)
+        while r > eps:
+            y = y + A
+            output(y)
+            r = norm2(y)
+        output_scalar(r)
+
+    exc = compile_error(bad, A=matrix_input((2, 2)), eps=0.1)
+    assert "output" in str(exc)
+    assert "output(y)" in _line_text(exc)
+
+
+def test_source_call_only_as_whole_assignment():
+    @matrix_program
+    def bad(A: Matrix):
+        x = A + load("B", 2, 2)
+        output(x)
+
+    exc = compile_error(bad, A=matrix_input((2, 2)))
+    assert "load" in str(exc)
+
+
+def test_unknown_binding_rejected():
+    @matrix_program
+    def ok(A: Matrix):
+        output(A)
+
+    with pytest.raises(FrontendError) as info:
+        ok.compile(A=matrix_input((2, 2)), B=matrix_input((2, 2)))
+    assert "B" in str(info.value)
+
+
+def test_missing_matrix_binding_rejected():
+    @matrix_program
+    def ok(A: Matrix):
+        output(A)
+
+    with pytest.raises(FrontendError):
+        ok.compile()
+
+
+def test_matrix_binding_type_checked():
+    @matrix_program
+    def ok(A: Matrix, iterations: int):
+        for _ in range(iterations):
+            A = A + A
+        output(A)
+
+    with pytest.raises(FrontendError):
+        ok.compile(A=matrix_input((2, 2)), iterations=2.5)
+
+
+def test_calling_decorated_function_directly_is_an_error():
+    @matrix_program
+    def ok(A: Matrix):
+        output(A)
+
+    with pytest.raises(FrontendError) as info:
+        ok(1)
+    assert "compile" in str(info.value)
+
+
+def test_frontend_error_is_a_program_error():
+    assert issubclass(FrontendError, ProgramError)
+
+
+def test_two_whiles_rejected():
+    @matrix_program
+    def bad(A: Matrix, eps: Scalar):
+        y = A + A
+        s = norm2(y)
+        while s > eps:
+            y = y + A
+            s = norm2(y)
+        while s > eps:
+            y = y + A
+            s = norm2(y)
+        output(y)
+
+    exc = compile_error(bad, A=matrix_input((2, 2)), eps=0.1)
+    assert "while" in str(exc)
+
+
+def test_value_requires_one_by_one():
+    @matrix_program
+    def bad(A: Matrix):
+        s = value(A)
+        output_scalar(s)
+        output(A)
+
+    with pytest.raises(FrontendError):
+        bad.compile(A=matrix_input((3, 3)))

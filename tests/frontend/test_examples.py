@@ -1,0 +1,106 @@
+"""Scenario coverage for the frontend example programs.
+
+The two frontend demos (``powiter``, ``ridge``) are registered workloads,
+so every CLI surface -- run, lint, verify (with execution), trace, fault
+injection -- must handle them, including the staged while-convergence
+path.  These tests drive the real CLI entry point at small scale.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+POWITER = ["--rows", "24", "--eps", "1e-4", "--seed", "2"]
+RIDGE = ["--rows", "60", "--features", "6", "--sparsity", "0.5",
+         "--iterations", "2"]
+
+
+class TestRunScenarios:
+    def test_powiter_runs_staged(self, capsys):
+        assert main(["run", "powiter", *POWITER]) == 0
+        out = capsys.readouterr().out
+        assert "segment" in out
+
+    def test_powiter_json_reports_segments(self, capsys):
+        assert main(["run", "powiter", *POWITER, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["staged"] is True
+        assert payload["segments"] >= 1
+
+    def test_ridge_runs(self, capsys):
+        assert main(["run", "ridge", *RIDGE]) == 0
+        assert "ridge" in capsys.readouterr().out
+
+    def test_powiter_compare_rejected(self, capsys):
+        # the SystemML-S baseline has no dynamic-extension path
+        assert main(["run", "powiter", *POWITER, "--compare"]) == 2
+
+    def test_powiter_run_with_trace_reconciles(self, capsys):
+        assert main(["run", "powiter", *POWITER, "--trace"]) == 0
+
+
+class TestLintScenarios:
+    @pytest.mark.parametrize("app,extra", [("powiter", POWITER),
+                                           ("ridge", RIDGE)])
+    def test_lint_clean(self, app, extra, capsys):
+        assert main(["lint", app, *extra]) == 0
+
+    def test_lint_powiter_json_covers_both_segments(self, capsys):
+        assert main(["lint", "powiter", *POWITER, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["staged"] is True
+        labels = [entry["segment"] for entry in payload["segments"]]
+        assert labels == ["prologue", "body"]
+
+
+class TestVerifyScenarios:
+    @pytest.mark.parametrize("app,extra", [("powiter", POWITER),
+                                           ("ridge", RIDGE)])
+    def test_verify_sound(self, app, extra, capsys):
+        assert main(["verify", app, *extra]) == 0
+
+    def test_verify_powiter_execute_checks_every_segment(self, capsys):
+        assert main(["verify", "powiter", *POWITER, "--execute",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["staged"] is True
+        assert len(payload["segments"]) == 2
+        execution = payload["execution"]
+        assert execution["sound"] is True
+        assert execution["segments"] >= 1
+
+    def test_verify_ridge_execute(self, capsys):
+        assert main(["verify", "ridge", *RIDGE, "--execute"]) == 0
+
+
+class TestTraceScenarios:
+    @pytest.mark.parametrize("app,extra", [("powiter", POWITER),
+                                           ("ridge", RIDGE)])
+    def test_trace_reconciles(self, app, extra, capsys):
+        assert main(["trace", app, *extra]) == 0
+
+
+class TestFaultScenarios:
+    def test_powiter_verify_under_faults(self, capsys):
+        # --faults implies --execute: the bound must hold on the faulted run
+        assert main([
+            "verify", "powiter", *POWITER,
+            "--faults", "lostblock:instance=x,iteration=1",
+        ]) == 0
+        assert "faults" in capsys.readouterr().out
+
+    def test_ridge_trace_under_faults(self, capsys):
+        assert main([
+            "trace", "ridge", *RIDGE,
+            "--faults", "lostblock:instance=w,iteration=1",
+        ]) == 0
+
+    def test_powiter_chaos_results_match_clean_run(self, capsys):
+        assert main([
+            "chaos", "powiter", *POWITER,
+            "--faults", "lostblock:instance=x,iteration=1",
+        ]) == 0

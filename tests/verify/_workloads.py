@@ -3,9 +3,8 @@ by the verification tests (certification audit + memory cross-checks)."""
 
 from __future__ import annotations
 
-import argparse
-
-from repro.cli import APPS, _workload
+from repro.programs.registry import PAPER_APPS as APPS
+from repro.programs.registry import WorkloadParams, build_workload
 
 #: Shapes small enough that running every app twice stays in CI budget.
 SMALL_ARGS = dict(
@@ -24,4 +23,5 @@ SMALL_ARGS = dict(
 def small_workload(app: str):
     """(program, inputs, svd_names) for one app at reduced scale."""
     assert app in APPS
-    return _workload(argparse.Namespace(app=app, **SMALL_ARGS))
+    workload = build_workload(app, WorkloadParams(**SMALL_ARGS))
+    return workload.program, workload.inputs, workload.extra
