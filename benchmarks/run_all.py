@@ -5,6 +5,8 @@ Usage::
 
     python benchmarks/run_all.py            # run everything
     python benchmarks/run_all.py fig6 table4  # run a subset
+    python benchmarks/run_all.py --list     # enumerate experiments
+    python benchmarks/run_all.py --only serve --only fig6
 
 Equivalent to ``pytest benchmarks/ --benchmark-only`` but with plain
 console output; each experiment's table is also written to
@@ -13,6 +15,7 @@ console output; each experiment's table is also written to
 
 from __future__ import annotations
 
+import argparse
 import pathlib
 import subprocess
 import sys
@@ -41,11 +44,29 @@ EXPERIMENTS = {
     "traceoverhead": "bench_trace_overhead.py",
     "verifyoverhead": "bench_verify_overhead.py",
     "compileoverhead": "bench_compile_overhead.py",
+    "serve": "bench_serve_throughput.py",
 }
 
 
 def main(argv: list[str]) -> int:
-    requested = argv or list(EXPERIMENTS)
+    parser = argparse.ArgumentParser(
+        prog="run_all.py",
+        description="run the paper-reproduction benchmark suite",
+    )
+    parser.add_argument("experiments", nargs="*", metavar="NAME",
+                        help="experiments to run (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered experiments and exit")
+    parser.add_argument("--only", action="append", default=[], metavar="NAME",
+                        help="run only this experiment (repeatable; "
+                             "combines with positional names)")
+    args = parser.parse_args(argv)
+    if args.list:
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, bench in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {bench}")
+        return 0
+    requested = args.experiments + args.only or list(EXPERIMENTS)
     unknown = [name for name in requested if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; choose from {sorted(EXPERIMENTS)}")

@@ -615,6 +615,130 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _parse_tenant_flag(text: str):
+    """``name[:weight]`` -> TenantSpec (the CLI's minimal tenant syntax;
+    quotas and queue caps come from batch scripts)."""
+    from repro.serve import TenantSpec
+
+    name, _, weight = text.partition(":")
+    return TenantSpec(name, weight=float(weight) if weight else 1.0)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.serve import (
+        MatrixService,
+        ServiceConfig,
+        parse_batch,
+        render_report,
+    )
+
+    specs = []
+    if args.script:
+        try:
+            with open(args.script, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"serve: cannot read script {args.script}: {exc}",
+                  file=sys.stderr)
+            return EXIT_PARSE_ERROR
+        if args.seed is not None:
+            data["seed"] = args.seed
+        try:
+            config, specs = parse_batch(data)
+        except ReproError as exc:
+            print(f"serve: bad batch script: {exc}", file=sys.stderr)
+            return EXIT_PARSE_ERROR
+    else:
+        if not args.tenant:
+            print("serve: give --script batch.json and/or at least one "
+                  "--tenant name[:weight]", file=sys.stderr)
+            return EXIT_PARSE_ERROR
+        try:
+            config = ServiceConfig(
+                tenants=tuple(_parse_tenant_flag(t) for t in args.tenant),
+                cluster=ClusterConfig(
+                    num_workers=args.workers,
+                    threads_per_worker=args.threads,
+                    block_size=args.block_size,
+                ),
+                plan_cache_entries=args.cache_entries,
+                optimize=args.optimize,
+                seed=args.seed if args.seed is not None else 0,
+            )
+        except (ReproError, ValueError) as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return EXIT_PARSE_ERROR
+    service = MatrixService(config)
+    try:
+        for spec in specs:
+            service.submit(spec)
+        service.drain()
+    except ReproError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
+    if args.socket:
+        from repro.serve.daemon import serve_forever
+
+        print(f"repro serve: listening on {args.socket} "
+              f"({len(config.tenants)} tenant(s))", file=sys.stderr)
+        serve_forever(service, args.socket)
+        print("repro serve: shut down", file=sys.stderr)
+        return EXIT_OK
+    text = render_report(service.report())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    failed = any(record.state == "failed" for record in service.records)
+    return EXIT_LINT_ERRORS if failed else EXIT_OK
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.errors import AdmissionError, ServiceError
+    from repro.serve import RemoteClient
+
+    client = RemoteClient(args.socket, timeout=args.timeout)
+    params = {}
+    if args.params:
+        try:
+            params = json.loads(args.params)
+        except json.JSONDecodeError as exc:
+            print(f"submit: --params is not valid JSON: {exc}", file=sys.stderr)
+            return EXIT_PARSE_ERROR
+    exit_code = EXIT_OK
+    try:
+        if args.app:
+            if not args.tenant:
+                print("submit: --tenant is required to submit a job",
+                      file=sys.stderr)
+                return EXIT_PARSE_ERROR
+            try:
+                job = client.submit(
+                    args.tenant, args.app,
+                    params=params, priority=args.priority, label=args.label,
+                )
+                print(json.dumps(job, indent=2, sort_keys=True))
+            except AdmissionError as exc:
+                print(f"rejected ({exc.reason}): {exc}", file=sys.stderr)
+                exit_code = EXIT_LINT_ERRORS
+        if args.drain:
+            finished = client.drain()
+            print(f"drained {len(finished)} job(s)", file=sys.stderr)
+        if args.report:
+            from repro.serve import render_report
+
+            sys.stdout.write(render_report(client.report()))
+        if args.shutdown:
+            client.shutdown()
+    except (ServiceError, OSError) as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
+    return exit_code
+
+
 def _add_app_args(parser: argparse.ArgumentParser, positional: bool = True) -> None:
     if positional:
         parser.add_argument("app", choices=list(ALL_APPS))
@@ -762,6 +886,56 @@ def build_parser() -> argparse.ArgumentParser:
                             "traced run then executes under a seeded "
                             "ChaosEngine and records fault/recovery events")
     trace.set_defaults(func=_cmd_trace)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant matrix service: execute a batch script "
+             "and print its deterministic report, and/or listen on a unix "
+             "socket for repro submit",
+    )
+    serve.add_argument("--script", default=None, metavar="BATCH.json",
+                       help="batch script (tenants + jobs, see repro.serve.batch)")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="after the script (if any), serve the newline-JSON "
+                            "protocol on this unix socket until shutdown")
+    serve.add_argument("--tenant", action="append", metavar="NAME[:WEIGHT]",
+                       help="declare a tenant (repeatable; scriptless mode)")
+    serve.add_argument("--seed", type=int, default=None,
+                       help="service seed (overrides the script's)")
+    serve.add_argument("--cache-entries", type=int, default=128,
+                       help="plan cache capacity; 0 disables the cache")
+    serve.add_argument("--out", default=None, metavar="FILE",
+                       help="write the report to FILE instead of stdout")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--threads", type=int, default=4)
+    serve.add_argument("--block-size", type=int, default=None)
+    serve.add_argument("--optimize", action=argparse.BooleanOptionalAction,
+                       default=False)
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a job to (and control) a running repro serve daemon",
+    )
+    submit.add_argument("app", nargs="?", choices=list(ALL_APPS),
+                        help="registry application to submit")
+    submit.add_argument("--socket", required=True, metavar="PATH",
+                        help="unix socket of the repro serve daemon")
+    submit.add_argument("--tenant", default=None, help="submitting tenant")
+    submit.add_argument("--params", default=None, metavar="JSON",
+                        help='workload params, e.g. \'{"scale": 1e-3}\'')
+    submit.add_argument("--priority", type=int, default=0,
+                        help="within-tenant priority (higher first)")
+    submit.add_argument("--label", default=None, help="display label")
+    submit.add_argument("--drain", action="store_true",
+                        help="run all queued jobs after submitting")
+    submit.add_argument("--report", action="store_true",
+                        help="print the service report")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="stop the daemon")
+    submit.add_argument("--timeout", type=float, default=60.0,
+                        help="socket timeout in seconds")
+    submit.set_defaults(func=_cmd_submit)
 
     script = sub.add_parser("script", help="run a DML-style script file")
     script.add_argument("path", help="script file (see repro.lang.dml)")

@@ -266,6 +266,15 @@ class Plan:
     def communicating_steps(self) -> list[Step]:
         return [step for step in self.steps if step.communicates]
 
+    def structural_hash(self) -> str:
+        """Stable digest of the plan's structure (steps, outputs, pins,
+        symbolic output values).  Two plans with equal hashes compute the
+        same outputs by the same steps under the same layouts; see
+        :func:`repro.planopt.structural.plan_structural_hash`."""
+        from repro.planopt.structural import plan_structural_hash
+
+        return plan_structural_hash(self)
+
     def describe(self) -> str:
         """Stage-annotated plan listing (the textual analogue of Figure 3)."""
         lines = []

@@ -105,6 +105,44 @@ class StageExecutionError(ExecutionError):
         self.cause = cause
 
 
+class ServiceError(ReproError):
+    """The :mod:`repro.serve` service layer was misused (unknown tenant,
+    malformed batch script, daemon protocol violation, ...)."""
+
+
+class AdmissionError(ServiceError):
+    """Base class for typed job rejections by the admission controller.
+
+    Every subclass carries ``tenant`` and ``reason`` (a stable machine
+    token, also used in service reports) so clients can branch on the
+    rejection kind without parsing messages.
+    """
+
+    reason = "rejected"
+
+    def __init__(self, message: str, *, tenant: str | None = None) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+
+
+class JobTooLargeError(AdmissionError):
+    """Predicted bytes or flops exceed the service's per-job ceiling."""
+
+    reason = "job-too-large"
+
+
+class TenantQuotaExceededError(AdmissionError):
+    """The job's predicted peak memory exceeds the tenant's quota."""
+
+    reason = "memory-quota"
+
+
+class QueueFullError(AdmissionError):
+    """The tenant's (or the service's) queue backlog is at capacity."""
+
+    reason = "queue-full"
+
+
 class FaultSpecError(ReproError):
     """A ``--faults`` specification string could not be parsed."""
 

@@ -11,7 +11,7 @@ from repro.planopt.common import (
     recompute_predicted_bytes,
     toposort_steps,
 )
-from repro.planopt.cse import eliminate_common_steps, structural_key
+from repro.planopt.cse import eliminate_common_steps
 from repro.planopt.dce import eliminate_dead_steps
 from repro.planopt.hoist import pin_loop_invariants
 from repro.planopt.pipeline import (
@@ -23,6 +23,12 @@ from repro.planopt.pipeline import (
     Pass,
     PassContext,
     optimize_plan,
+)
+from repro.planopt.structural import (
+    plan_structural_hash,
+    program_fingerprint,
+    step_structural_key,
+    step_structural_key as structural_key,  # historical name
 )
 
 __all__ = [
@@ -40,7 +46,10 @@ __all__ = [
     "eliminate_dead_steps",
     "optimize_plan",
     "pin_loop_invariants",
+    "plan_structural_hash",
+    "program_fingerprint",
     "recompute_predicted_bytes",
+    "step_structural_key",
     "structural_key",
     "toposort_steps",
 ]

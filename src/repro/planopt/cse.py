@@ -17,53 +17,12 @@ fixpoint so cascades resolve in one call.
 
 from __future__ import annotations
 
-from repro.core.plan import (
-    AggregateStep,
-    CellwiseStep,
-    ExtendedStep,
-    MatMulStep,
-    MatrixInstance,
-    Plan,
-    RowAggStep,
-    ScalarComputeStep,
-    ScalarMatrixStep,
-    SourceStep,
-    Step,
-    UnaryStep,
-)
+from repro.core.plan import MatrixInstance, Plan, Step
 from repro.planopt.common import AppliedRewrite
+from repro.planopt.structural import step_structural_key as structural_key
 
 #: Step fields that hold matrix instances (for renaming).
 INSTANCE_FIELDS = ("source", "target", "left", "right", "output")
-
-
-def structural_key(step: Step) -> tuple | None:
-    """A hashable identity for "computes the same value, same layout".
-
-    ``None`` marks steps this pass never merges: sources (merging two
-    loads/randoms is the planner's job, and random seeds differ), and
-    scalar-producing steps (driver scalars are cheap and name-keyed).
-    """
-    if isinstance(step, ExtendedStep):
-        return ("ext", step.kind, step.source, step.target)
-    if isinstance(step, MatMulStep):
-        return ("mm", step.strategy, step.left, step.right,
-                step.output.transposed, step.output.scheme)
-    if isinstance(step, CellwiseStep):
-        return ("cw", step.op.op, step.left, step.right,
-                step.output.transposed, step.output.scheme)
-    if isinstance(step, ScalarMatrixStep):
-        return ("sm", step.op.op, step.op.scalar, step.source,
-                step.output.transposed, step.output.scheme)
-    if isinstance(step, UnaryStep):
-        return ("un", step.op.func, step.source,
-                step.output.transposed, step.output.scheme)
-    if isinstance(step, RowAggStep):
-        return ("ra", step.op.kind, step.strategy, step.source,
-                step.output.transposed, step.output.scheme)
-    if isinstance(step, (SourceStep, AggregateStep, ScalarComputeStep)):
-        return None
-    return None  # unknown step kinds are left alone
 
 
 def rename_instances(plan: Plan, old_name: str, new_name: str) -> None:

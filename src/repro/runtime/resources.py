@@ -72,6 +72,8 @@ class BlockCache:
         self.admitted = 0
         self.spilled = 0
         self.refilled = 0
+        self.hits = 0  # reads served while the pinned instance was hosted
+        self.misses = 0  # reads of a pinned instance that was not hosted
         self.peak_pinned_bytes = 0
 
     def wants(self, instance: MatrixInstance) -> bool:
@@ -109,7 +111,10 @@ class BlockCache:
     def touch(self, instance: MatrixInstance) -> None:
         with self._lock:
             if instance in self._entries:
+                self.hits += 1
                 self._entries.move_to_end(instance)
+            elif instance in self._pins:
+                self.misses += 1
 
     def discharge(self, instance: MatrixInstance) -> None:
         """Stop hosting an instance (freed, lost, or spilled externally)."""
@@ -132,6 +137,8 @@ class BlockCache:
                 "admitted": self.admitted,
                 "spilled": self.spilled,
                 "refilled": self.refilled,
+                "hits": self.hits,
+                "misses": self.misses,
                 "pinned_bytes": sum(self._worker_bytes.values()),
                 "peak_pinned_bytes": self.peak_pinned_bytes,
                 "budget_bytes": self._budget,

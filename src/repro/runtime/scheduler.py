@@ -41,6 +41,7 @@ slowdown, slowed == clean and speculation never changes anything.
 
 from __future__ import annotations
 
+import contextvars
 import dataclasses
 import statistics
 import threading
@@ -167,10 +168,19 @@ class StageScheduler:
         for i in ready:
             del waiting[i]
         failure: BaseException | None = None
+
+        def submit_attempt(pool: ThreadPoolExecutor, node: StageNode):
+            # Each node runs under a fresh copy of the dispatching thread's
+            # context, so caller-installed contextvars scopes (e.g. the
+            # ledger's) reach stage threads; a fresh copy per node because
+            # one Context object cannot be entered concurrently.
+            context = contextvars.copy_context()
+            return pool.submit(context.run, self._attempt, node, run_node)
+
         with ThreadPoolExecutor(
             max_workers=self.max_concurrent, thread_name_prefix="repro-stage"
         ) as pool:
-            running = {pool.submit(self._attempt, nodes[i], run_node): i for i in ready}
+            running = {submit_attempt(pool, nodes[i]): i for i in ready}
             while running:
                 done, __ = wait(running, return_when=FIRST_COMPLETED)
                 freed: list[int] = []
@@ -190,7 +200,7 @@ class StageScheduler:
                                 del waiting[dependent]
                 if failure is None:
                     for i in sorted(freed):
-                        running[pool.submit(self._attempt, nodes[i], run_node)] = i
+                        running[submit_attempt(pool, nodes[i])] = i
                 # After a failure: submit nothing more, drain what runs.
         if failure is not None:
             raise self._wrap(failure, graph) from failure

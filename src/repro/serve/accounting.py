@@ -1,0 +1,101 @@
+"""Per-tenant resource accounting, aggregated from finished jobs.
+
+Every number here comes from the metered substrate: bytes from the
+communication ledger's ``tenant:<name>/job-<id>`` scopes, flops from the
+per-step traces the service requests on every run, simulated seconds from
+the cluster clock, cache hit rates from the tenant's BlockCache counters.
+The accountant only *sums*; it never re-measures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.serve.job import JobRecord
+
+
+@dataclasses.dataclass
+class TenantAccount:
+    """Running totals for one tenant."""
+
+    tenant: str
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_rejected: int = 0
+    jobs_failed: int = 0
+    comm_bytes: int = 0
+    flops: int = 0
+    simulated_seconds: float = 0.0
+    queue_seconds: float = 0.0
+    #: High-water of the verifier's predicted peaks over completed jobs --
+    #: deterministic, unlike the realised peak (which stays on the
+    #: in-memory records; see JobRecord).
+    predicted_peak_bytes: int = 0
+    #: Realised high-water -- in-memory diagnostic, never serialised.
+    peak_memory_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "jobs_rejected": self.jobs_rejected,
+            "jobs_failed": self.jobs_failed,
+            "comm_bytes": self.comm_bytes,
+            "flops": self.flops,
+            "simulated_seconds": self.simulated_seconds,
+            "queue_seconds": self.queue_seconds,
+            "predicted_peak_bytes": self.predicted_peak_bytes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+
+class Accountant:
+    """Folds job outcomes into per-tenant accounts."""
+
+    def __init__(self, tenants: tuple[str, ...]) -> None:
+        self._accounts = {name: TenantAccount(name) for name in tenants}
+
+    def account(self, tenant: str) -> TenantAccount:
+        return self._accounts[tenant]
+
+    def record_submission(self, record: JobRecord) -> None:
+        self._accounts[record.tenant].jobs_submitted += 1
+
+    def record_outcome(self, record: JobRecord) -> None:
+        account = self._accounts[record.tenant]
+        if record.state == "rejected":
+            account.jobs_rejected += 1
+            return
+        if record.state == "failed":
+            account.jobs_failed += 1
+            return
+        account.jobs_completed += 1
+        account.comm_bytes += record.comm_bytes
+        account.flops += record.flops
+        account.simulated_seconds += record.simulated_seconds
+        account.queue_seconds += record.queue_seconds or 0.0
+        account.predicted_peak_bytes = max(
+            account.predicted_peak_bytes, record.predicted_peak_bytes or 0
+        )
+        account.peak_memory_bytes = max(
+            account.peak_memory_bytes, record.peak_memory_bytes
+        )
+        cache = record.block_cache or {}
+        account.cache_hits += cache.get("hits", 0)
+        account.cache_misses += cache.get("misses", 0)
+
+    def to_json_dict(self) -> dict:
+        return {
+            name: account.to_json_dict()
+            for name, account in sorted(self._accounts.items())
+        }

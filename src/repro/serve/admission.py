@@ -1,0 +1,159 @@
+"""Admission control: decide run / queue / reject before any execution.
+
+Decisions are driven entirely by *static* predictions -- the cost model's
+communication estimate (``plan.predicted_bytes``), a flops estimate from
+the :class:`~repro.core.estimator.SizeEstimator`, and the verifier's sound
+per-worker peak-memory bound
+(:func:`repro.verify.memory.predict_peak_memory`) -- so a job that would
+blow a tenant's memory quota is rejected *before* it runs, with a typed
+error, instead of aborting non-deterministically mid-execution.
+
+Check order (first violation wins):
+
+1. tenant memory quota vs predicted peak  -> reject (TenantQuotaExceededError)
+2. service per-job byte/flop ceilings     -> reject (JobTooLargeError)
+3. tenant / service queue backlog caps    -> reject (QueueFullError)
+4. otherwise: "run" if the cluster is idle, else "queue"
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.estimator import SizeEstimator
+from repro.errors import (
+    AdmissionError,
+    JobTooLargeError,
+    QueueFullError,
+    TenantQuotaExceededError,
+)
+from repro.lang.program import (
+    AggregateOp,
+    CellwiseOp,
+    MatMulOp,
+    MatrixProgram,
+    RowAggOp,
+    ScalarMatrixOp,
+    UnaryMatrixOp,
+)
+from repro.serve.job import TenantSpec
+from repro.serve.plancache import CacheEntry
+
+
+def predict_flops(program: MatrixProgram, estimation_mode: str = "worst") -> int:
+    """Estimated floating-point work for one program execution.
+
+    Follows the paper's cost-model conventions: a multiplication costs
+    ``2 m k n`` scaled by the left operand's estimated sparsity (the
+    engines skip zero rows), element-wise and unary operators cost one
+    flop per output cell, aggregations one per input cell.  This is a
+    planning-grade estimate for admission thresholds, not a promise about
+    the meter's measured flops.
+    """
+    estimator = SizeEstimator(program, estimation_mode)
+    total = 0
+    for op in program.ops:
+        if isinstance(op, MatMulOp):
+            m, k = program.dims_of(op.left)
+            _, n = program.dims_of(op.right)
+            density = min(1.0, estimator.sparsity_of(op.left))
+            total += int(2 * m * k * n * density)
+        elif isinstance(op, CellwiseOp):
+            rows, cols = program.dims_of(op.left)
+            total += rows * cols
+        elif isinstance(op, (ScalarMatrixOp, UnaryMatrixOp, RowAggOp, AggregateOp)):
+            rows, cols = program.dims_of(op.operand)
+            total += rows * cols
+        # loads / randoms / scalar computes: negligible
+    return total
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionPolicy:
+    """Service-wide admission ceilings (None disables a check)."""
+
+    max_queued_jobs: Optional[int] = None  # across all tenants
+    max_job_bytes: Optional[int] = None  # predicted communication
+    max_job_flops: Optional[int] = None  # predicted compute
+
+
+@dataclasses.dataclass(frozen=True)
+class Decision:
+    """The admission verdict for one submission."""
+
+    action: str  # "run" | "queue" | "reject"
+    reason: Optional[str] = None  # machine token, e.g. "memory-quota"
+    detail: Optional[str] = None  # human sentence for reports/errors
+
+    @property
+    def admitted(self) -> bool:
+        return self.action != "reject"
+
+
+class AdmissionController:
+    """Applies one :class:`AdmissionPolicy` plus per-tenant quotas."""
+
+    def __init__(self, policy: AdmissionPolicy) -> None:
+        self.policy = policy
+
+    def evaluate(
+        self,
+        tenant: TenantSpec,
+        entry: CacheEntry,
+        *,
+        service_queue_depth: int,
+        tenant_queue_depth: int,
+        idle: bool,
+    ) -> Decision:
+        quota = tenant.memory_quota_bytes
+        if quota is not None and entry.predicted_peak_bytes > quota:
+            return Decision(
+                "reject",
+                TenantQuotaExceededError.reason,
+                f"predicted peak memory {entry.predicted_peak_bytes} B exceeds "
+                f"tenant {tenant.name!r} quota {quota} B",
+            )
+        ceiling = self.policy.max_job_bytes
+        if ceiling is not None and entry.predicted_bytes > ceiling:
+            return Decision(
+                "reject",
+                JobTooLargeError.reason,
+                f"predicted communication {entry.predicted_bytes} B exceeds "
+                f"the service per-job ceiling {ceiling} B",
+            )
+        ceiling = self.policy.max_job_flops
+        if ceiling is not None and entry.predicted_flops > ceiling:
+            return Decision(
+                "reject",
+                JobTooLargeError.reason,
+                f"predicted compute {entry.predicted_flops} flops exceeds "
+                f"the service per-job ceiling {ceiling} flops",
+            )
+        cap = tenant.max_queued_jobs
+        if cap is not None and tenant_queue_depth >= cap:
+            return Decision(
+                "reject",
+                QueueFullError.reason,
+                f"tenant {tenant.name!r} already has {tenant_queue_depth} "
+                f"queued jobs (cap {cap})",
+            )
+        cap = self.policy.max_queued_jobs
+        if cap is not None and service_queue_depth >= cap:
+            return Decision(
+                "reject",
+                QueueFullError.reason,
+                f"service queue holds {service_queue_depth} jobs (cap {cap})",
+            )
+        return Decision("run" if idle else "queue")
+
+    @staticmethod
+    def error_for(decision: Decision, tenant: str) -> AdmissionError:
+        """The typed exception a rejecting decision maps to."""
+        classes = {
+            TenantQuotaExceededError.reason: TenantQuotaExceededError,
+            JobTooLargeError.reason: JobTooLargeError,
+            QueueFullError.reason: QueueFullError,
+        }
+        cls = classes.get(decision.reason or "", AdmissionError)
+        return cls(decision.detail or "job rejected", tenant=tenant)

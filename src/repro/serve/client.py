@@ -1,0 +1,142 @@
+"""Clients for the service: in-process and over the daemon socket.
+
+:class:`ServiceClient` wraps a :class:`~repro.serve.service.MatrixService`
+in the same process -- the embedding path for notebooks and tests, and
+the only path that can submit *program objects* (functions decorated with
+``@matrix_program``, compiled or not; arrays do not cross a wire).
+
+:class:`RemoteClient` speaks the daemon's newline-JSON protocol
+(:mod:`repro.serve.daemon`); it can only submit registry apps by name.
+Both raise the typed :class:`~repro.errors.AdmissionError` subclasses on
+rejection, so callers branch on exception type rather than parsing text.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import (
+    AdmissionError,
+    JobTooLargeError,
+    QueueFullError,
+    ServiceError,
+    TenantQuotaExceededError,
+)
+from repro.serve.job import JobRecord, JobSpec
+from repro.serve.service import MatrixService
+
+_ERRORS_BY_REASON = {
+    cls.reason: cls
+    for cls in (TenantQuotaExceededError, JobTooLargeError, QueueFullError)
+}
+
+
+class ServiceClient:
+    """In-process client: submit programs or registry apps, run, report."""
+
+    def __init__(self, service: MatrixService) -> None:
+        self.service = service
+
+    def submit(
+        self,
+        tenant: str,
+        app: Optional[str] = None,
+        *,
+        program: object = None,
+        inputs: Optional[dict] = None,
+        params: Optional[dict] = None,
+        priority: int = 0,
+        label: Optional[str] = None,
+    ) -> JobRecord:
+        """Admit one job; raises the typed error if it is rejected."""
+        record = self.service.submit(
+            JobSpec(
+                tenant=tenant,
+                app=app,
+                program=program,
+                inputs=inputs,
+                params=dict(params or {}),
+                priority=priority,
+                label=label,
+            )
+        )
+        if record.state == "rejected":
+            raise self.service.rejection_error(record)
+        return record
+
+    def run(self, tenant: str, app: Optional[str] = None, **kwargs) -> JobRecord:
+        """Submit one job and drain the queue until it finishes."""
+        record = self.submit(tenant, app, **kwargs)
+        while record.state in ("queued", "running"):
+            if self.service.step() is None:
+                raise ServiceError(
+                    f"job {record.job_id} is {record.state} but the queue "
+                    "drained; service state is inconsistent"
+                )
+        return record
+
+    def drain(self) -> list[JobRecord]:
+        return self.service.drain()
+
+    def report(self) -> dict:
+        return self.service.report()
+
+
+class RemoteClient:
+    """Socket client for a running ``repro serve`` daemon."""
+
+    def __init__(self, socket_path: str, timeout: float = 30.0) -> None:
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    def _request(self, payload: dict) -> dict:
+        from repro.serve.daemon import request
+
+        response = request(self.socket_path, payload, timeout=self.timeout)
+        if not response.get("ok"):
+            raise ServiceError(
+                f"daemon error ({response.get('reason')}): "
+                f"{response.get('error')}"
+            )
+        return response
+
+    def ping(self) -> dict:
+        return self._request({"op": "ping"})
+
+    def submit(
+        self,
+        tenant: str,
+        app: str,
+        *,
+        params: Optional[dict] = None,
+        priority: int = 0,
+        label: Optional[str] = None,
+    ) -> dict:
+        """Submit a registry app; raises the typed error on rejection."""
+        payload = {
+            "op": "submit",
+            "tenant": tenant,
+            "app": app,
+            "params": dict(params or {}),
+            "priority": priority,
+        }
+        if label is not None:
+            payload["label"] = label
+        response = self._request(payload)
+        if not response.get("accepted"):
+            job = response.get("job") or {}
+            cls = _ERRORS_BY_REASON.get(response.get("reason"), AdmissionError)
+            raise cls(job.get("error") or "job rejected", tenant=tenant)
+        return response["job"]
+
+    def drain(self, max_jobs: Optional[int] = None) -> list[dict]:
+        payload: dict = {"op": "drain"}
+        if max_jobs is not None:
+            payload["max_jobs"] = max_jobs
+        return self._request(payload)["jobs"]
+
+    def report(self) -> dict:
+        return self._request({"op": "report"})["report"]
+
+    def shutdown(self) -> None:
+        self._request({"op": "shutdown"})

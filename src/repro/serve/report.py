@@ -1,0 +1,72 @@
+"""Deterministic service reports.
+
+A report is a plain dict rendered with ``json.dumps(sort_keys=True)``.
+Byte-identical across same-seed runs is a hard requirement, so nothing
+wall-clock, environment- or id()-derived may appear here; the service
+keeps wall-clock diagnostics on the in-memory records only.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Bump when report structure changes incompatibly.
+REPORT_SCHEMA_VERSION = 1
+
+
+def build_report(service) -> dict:
+    """Assemble the full report dict for a :class:`MatrixService`."""
+    config = service.config
+    scheduler = service.scheduler
+    jobs = [record.to_json_dict() for record in service.records]
+    states: dict[str, int] = {}
+    for record in service.records:
+        states[record.state] = states.get(record.state, 0) + 1
+    per_job_ledgers = {
+        name: _fold_job_scopes(session.context.ledger.bytes_by_scope())
+        for name, session in sorted(service.sessions.items())
+    }
+    return {
+        "schema": REPORT_SCHEMA_VERSION,
+        "seed": config.seed,
+        "cluster": {
+            "num_workers": config.cluster.num_workers,
+            "threads_per_worker": config.cluster.threads_per_worker,
+            "block_size": config.cluster.block_size,
+            "inplace": config.cluster.inplace,
+        },
+        "policy": {
+            "max_queued_jobs": config.policy.max_queued_jobs,
+            "max_job_bytes": config.policy.max_job_bytes,
+            "max_job_flops": config.policy.max_job_flops,
+        },
+        "tenants": [tenant.to_json_dict() for tenant in config.tenants],
+        "jobs": jobs,
+        "job_states": states,
+        "accounts": service.accountant.to_json_dict(),
+        "fairness": {
+            "charged_seconds": dict(sorted(scheduler.charged_seconds.items())),
+            "shares": dict(sorted(scheduler.shares().items())),
+            "entitled_shares": dict(sorted(scheduler.entitled_shares().items())),
+        },
+        "ledger_scopes": per_job_ledgers,
+        "plan_cache": service.plan_cache.stats(),
+        "simulated_seconds": service.sim_now,
+        "queued_jobs": scheduler.queue_depth(),
+    }
+
+
+def _fold_job_scopes(by_scope: dict) -> dict:
+    """Collapse ``tenant:<t>/job-<id>/stage-.../...`` ledger scopes to the
+    per-job prefix; anything unscoped stays under its own label."""
+    folded: dict[str, int] = {}
+    for scope, nbytes in by_scope.items():
+        parts = scope.split("/")
+        key = "/".join(parts[:2]) if parts[0].startswith("tenant:") else scope
+        folded[key] = folded.get(key, 0) + nbytes
+    return dict(sorted(folded.items()))
+
+
+def render_report(report: dict) -> str:
+    """Canonical JSON text: sorted keys, two-space indent, newline-terminated."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"

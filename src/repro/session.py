@@ -186,6 +186,8 @@ class DMacSession:
         inputs: dict[str, np.ndarray] | None = None,
         trace: bool = False,
         chaos=None,
+        prologue_plan: Plan | None = None,
+        body_plan: Plan | None = None,
     ):
         """Execute a while-convergence program by dynamic plan extension.
 
@@ -200,13 +202,17 @@ class DMacSession:
         and one ``chaos`` engine spans the whole run (its faults land in
         whichever segment reaches the seeded points).
 
+        ``prologue_plan``/``body_plan`` inject pre-built segment plans
+        (e.g. from the :mod:`repro.serve` plan cache) so repeated staged
+        submissions skip planning; omitted segments are planned here.
+
         Returns a :class:`~repro.runtime.segments.StagedResult`.
         """
         from repro.runtime.segments import SegmentRecord, aggregate, carried_inputs
 
         inputs = dict(inputs or {})
-        prologue_plan = self.plan(staged.prologue)
-        body_plan = self.plan(staged.body)
+        prologue_plan = prologue_plan or self.plan(staged.prologue)
+        body_plan = body_plan or self.plan(staged.body)
         prologue_result = self.run(
             staged.prologue, inputs, plan=prologue_plan, trace=trace, chaos=chaos
         )

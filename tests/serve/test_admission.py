@@ -1,0 +1,139 @@
+"""Admission control: quotas, ceilings, queue caps, typed rejections."""
+
+import pytest
+
+from repro import ClusterConfig, DMacSession
+from repro.errors import (
+    AdmissionError,
+    JobTooLargeError,
+    QueueFullError,
+    TenantQuotaExceededError,
+)
+from repro.programs.registry import WorkloadParams, build_workload
+from repro.serve import (
+    AdmissionController,
+    AdmissionPolicy,
+    JobSpec,
+    MatrixService,
+    ServiceClient,
+    ServiceConfig,
+    TenantSpec,
+    predict_flops,
+)
+from repro.serve.plancache import plan_for_cache
+
+PARAMS = {"scale": 5e-4, "iterations": 2, "rows": 300, "features": 30}
+
+
+def make_entry(app="pagerank"):
+    session = DMacSession(ClusterConfig(num_workers=4))
+    workload = build_workload(app, WorkloadParams(**PARAMS))
+    return plan_for_cache(session, workload.program)
+
+
+def evaluate(policy=None, tenant=None, entry=None, **kwargs):
+    controller = AdmissionController(policy or AdmissionPolicy())
+    defaults = dict(service_queue_depth=0, tenant_queue_depth=0, idle=True)
+    defaults.update(kwargs)
+    return controller.evaluate(
+        tenant or TenantSpec("t"), entry or make_entry(), **defaults
+    )
+
+
+class TestDecisions:
+    def test_idle_cluster_runs(self):
+        assert evaluate().action == "run"
+
+    def test_busy_cluster_queues(self):
+        assert evaluate(idle=False).action == "queue"
+
+    def test_memory_quota_rejects(self):
+        entry = make_entry()
+        decision = evaluate(
+            tenant=TenantSpec("t", memory_quota_bytes=1), entry=entry
+        )
+        assert decision.action == "reject"
+        assert decision.reason == TenantQuotaExceededError.reason
+        assert str(entry.predicted_peak_bytes) in decision.detail
+
+    def test_byte_ceiling_rejects(self):
+        decision = evaluate(policy=AdmissionPolicy(max_job_bytes=1))
+        assert decision.action == "reject"
+        assert decision.reason == JobTooLargeError.reason
+
+    def test_flop_ceiling_rejects(self):
+        decision = evaluate(policy=AdmissionPolicy(max_job_flops=1))
+        assert decision.action == "reject"
+        assert decision.reason == JobTooLargeError.reason
+
+    def test_tenant_queue_cap_rejects(self):
+        decision = evaluate(
+            tenant=TenantSpec("t", max_queued_jobs=2), tenant_queue_depth=2
+        )
+        assert decision.action == "reject"
+        assert decision.reason == QueueFullError.reason
+
+    def test_service_queue_cap_rejects(self):
+        decision = evaluate(
+            policy=AdmissionPolicy(max_queued_jobs=3), service_queue_depth=3
+        )
+        assert decision.reason == QueueFullError.reason
+
+    def test_quota_outranks_queue_cap(self):
+        decision = evaluate(
+            policy=AdmissionPolicy(max_queued_jobs=0),
+            tenant=TenantSpec("t", memory_quota_bytes=1),
+            service_queue_depth=5,
+        )
+        assert decision.reason == TenantQuotaExceededError.reason
+
+    def test_error_mapping(self):
+        decision = evaluate(policy=AdmissionPolicy(max_job_bytes=1))
+        error = AdmissionController.error_for(decision, "t")
+        assert isinstance(error, JobTooLargeError)
+        assert isinstance(error, AdmissionError)
+        assert error.tenant == "t"
+        assert error.reason == "job-too-large"
+
+
+class TestPredictFlops:
+    def test_positive_and_deterministic(self):
+        program = build_workload("pagerank", WorkloadParams(**PARAMS)).program
+        assert predict_flops(program) > 0
+        assert predict_flops(program) == predict_flops(program)
+
+    def test_scales_with_work(self):
+        small = build_workload(
+            "pagerank", WorkloadParams(scale=5e-4, iterations=2)
+        ).program
+        large = build_workload(
+            "pagerank", WorkloadParams(scale=2e-3, iterations=2)
+        ).program
+        assert predict_flops(large) > predict_flops(small)
+
+
+class TestServiceIntegration:
+    def test_client_raises_typed_error_and_service_records_rejection(self):
+        service = MatrixService(
+            ServiceConfig(
+                tenants=(TenantSpec("tiny", memory_quota_bytes=1),), seed=0
+            )
+        )
+        client = ServiceClient(service)
+        with pytest.raises(TenantQuotaExceededError) as info:
+            client.submit("tiny", "pagerank", params=PARAMS)
+        assert info.value.tenant == "tiny"
+        record = service.records[-1]
+        assert record.state == "rejected"
+        assert record.reject_reason == "memory-quota"
+        assert service.accountant.account("tiny").jobs_rejected == 1
+
+    def test_rejected_jobs_never_execute(self):
+        service = MatrixService(
+            ServiceConfig(
+                tenants=(TenantSpec("tiny", memory_quota_bytes=1),), seed=0
+            )
+        )
+        service.submit(JobSpec(tenant="tiny", app="pagerank", params=PARAMS))
+        assert service.drain() == []
+        assert service.sim_now == 0.0

@@ -1,0 +1,107 @@
+"""Concurrent sessions: independent DMacSessions running in parallel
+threads must behave exactly like solo runs.
+
+This is the substrate the serving layer stands on: per-tenant sessions
+share nothing but code, the ledger's contextvars scopes follow each
+dispatching thread into the stage pool, and every run's refcounted
+matrices drain to zero no matter how many runs are in flight."""
+
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from unittest import mock
+
+import numpy as np
+
+from repro import ClusterConfig, DMacSession
+from repro.programs.registry import WorkloadParams, build_workload
+from repro.runtime.resources import ResourceManager
+
+PARAMS = WorkloadParams(scale=5e-4, iterations=2, rows=300, features=30)
+APPS = ("pagerank", "linreg", "jacobi")
+
+
+def run_app(app, label=None):
+    """One complete session run; returns (result, session)."""
+    session = DMacSession(ClusterConfig(num_workers=4))
+    workload = build_workload(app, PARAMS)
+    if label is None:
+        result = session.run(workload.program, workload.inputs, trace=True)
+    else:
+        with session.context.ledger.scope(label):
+            result = session.run(workload.program, workload.inputs, trace=True)
+    return result, session
+
+
+class TestParallelRuns:
+    def test_concurrent_runs_match_solo_baselines(self):
+        baselines = {app: run_app(app)[0] for app in APPS}
+        jobs = [APPS[i % len(APPS)] for i in range(6)]
+        with ThreadPoolExecutor(max_workers=len(jobs)) as pool:
+            results = list(pool.map(lambda app: run_app(app)[0], jobs))
+        for app, result in zip(jobs, results):
+            base = baselines[app]
+            assert result.comm_bytes == base.comm_bytes
+            assert result.simulated_seconds == base.simulated_seconds
+            assert result.num_stages == base.num_stages
+            # (peak_memory_bytes is intentionally not compared: intra-run
+            # stage overlap shifts under machine load, so the realised peak
+            # of a *concurrently running* session may differ.)
+            assert sorted(r.flops for r in result.trace) == sorted(
+                r.flops for r in base.trace
+            )
+            for name, matrix in base.matrices.items():
+                np.testing.assert_array_equal(result.matrices[name], matrix)
+
+    def test_ledger_and_clock_isolation(self):
+        # Each thread's bytes land only in its own session's ledger, under
+        # its own scope, and each clock advances by exactly its own run.
+        def run_scoped(index):
+            app = APPS[index % len(APPS)]
+            result, session = run_app(app, label=f"thread-{index}")
+            return index, result, session
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            outcomes = list(pool.map(run_scoped, range(4)))
+        for index, result, session in outcomes:
+            by_scope = session.context.ledger.bytes_by_scope()
+            assert sum(by_scope.values()) == result.comm_bytes
+            for scope in by_scope:
+                assert scope.startswith(f"thread-{index}"), scope
+            assert session.context.clock.elapsed_seconds == (
+                result.simulated_seconds
+            )
+
+    def test_refcounts_drain_under_concurrency(self):
+        # Reuse the lifecycle-audit idiom from tests/runtime: record every
+        # ResourceManager the concurrent runs create, then check each run
+        # published and released every instance exactly once.
+        managers = []
+        real_init = ResourceManager.__init__
+
+        class Recording(ResourceManager):
+            def __init__(self, *args, **kwargs):
+                real_init(self, *args, **kwargs)
+                managers.append(self)
+
+        with mock.patch("repro.runtime.executor.ResourceManager", Recording):
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                list(pool.map(lambda app: run_app(app)[0], APPS))
+        assert len(managers) == len(APPS)
+        for manager in managers:
+            assert manager.events_dropped == 0
+            published = Counter(i for kind, i in manager.events if kind == "publish")
+            released = Counter(i for kind, i in manager.events if kind == "release")
+            assert all(count == 1 for count in published.values())
+            assert released == published
+            assert manager.live_instances() == []
+
+    def test_one_session_is_reusable_across_sequential_runs(self):
+        # Metrics accumulate on the session; per-run deltas stay exact.
+        session = DMacSession(ClusterConfig(num_workers=4))
+        workload = build_workload("pagerank", PARAMS)
+        first = session.run(workload.program, workload.inputs)
+        second = session.run(workload.program, workload.inputs)
+        assert first.comm_bytes == second.comm_bytes
+        assert session.context.ledger.total_bytes == (
+            first.comm_bytes + second.comm_bytes
+        )
