@@ -1,0 +1,228 @@
+"""repro.kernels — wall-clock wins from fusion and batched BLAS dispatch.
+
+The first benchmark whose headline number is *wall-clock*, not simulated:
+
+* **Fused cellwise ladder** — GNMF-style multiply/divide rungs, iterated so
+  the fusion pass collapses twelve cellwise steps into one composed kernel
+  per block.  Gate: >= 1.5x over the unfused engine, byte-identical.
+* **Batched grid matmul** — a dense block product at a small block size,
+  where one broadcast ``np.matmul`` per ascending-k level replaces
+  thousands of per-pair dgemm dispatches.  Gate: >= 1.5x, byte-identical.
+* **Registry apps, batched vs serial** — GNMF plus the LR and CF
+  workloads from ``bench_fig9b_apps`` rerun with ``batched_matmul`` on
+  and off.  GNMF's dense factor-update products are the regular stages
+  batching targets in real programs (gated on a positive batched-pair
+  count); LR and CF are sparse-dominated, so the gate there is the
+  *opposite* observable — the planner must route zero pairs through the
+  batched path (sparsity-awareness) and add no overhead.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from harness import (
+    assert_plan_clean,
+    bench_clock,
+    density,
+    fmt_secs,
+    registry_workload,
+    report,
+)
+from repro import ClusterConfig, DMacSession
+from repro.datasets import netflix_like, sparse_random
+from repro.lang.program import ProgramBuilder
+from repro.programs import build_cf_program, build_linreg_program
+
+SEED = 13
+CONFIG = dict(num_workers=4, threads_per_worker=2, clock=bench_clock())
+
+
+def _best_run(session, program, inputs, plan, rounds=5):
+    """Best-of-N wall-clock for executing a pre-built plan."""
+    session.run(program, inputs, plan=plan)  # warm caches and pools
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = session.run(program, inputs, plan=plan)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def run_fused_ladder():
+    """GNMF's cellwise ladder, iterated: ``X = X * A / B`` six times."""
+    from repro.core.plan import FusedCellwiseStep
+
+    size, rungs = 1024, 6
+    pb = ProgramBuilder()
+    x = pb.load("X", (size, size))
+    a = pb.load("A", (size, size))
+    b = pb.load("B", (size, size))
+    out = x
+    for _ in range(rungs):
+        out = pb.assign("X", out * a / b)
+    pb.output(out)
+    program = pb.build()
+    rng = np.random.default_rng(SEED)
+    inputs = {
+        "X": rng.random((size, size)),
+        "A": rng.random((size, size)) + 0.5,
+        "B": rng.random((size, size)) + 0.5,
+    }
+    measured = {}
+    for optimized in (False, True):
+        config = ClusterConfig(block_size=64, **CONFIG)
+        session = DMacSession(config, optimize=optimized)
+        plan = session.plan(program)
+        assert_plan_clean(plan, config)
+        if optimized:
+            fused = [s for s in plan.steps if isinstance(s, FusedCellwiseStep)]
+            assert fused, "fusion pass left the ladder unfused"
+            assert len(fused[0].chain) == 2 * rungs
+            assert plan.certificates, "optimized plan must be certified"
+        seconds, result = _best_run(session, program, inputs, plan)
+        measured[optimized] = (seconds, result)
+    (unfused_secs, unfused), (fused_secs, fused) = measured[False], measured[True]
+    assert _bytes(unfused) == _bytes(fused), "fusion changed the output bytes"
+    return {
+        "label": f"fused ladder ({rungs} rungs, {size}^2)",
+        "base_secs": unfused_secs,
+        "new_secs": fused_secs,
+        "identical": True,
+        "metric": f"comm {unfused.comm_bytes} -> {fused.comm_bytes} B (simulated)",
+    }
+
+
+def run_batched_chain():
+    """Dense chain matmul at block size 32: thousands of same-shape pairs."""
+    size, iterations = 768, 3
+    pb = ProgramBuilder()
+    x = pb.load("X", (size, size))
+    a = pb.load("A", (size, size))
+    out = x
+    for _ in range(iterations):
+        out = pb.assign("X", out @ a)
+    pb.output(out)
+    program = pb.build()
+    rng = np.random.default_rng(SEED)
+    inputs = {
+        "X": rng.standard_normal((size, size)),
+        "A": rng.standard_normal((size, size)) * 0.01,
+    }
+    measured = {}
+    for batched in (False, True):
+        config = ClusterConfig(block_size=32, batched_matmul=batched, **CONFIG)
+        session = DMacSession(config)
+        plan = session.plan(program)
+        assert_plan_clean(plan, config)
+        measured[batched] = _best_run(session, program, inputs, plan)
+    (serial_secs, serial), (batched_secs, batched) = measured[False], measured[True]
+    assert _bytes(serial) == _bytes(batched), "batching changed the output bytes"
+    return {
+        "label": f"batched matmul chain ({size}^2, block 32)",
+        "base_secs": serial_secs,
+        "new_secs": batched_secs,
+        "identical": True,
+        "metric": f"{(size // 32) ** 3 * iterations} block pairs/run",
+    }
+
+
+def run_apps_batched():
+    """GNMF plus the fig9b LR/CF workloads, batched vs serial engine.
+
+    GNMF's factor updates multiply dense block grids, so it must route a
+    positive pair count through the batched path; LR and CF are built
+    around sparse operands, so the planner must route *zero* pairs (the
+    batched path only ever sees regular dense grids) while staying
+    byte-identical and overhead-free.
+    """
+    gnmf = registry_workload("gnmf", iterations=2)
+    design = sparse_random(4000, 100, 0.1, seed=6)
+    target = sparse_random(4000, 1, 1.0, seed=7)
+    ratings = netflix_like(scale=2.5e-3, seed=8).T
+    workloads = {
+        "GNMF": (gnmf.program, gnmf.inputs, True),
+        "fig9b LR": (
+            build_linreg_program(design.shape, density(design), iterations=10),
+            {"V": design, "y": target},
+            False,
+        ),
+        "fig9b CF": (
+            build_cf_program(ratings.shape, density(ratings)),
+            {"R": ratings},
+            False,
+        ),
+    }
+    rows = []
+    for label, (program, inputs, expect_batched) in workloads.items():
+        measured = {}
+        for batched in (False, True):
+            config = ClusterConfig(block_size=64, batched_matmul=batched, **CONFIG)
+            session = DMacSession(config)
+            plan = session.plan(program)
+            measured[batched] = _best_run(session, program, inputs, plan)
+        (serial_secs, serial), (batched_secs, batched) = (
+            measured[False],
+            measured[True],
+        )
+        assert _bytes(serial) == _bytes(batched), f"{label}: outputs diverged"
+        assert serial.batched_pairs == 0
+        if expect_batched:
+            assert batched.batched_pairs > 0, f"{label}: dense stages never batched"
+        else:
+            assert batched.batched_pairs == 0, f"{label}: sparse stages batched"
+        rows.append(
+            {
+                "label": f"{label} (batched engine)",
+                "base_secs": serial_secs,
+                "new_secs": batched_secs,
+                "identical": True,
+                "batched_pairs": batched.batched_pairs,
+                "metric": f"{batched.batched_pairs} block pairs batched/run",
+            }
+        )
+    return rows
+
+
+def _bytes(result):
+    return {key: value.tobytes() for key, value in sorted(result.matrices.items())}
+
+
+def test_fused_kernels_wall_clock(benchmark):
+    ladder = benchmark.pedantic(run_fused_ladder, rounds=1, iterations=1)
+    chain = run_batched_chain()
+    apps = run_apps_batched()
+    entries = [ladder, chain] + apps
+    rows = []
+    for entry in entries:
+        speedup = entry["base_secs"] / entry["new_secs"]
+        entry["speedup"] = speedup
+        rows.append(
+            [
+                entry["label"],
+                fmt_secs(entry["base_secs"]),
+                fmt_secs(entry["new_secs"]),
+                f"{speedup:.2f}x",
+                "yes" if entry["identical"] else "NO",
+                entry["metric"],
+            ]
+        )
+    report(
+        "fused_kernels",
+        "repro.kernels -- wall-clock speedups (fusion / batched BLAS)",
+        ["workload", "baseline", "kernels", "speedup", "byte-identical", "notes"],
+        rows,
+        notes="baseline = unfused/serial engine; kernels = fused or batched "
+        "path.  All outputs byte-identical to the baseline engine.",
+        seed=SEED,
+    )
+    # Hard gates: the headline fusion and batching wins.
+    assert ladder["speedup"] >= 1.5, f"fused ladder only {ladder['speedup']:.2f}x"
+    assert chain["speedup"] >= 1.5, f"batched chain only {chain['speedup']:.2f}x"
+    # On real apps the sparse stages dominate end-to-end time, so the
+    # measurable win is the deterministic dispatch count (asserted per app
+    # inside run_apps_batched: GNMF > 0, LR/CF == 0); end-to-end time must
+    # never really regress (noise floor).
+    assert all(entry["speedup"] >= 0.8 for entry in apps)

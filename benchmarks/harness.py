@@ -8,6 +8,7 @@ capture; EXPERIMENTS.md records the paper-vs-measured comparison.
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Sequence
 
@@ -56,8 +57,16 @@ def report(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],
     notes: str = "",
+    seed: int | None = None,
 ) -> str:
-    """Render an aligned table, print it, and persist it under results/."""
+    """Render an aligned table, print it, and persist it under results/.
+
+    Besides the human-readable ``results/<name>.txt``, the same table is
+    written structured to ``results/<name>.json`` so ``run_all.py`` can
+    consolidate every experiment's (simulated and measured) metrics into
+    ``BENCH_summary.json``.  ``seed`` stamps the RNG seed the benchmark's
+    datasets derive from, when it has a single one.
+    """
     table = [list(map(str, headers))] + [[str(cell) for cell in row] for row in rows]
     widths = [max(len(row[col]) for row in table) for col in range(len(headers))]
     lines = [title, "=" * len(title)]
@@ -71,6 +80,17 @@ def report(
     text = "\n".join(lines)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    structured = {
+        "name": name,
+        "title": title,
+        "headers": list(map(str, headers)),
+        "rows": [[str(cell) for cell in row] for row in rows],
+        "notes": notes,
+        "seed": seed,
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(structured, indent=2) + "\n"
+    )
     print("\n" + text)
     return text
 

@@ -73,7 +73,18 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
                         default=False,
                         help="run the repro.planopt pass pipeline (CSE, "
                              "repartition coalescing, dead-step elimination, "
-                             "loop-invariant hoisting) on the plan")
+                             "loop-invariant hoisting, cellwise fusion) on "
+                             "the plan")
+    parser.add_argument("--batched-matmul", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="group same-shape dense block products into one "
+                             "stacked BLAS dispatch (byte-identical)")
+    parser.add_argument("--strassen", action="store_true",
+                        help="use the Strassen kernel for large dense block "
+                             "products (faster, not bitwise-stable)")
+    parser.add_argument("--strassen-min-size", type=int, default=128,
+                        help="dense-size crossover below which block products "
+                             "stay on the naive BLAS kernel")
 
 
 def _session(args: argparse.Namespace) -> DMacSession:
@@ -82,6 +93,9 @@ def _session(args: argparse.Namespace) -> DMacSession:
             num_workers=args.workers,
             threads_per_worker=args.threads,
             block_size=args.block_size,
+            batched_matmul=getattr(args, "batched_matmul", True),
+            strassen=getattr(args, "strassen", False),
+            strassen_min_size=getattr(args, "strassen_min_size", 128),
         ),
         optimize=getattr(args, "optimize", False),
     )

@@ -127,6 +127,18 @@ class ClusterConfig:
             ``None``).  Exceeding it never fails a run: the least recently
             used pinned instance is spilled and, if read again, recomputed
             through lineage.
+        batched_matmul: group same-shape dense block products within a
+            stage into one stacked BLAS dispatch (:mod:`repro.kernels`).
+            Byte-identical to the serial path and on by default; disabled
+            automatically under a ``memory_limit_bytes`` budget, whose
+            experiments depend on the serial path's exact transient
+            accounting.
+        strassen: opt-in Strassen kernel for dense block products at or
+            above ``strassen_min_size`` in every dimension.  Faster above
+            the crossover but *not* bitwise-stable (results agree with the
+            naive kernel only to relative tolerance), hence off by default.
+        strassen_min_size: dense-size crossover below which block products
+            always use the naive BLAS kernel.
     """
 
     num_workers: int = 4
@@ -139,6 +151,9 @@ class ClusterConfig:
     recovery: RecoveryConfig = dataclasses.field(default_factory=RecoveryConfig)
     resource_event_log_limit: int | None = 65536
     cache_limit_bytes: int | None = None
+    batched_matmul: bool = True
+    strassen: bool = False
+    strassen_min_size: int = 128
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -165,4 +180,8 @@ class ClusterConfig:
             raise ClusterError(
                 f"cache_limit_bytes must be >= 1 or None, "
                 f"got {self.cache_limit_bytes}"
+            )
+        if self.strassen_min_size < 2:
+            raise ClusterError(
+                f"strassen_min_size must be >= 2, got {self.strassen_min_size}"
             )

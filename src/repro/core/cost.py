@@ -38,3 +38,20 @@ def output_cost(strategy: Strategy, nbytes: int, num_workers: int) -> int:
     if strategy.shuffles_output:
         return num_workers * nbytes
     return 0
+
+
+def naive_matmul_flops(m: int, k: int, n: int) -> int:
+    """Flops of the classical dense block product: ``2 m k n``."""
+    return 2 * m * k * n
+
+
+def strassen_matmul_flops(m: int, k: int, n: int, crossover: int) -> int:
+    """Flops of the Strassen kernel on an ``m x k @ k x n`` dense product.
+
+    Mirrors the exact recursion :func:`repro.kernels.strassen.strassen_matmul`
+    performs (asymptotically ``O(n^2.807)``), so the flops the cost model
+    charges equal the flops the engine records.
+    """
+    from repro.kernels.strassen import recursion_base, strassen_flops
+
+    return strassen_flops(m, k, n, recursion_base(crossover))

@@ -163,6 +163,55 @@ class CellwiseStep(Step):
 
 
 @dataclasses.dataclass
+class FusedCellwiseStep(Step):
+    """A chain of cellwise steps collapsed into one composed block kernel.
+
+    Produced only by the optimizer's fusion pass (:mod:`repro.planopt.fuse`),
+    never by the planner.  ``chain`` holds the original
+    :class:`CellwiseStep` objects in dependency order; every chain output
+    except the last is a fusion-internal temporary that is no longer
+    materialised as a distributed matrix -- the local engine composes the
+    whole chain per block (:mod:`repro.kernels.fused`).  The chain tuple is
+    treated as immutable: optimizer passes run before fusion, so nothing
+    renames instances inside it.
+    """
+
+    chain: tuple[CellwiseStep, ...]
+    output: MatrixInstance
+
+    def inputs(self) -> tuple[MatrixInstance, ...]:
+        produced = {inner.output for inner in self.chain}
+        seen: dict[MatrixInstance, None] = {}
+        for inner in self.chain:
+            for operand in (inner.left, inner.right):
+                if operand not in produced:
+                    seen.setdefault(operand, None)
+        return tuple(seen)
+
+    def scalar_inputs(self) -> tuple[str, ...]:
+        names: dict[str, None] = {}
+        for inner in self.chain:
+            for name in inner.scalar_inputs():
+                names.setdefault(name, None)
+        return tuple(names)
+
+    def output_instance(self) -> MatrixInstance | None:
+        return self.output
+
+    @property
+    def ops(self) -> tuple[str, ...]:
+        """The fused cellwise op names, in application order."""
+        return tuple(inner.op.op for inner in self.chain)
+
+    def __str__(self) -> str:
+        body = ";".join(
+            f"{inner.op.op}({inner.left},{inner.right})->{inner.output.name}"
+            for inner in self.chain
+        )
+        return f"{self.output} <- fused[{body}]"
+
+
+@dataclasses.dataclass
 class ScalarMatrixStep(Step):
     op: ScalarMatrixOp
     source: MatrixInstance

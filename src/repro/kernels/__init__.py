@@ -1,0 +1,54 @@
+"""repro.kernels: the real-speed execution layer.
+
+Three coordinated pieces close the gap between simulated-clock wins and
+wall-clock wins (ROADMAP "Raw speed"):
+
+* :mod:`repro.kernels.fused` -- composed cellwise-chain kernels behind the
+  optimizer's fusion pass (:mod:`repro.planopt.fuse`): a whole
+  multiply/divide ladder runs as one per-block composition with no
+  intermediate distributed materialisation.
+* :mod:`repro.kernels.batch` -- batched BLAS dispatch: a regular In-Place
+  matmul stage's same-shape dense block products run as one broadcast
+  ``np.matmul`` per inner index, folded in the canonical ascending-k
+  accumulation order so results stay byte-identical.
+* :mod:`repro.kernels.strassen` -- a Strassen block-matmul kernel above a
+  dense-size crossover, priced by the cost model at its true
+  ``O(n^2.807)`` flop count.
+
+Everything here is pure block/ndarray computation: the modules know nothing
+about engines, schedulers or plans beyond the step dataclasses they lower.
+"""
+
+from repro.kernels.batch import (
+    GridProductPlan,
+    StackBufferCache,
+    plan_grid_product,
+    stacked_matmul,
+)
+from repro.kernels.fused import (
+    FusedChain,
+    chain_key_sets,
+    compose_key,
+    lower_chain,
+)
+from repro.kernels.strassen import (
+    recursion_base,
+    strassen_flops,
+    strassen_matmul,
+    strassen_temp_bytes,
+)
+
+__all__ = [
+    "FusedChain",
+    "GridProductPlan",
+    "StackBufferCache",
+    "chain_key_sets",
+    "compose_key",
+    "lower_chain",
+    "plan_grid_product",
+    "recursion_base",
+    "stacked_matmul",
+    "strassen_flops",
+    "strassen_matmul",
+    "strassen_temp_bytes",
+]

@@ -1,0 +1,188 @@
+"""Composed cellwise-chain kernels (the execution half of the fusion pass).
+
+A :class:`~repro.core.plan.FusedCellwiseStep` carries the original cellwise
+steps of a fused chain.  :func:`lower_chain` flattens that plan-level
+payload into a :class:`FusedChain` -- op names plus positional operand
+references -- which the local engine evaluates per block key with
+:func:`compose_key`.  The composition replays the unfused engine's
+semantics *exactly* (key policies, absent-block handling, sparse format
+rules, flop accounting), so the fused output is byte-identical to running
+the chain step by step; the win is that no intermediate chain value is ever
+registered, published or shuffled as a distributed grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.blocks import ops
+from repro.blocks.ops import Block
+from repro.errors import BlockError
+
+if TYPE_CHECKING:  # plan types only annotate; importing them would cycle
+    from repro.core.plan import FusedCellwiseStep, MatrixInstance
+
+BlockKey = Tuple[int, int]
+Grid = Mapping[BlockKey, Block]
+
+#: A reference to a chain value: ``("in", i)`` is the i-th external input
+#: grid, ``("tmp", j)`` is the output of chain entry ``j``.
+ChainRef = Tuple[str, int]
+
+#: Flop-recording callback: ``record(flops, sparse)``.
+RecordFn = Callable[[int, bool], None]
+
+
+@dataclass(frozen=True)
+class FusedChain:
+    """Engine-level lowering of a fused cellwise chain.
+
+    ``steps`` holds ``(op, left_ref, right_ref)`` triples in application
+    order; references are resolved against the external input grids and the
+    earlier chain entries.  Free of plan-level instances, so the engine and
+    tests can build chains directly.
+    """
+
+    steps: Tuple[Tuple[str, ChainRef, ChainRef], ...]
+    num_inputs: int
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise BlockError("fused chain must contain at least one step")
+        for position, (op, left, right) in enumerate(self.steps):
+            if op not in ops.CELLWISE_OPS:
+                raise BlockError(f"unknown cell-wise operator {op!r}")
+            for kind, index in (left, right):
+                if kind == "in":
+                    if not 0 <= index < self.num_inputs:
+                        raise BlockError(
+                            f"fused chain step {position} references input "
+                            f"{index} of {self.num_inputs}"
+                        )
+                elif kind == "tmp":
+                    if not 0 <= index < position:
+                        raise BlockError(
+                            f"fused chain step {position} references "
+                            f"temporary {index} before it is produced"
+                        )
+                else:
+                    raise BlockError(f"unknown chain reference kind {kind!r}")
+
+
+def lower_chain(
+    step: FusedCellwiseStep,
+) -> Tuple[FusedChain, Tuple[MatrixInstance, ...]]:
+    """Flatten a plan-level fused step into a :class:`FusedChain` plus the
+    external input instances, in the order the chain's references use."""
+    external = step.inputs()
+    input_index = {instance: i for i, instance in enumerate(external)}
+    tmp_index: Dict[MatrixInstance, int] = {}
+    steps: List[Tuple[str, ChainRef, ChainRef]] = []
+    for position, inner in enumerate(step.chain):
+        refs: List[ChainRef] = []
+        for operand in (inner.left, inner.right):
+            if operand in tmp_index:
+                refs.append(("tmp", tmp_index[operand]))
+            else:
+                refs.append(("in", input_index[operand]))
+        steps.append((inner.op.op, refs[0], refs[1]))
+        tmp_index[inner.output] = position
+    return FusedChain(tuple(steps), len(external)), external
+
+
+def chain_key_sets(
+    chain: FusedChain, input_keys: Tuple[FrozenSet[BlockKey], ...]
+) -> List[FrozenSet[BlockKey]]:
+    """The block-key set of every chain value, under the unfused engine's
+    key policies: ``multiply`` intersects, ``add``/``subtract`` union,
+    ``divide`` keeps the numerator's keys and requires the denominator to
+    cover them (raising the engine's :class:`~repro.errors.BlockError`
+    otherwise, exactly as the step-by-step execution would)."""
+    if len(input_keys) != chain.num_inputs:
+        raise BlockError(
+            f"fused chain expects {chain.num_inputs} input grids, "
+            f"got {len(input_keys)}"
+        )
+    tmp_keys: List[FrozenSet[BlockKey]] = []
+
+    def keys_of(ref: ChainRef) -> FrozenSet[BlockKey]:
+        kind, index = ref
+        return input_keys[index] if kind == "in" else tmp_keys[index]
+
+    for op, left_ref, right_ref in chain.steps:
+        left_keys, right_keys = keys_of(left_ref), keys_of(right_ref)
+        if op == "multiply":
+            out = left_keys & right_keys
+        elif op == "divide":
+            missing = sorted(left_keys - right_keys)
+            if missing:
+                raise BlockError(
+                    f"cell-wise divide: denominator grid lacks blocks {missing[:3]}"
+                )
+            out = left_keys
+        else:
+            out = left_keys | right_keys
+        tmp_keys.append(out)
+    return tmp_keys
+
+
+def compose_key(
+    chain: FusedChain,
+    key: BlockKey,
+    grids: Tuple[Grid, ...],
+    record: RecordFn,
+) -> Optional[Block]:
+    """Evaluate the whole chain for one block key.
+
+    Mirrors ``LocalEngine._bind_cellwise`` step for step: an absent operand
+    of ``add`` copies the present one, of ``subtract`` negates it, and
+    ``multiply`` with an absent operand is an absent (all-zero) result.
+    Temporaries live only for the duration of this call -- nothing is
+    published.  Returns ``None`` when the final value has no block at
+    ``key`` (callers normally iterate the final key set, where the result
+    is always a block).
+    """
+    tmps: List[Optional[Block]] = []
+
+    def resolve(ref: ChainRef) -> Optional[Block]:
+        kind, index = ref
+        if kind == "in":
+            return grids[index].get(key)
+        return tmps[index]
+
+    for op, left_ref, right_ref in chain.steps:
+        left = resolve(left_ref)
+        right = resolve(right_ref)
+        if (
+            (left is None and right is None)
+            or (op == "multiply" and (left is None or right is None))
+            or (op == "divide" and left is None)
+        ):
+            tmps.append(None)
+            continue
+        if left is None:
+            assert right is not None
+            result = (
+                right.copy() if op == "add" else ops.scalar_op("multiply", right, -1.0)
+            )
+        elif right is None:
+            result = left.copy()
+        else:
+            result = ops.cellwise(op, left, right)
+        record(
+            ops.cellwise_flops(left or right, right or left),
+            (left is not None and left.is_sparse)
+            or (right is not None and right.is_sparse),
+        )
+        tmps.append(result)
+    return tmps[-1]

@@ -1,0 +1,96 @@
+"""Strassen block matrix multiplication above a dense-size crossover.
+
+Classic seven-multiplication Strassen recursion (after Stark, PAPERS.md):
+a product of two dense blocks recurses into 7 half-size products plus 18
+half-size additions, for an asymptotic ``O(n^log2(7)) ~= O(n^2.807)`` flop
+count.  Odd dimensions are zero-padded per level.  The recursion bottoms
+out at :func:`recursion_base` of the configured crossover, below which a
+plain BLAS ``@`` is faster than the bookkeeping.
+
+:func:`strassen_flops` prices the exact recursion the kernel performs (the
+cost model charges what actually runs, not an asymptotic formula), and
+:func:`strassen_temp_bytes` bounds the extra temporaries for the memory
+predictor (:mod:`repro.verify.memory`).
+
+Strassen reassociates additions, so its results are *not* bitwise equal to
+naive matmul -- equivalence is within a relative tolerance (tests use
+1e-8), which is why it is opt-in via ``ClusterConfig(strassen=True)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: log2(7): the Strassen flop exponent the cost model advertises.
+STRASSEN_EXPONENT = 2.807
+
+#: Never recurse below this many rows/cols, whatever the crossover says.
+_MIN_BASE = 16
+
+
+def recursion_base(crossover: int) -> int:
+    """The base-case size for a given crossover: a product at exactly the
+    crossover size recurses one level into halves that run naively."""
+    return max(_MIN_BASE, crossover // 2)
+
+
+def strassen_matmul(a: np.ndarray, b: np.ndarray, base: int) -> np.ndarray:
+    """``a @ b`` by Strassen recursion with base-case size ``base``."""
+    m, k = a.shape
+    kb, n = b.shape
+    if k != kb:
+        raise ValueError(f"strassen inner dimensions differ: {a.shape} @ {b.shape}")
+    if min(m, k, n) <= base:
+        return a @ b
+    mh, kh, nh = (m + 1) // 2, (k + 1) // 2, (n + 1) // 2
+    if (m, k, n) != (2 * mh, 2 * kh, 2 * nh):
+        padded_a = np.zeros((2 * mh, 2 * kh), dtype=np.float64)
+        padded_a[:m, :k] = a
+        padded_b = np.zeros((2 * kh, 2 * nh), dtype=np.float64)
+        padded_b[:k, :n] = b
+        a, b = padded_a, padded_b
+    a11, a12 = a[:mh, :kh], a[:mh, kh:]
+    a21, a22 = a[mh:, :kh], a[mh:, kh:]
+    b11, b12 = b[:kh, :nh], b[:kh, nh:]
+    b21, b22 = b[kh:, :nh], b[kh:, nh:]
+
+    m1 = strassen_matmul(a11 + a22, b11 + b22, base)
+    m2 = strassen_matmul(a21 + a22, b11, base)
+    m3 = strassen_matmul(a11, b12 - b22, base)
+    m4 = strassen_matmul(a22, b21 - b11, base)
+    m5 = strassen_matmul(a11 + a12, b22, base)
+    m6 = strassen_matmul(a21 - a11, b11 + b12, base)
+    m7 = strassen_matmul(a12 - a22, b21 + b22, base)
+
+    out = np.empty((2 * mh, 2 * nh), dtype=np.float64)
+    out[:mh, :nh] = m1 + m4 - m5 + m7
+    out[:mh, nh:] = m3 + m5
+    out[mh:, :nh] = m2 + m4
+    out[mh:, nh:] = m1 - m2 + m3 + m6
+    return np.ascontiguousarray(out[:m, :n])
+
+
+def strassen_flops(m: int, k: int, n: int, base: int) -> int:
+    """Flops of :func:`strassen_matmul` on an ``m x k @ k x n`` product:
+    the same recursion, priced.  Base case is the naive ``2 m k n``; one
+    level costs 7 recursive products plus 5 additions of each operand half
+    and 8 additions of result halves."""
+    if min(m, k, n) <= base:
+        return 2 * m * k * n
+    mh, kh, nh = (m + 1) // 2, (k + 1) // 2, (n + 1) // 2
+    return (
+        7 * strassen_flops(mh, kh, nh, base)
+        + 5 * mh * kh
+        + 5 * kh * nh
+        + 8 * mh * nh
+    )
+
+
+def strassen_temp_bytes(m: int, k: int, n: int) -> int:
+    """Model bytes of the extra temporaries one Strassen product holds at
+    its recursion peak: padded operand copies plus the seven half-size
+    ``M`` products; deeper levels add a geometric ``1/4`` series, bounded
+    by ``4/3`` of the top level."""
+    mh, kh, nh = (m + 1) // 2, (k + 1) // 2, (n + 1) // 2
+    top_level = 8 * (m * k + k * n + 7 * mh * nh + 2 * mh * kh + 2 * kh * nh)
+    return (top_level * 4) // 3

@@ -15,6 +15,11 @@ Three families, mirroring the paper's correctness and cost claims:
   happens-before relation (:mod:`repro.verify.hazards`): a pool thread
   may read an instance before its publish is visible, or two publishes
   race for one logical matrix.
+* ``DM4xx`` -- **fusion lints** (warning severity).  An optimized plan
+  still contains a cellwise chain the elementwise-fusion pass
+  (:mod:`repro.planopt.fuse`) could not merge -- typically because an
+  intermediate is needlessly published as a plan output or cache-pinned
+  -- so the engine materialises block grids a fused kernel would skip.
 
 Every rule is registered in :data:`RULES` with its id, severity, family,
 one-line title, the paper section it enforces, and a generic fix hint; the
@@ -34,6 +39,7 @@ from repro.core.dependency import classify, is_communication
 from repro.core.plan import (
     CellwiseStep,
     ExtendedStep,
+    FusedCellwiseStep,
     MatMulStep,
     Plan,
     RowAggStep,
@@ -87,7 +93,7 @@ class Rule:
 
     id: str
     severity: Severity
-    family: str  # "invariant" | "inefficiency"
+    family: str  # "invariant" | "inefficiency" | "hazard" | "fusion"
     title: str
     paper: str  # the paper section / equation the rule enforces
     hint: str
@@ -179,6 +185,22 @@ def check_shapes(inputs: LintInput) -> Iterator[Diagnostic]:
                 yield this.diagnostic(
                     f"cell-wise {step.op.op} over unequal shapes "
                     f"{left} and {right}",
+                    step=index,
+                    subject=step.output,
+                )
+        elif isinstance(step, FusedCellwiseStep):
+            known = {
+                instance: shape
+                for instance in step.inputs()
+                if (shape := facts.shapes.get(instance)) is not None
+            }
+            if len(set(known.values())) > 1:
+                yield this.diagnostic(
+                    "fused cell-wise chain over unequal shapes: "
+                    + ", ".join(
+                        f"{instance}={shape[0]}x{shape[1]}"
+                        for instance, shape in known.items()
+                    ),
                     step=index,
                     subject=step.output,
                 )
@@ -313,6 +335,17 @@ def check_schemes(inputs: LintInput) -> Iterator[Diagnostic]:
                 yield this.diagnostic(
                     f"cell-wise operands and output must share one scheme, "
                     f"got ({step.left.scheme}, {step.right.scheme}) -> "
+                    f"{step.output.scheme}",
+                    step=index,
+                    subject=step.output,
+                )
+        elif isinstance(step, FusedCellwiseStep):
+            schemes = {i.scheme for i in step.inputs()} | {step.output.scheme}
+            if len(schemes) != 1:
+                yield this.diagnostic(
+                    f"fused cell-wise chain operands and output must share "
+                    f"one scheme, got "
+                    f"({', '.join(str(i.scheme) for i in step.inputs())}) -> "
                     f"{step.output.scheme}",
                     step=index,
                     subject=step.output,
@@ -850,6 +883,50 @@ def check_double_publish(inputs: LintInput) -> Iterator[Diagnostic]:
             )
 
 
+# ---------------------------------------------------------------------------
+# Fusion lints (DM4xx, warning severity)
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "DM401",
+    severity=Severity.WARNING,
+    family="fusion",
+    title="cellwise chain left unfused",
+    paper="Section 5.3 (local execution cost; fused kernels skip "
+    "intermediate block grids)",
+    hint="drop the intermediate from the program's outputs (or its cache "
+    "pin) so the fusion pass can merge the chain into one composed kernel",
+)
+def check_unfused_chains(inputs: LintInput) -> Iterator[Diagnostic]:
+    """An *optimized* plan (one carrying rewrite certificates) still feeds
+    a cellwise step straight into a sole cellwise consumer.  The fusion
+    pass merges such chains into one :class:`FusedCellwiseStep` unless the
+    intermediate is observable -- published as a plan output or cache-
+    pinned -- so each hit names the blocker that kept a full intermediate
+    block grid alive."""
+    this = _rule("DM401")
+    facts = inputs.facts
+    if facts is None or not getattr(facts.plan, "certificates", ()):
+        return  # unoptimized plans have not had a chance to fuse yet
+    from repro.planopt.fuse import unfused_chain_heads
+
+    index_of = {id(step): index for index, step in enumerate(facts.plan.steps)}
+    for producer, consumer, blocker in unfused_chain_heads(facts.plan):
+        if blocker == "output":
+            why = "its intermediate is published as a plan output"
+        elif blocker == "pin":
+            why = "its intermediate is cache-pinned"
+        else:
+            why = "nothing blocks it, yet the fusion pass left it unfused"
+        yield this.diagnostic(
+            f"cellwise step {producer.output} feeds only the cellwise step "
+            f"producing {step_output(consumer)} but was not fused: {why}",
+            step=index_of.get(id(producer)),
+            subject=producer.output,
+        )
+
+
 def invariant_rules() -> list[Rule]:
     return [r for r in RULES.values() if r.family == "invariant"]
 
@@ -860,3 +937,7 @@ def inefficiency_rules() -> list[Rule]:
 
 def hazard_rules() -> list[Rule]:
     return [r for r in RULES.values() if r.family == "hazard"]
+
+
+def fusion_rules() -> list[Rule]:
+    return [r for r in RULES.values() if r.family == "fusion"]

@@ -359,6 +359,29 @@ def _corrupt_conflicting_publish(plan: Plan, context: LintContext):
     return bad, context
 
 
+def _corrupt_unfused_chain(plan: Plan, context: LintContext):
+    """Replace the plan outright: a two-rung cellwise ladder whose
+    intermediate is needlessly published as a program output, so the
+    optimizer's fusion pass must leave the chain unfused.  The plan is
+    genuinely optimized -- it carries the pipeline's certificates, the
+    fusion evidence DM401 gates on -- and the needless publish is the
+    defect."""
+    from repro.planopt.pipeline import optimize_plan
+
+    pb = ProgramBuilder()
+    A = pb.random("A", (16, 16))
+    B = pb.random("B", (16, 16))
+    C = pb.assign("C", A * B)
+    pb.output(C)  # the needless publish that blocks fusion
+    pb.output(pb.assign("D", C / B))
+    bad = optimize_plan(
+        plan_for(pb.build(), context),
+        num_workers=context.num_workers,
+        estimation_mode=context.estimation_mode,
+    )
+    return bad, context
+
+
 CORRUPTIONS: tuple[Corruption, ...] = (
     Corruption("transposed declared dimensions", "DM101", _corrupt_shape),
     Corruption("mutated matmul strategy", "DM102", _corrupt_scheme),
@@ -375,6 +398,7 @@ CORRUPTIONS: tuple[Corruption, ...] = (
     Corruption("overweight cache pin set", "DM206", _corrupt_cache_pins),
     Corruption("reordered scalar producer", "DM301", _corrupt_scalar_order),
     Corruption("conflicting double publish", "DM302", _corrupt_conflicting_publish),
+    Corruption("needlessly published intermediate", "DM401", _corrupt_unfused_chain),
 )
 
 assert {c.rule for c in CORRUPTIONS} == set(RULES), "every rule needs a corruption"

@@ -33,6 +33,7 @@ from repro.blocks import ops as block_ops
 from repro.blocks.dense import DenseBlock
 from repro.blocks.ops import Block
 from repro.errors import SchemeError, ShapeError
+from repro.kernels.fused import FusedChain
 from repro.matrix.distributed import BlockKey, DistributedMatrix
 from repro.matrix.schemes import Scheme
 from repro.rdd.rdd import RDD
@@ -301,6 +302,55 @@ def cellwise_op(
     )
     rdd = RDD(context, partitions, partitioner)
     return a.with_scheme_rdd(rdd, a.scheme)
+
+
+def fused_cellwise_op(
+    chain: FusedChain,
+    operands: tuple[DistributedMatrix, ...],
+) -> DistributedMatrix:
+    """Fused cell-wise chain over aligned operands: one composed kernel per
+    block, no intermediate distributed materialisation.
+
+    All operands must share shape, block size and scheme (each fused inner
+    step was an aligned cell-wise operator, so the chain inherits the same
+    alignment requirement); the result inherits that scheme with zero
+    traffic, exactly like :func:`cellwise_op`.
+    """
+    first = operands[0]
+    for other in operands[1:]:
+        if other.shape != first.shape:
+            raise ShapeError(
+                f"fused cell-wise chain requires equal shapes, "
+                f"got {first.shape} / {other.shape}"
+            )
+        if other.block_size != first.block_size:
+            raise ShapeError("cell-wise operands must share a block size")
+        if other.scheme is not first.scheme:
+            raise SchemeError(
+                f"fused cell-wise chain requires aligned schemes, "
+                f"got {first.scheme} / {other.scheme}"
+            )
+    context = first.context
+
+    def compute(worker: int) -> list[tuple[BlockKey, Block]]:
+        engine = context.engines[worker]
+        grids = tuple(operand.worker_grid(worker) for operand in operands)
+        for grid in grids:
+            engine.register_grid(grid)
+        gc = engine.fused_cellwise_grids(chain, grids)
+        for grid in grids:
+            engine.release_grid(grid)
+        engine.release_grid(gc)
+        return sorted(gc.items())
+
+    partitions = _per_worker_compute(first, compute)
+    partitioner = (
+        first.scheme.partitioner(context.num_workers)
+        if first.scheme.is_one_dimensional
+        else None
+    )
+    rdd = RDD(context, partitions, partitioner)
+    return first.with_scheme_rdd(rdd, first.scheme)
 
 
 def scalar_op_matrix(

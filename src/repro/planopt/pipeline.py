@@ -9,7 +9,9 @@ an ``AppliedRewrite`` audit trail in ``plan.rewrites``.
 The default pipeline interleaves CSE, repartition coalescing and dead-step
 elimination to a fixpoint -- coalescing exposes new common subexpressions
 and strands dead conversions, so one round is rarely enough -- then runs
-loop-invariant hoisting last, once the surviving step set is final.
+loop-invariant hoisting once the surviving step set is final, and finally
+cellwise fusion (:mod:`repro.planopt.fuse`), which must see the final
+cache-pin set and whose fused chain payloads no renaming pass may touch.
 
 Custom rewrites plug in through the :class:`Pass` protocol; later PRs add
 passes by appending to ``DEFAULT_PASSES`` or handing ``optimize_plan`` an
@@ -32,6 +34,7 @@ from repro.planopt.common import (
 )
 from repro.planopt.cse import eliminate_common_steps
 from repro.planopt.dce import eliminate_dead_steps
+from repro.planopt.fuse import fuse_cellwise_chains
 from repro.planopt.hoist import pin_loop_invariants
 
 #: Cap on CSE/coalesce/DCE fixpoint rounds.
@@ -87,11 +90,19 @@ class HoistPass:
         return pin_loop_invariants(plan)
 
 
+class FusePass:
+    name = "fuse"
+
+    def run(self, plan: Plan, context: PassContext) -> list[AppliedRewrite]:
+        return fuse_cellwise_chains(plan)
+
+
 DEFAULT_PASSES: tuple[Pass, ...] = (
     CSEPass(),
     CoalescePass(),
     DeadStepPass(),
     HoistPass(),
+    FusePass(),
 )
 
 
@@ -123,7 +134,12 @@ def optimize_plan(
     rewrites: list[AppliedRewrite] = list(optimized.rewrites)
     certificates: list = list(optimized.certificates)
     hoisters = [p for p in pipeline if isinstance(p, HoistPass)]
-    rounds = [p for p in pipeline if not isinstance(p, HoistPass)]
+    # Fusion runs dead last: it must see the final cache-pin set, and the
+    # instance-renaming passes cannot see inside a fused chain payload.
+    fusers = [p for p in pipeline if isinstance(p, FusePass)]
+    rounds = [
+        p for p in pipeline if not isinstance(p, (HoistPass, FusePass))
+    ]
 
     def run_validated(the_pass: Pass) -> list[AppliedRewrite]:
         snapshot = clone_plan(optimized) if validate else None
@@ -149,6 +165,8 @@ def optimize_plan(
         if not changed:
             break
     for the_pass in hoisters:
+        rewrites.extend(run_validated(the_pass))
+    for the_pass in fusers:
         rewrites.extend(run_validated(the_pass))
     toposort_steps(optimized)
     recompute_predicted_bytes(optimized, num_workers, estimation_mode)

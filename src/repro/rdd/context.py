@@ -43,6 +43,9 @@ class ClusterContext:
                 threads=self.config.threads_per_worker,
                 inplace=self.config.inplace,
                 memory_limit_bytes=self.config.memory_limit_bytes,
+                batched_matmul=getattr(self.config, "batched_matmul", True),
+                strassen=getattr(self.config, "strassen", False),
+                strassen_min_size=getattr(self.config, "strassen_min_size", 128),
             )
             for __ in range(self.config.num_workers)
         ]

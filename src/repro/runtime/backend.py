@@ -25,12 +25,14 @@ from repro.core.plan import Plan
 from repro.errors import ExecutionError
 from repro.lang.program import FullOp, LoadOp, RandomOp
 from repro.matrix.distributed import DistributedMatrix
+from repro.kernels.fused import FusedChain
 from repro.matrix.primitives import (
     broadcast_matrix,
     cellwise_op,
     col_sums,
     cpmm,
     extract,
+    fused_cellwise_op,
     local_transpose,
     matrix_sq_sum,
     matrix_sum,
@@ -76,6 +78,10 @@ class Backend(Protocol):
 
     def cellwise(
         self, op: str, left: DistributedMatrix, right: DistributedMatrix
+    ) -> DistributedMatrix: ...
+
+    def fused_cellwise(
+        self, chain: FusedChain, operands: tuple[DistributedMatrix, ...]
     ) -> DistributedMatrix: ...
 
     def scalar_op(
@@ -205,6 +211,11 @@ class SimulatedBackend:
         self, op: str, left: DistributedMatrix, right: DistributedMatrix
     ) -> DistributedMatrix:
         return cellwise_op(op, left, right)
+
+    def fused_cellwise(
+        self, chain: FusedChain, operands: tuple[DistributedMatrix, ...]
+    ) -> DistributedMatrix:
+        return fused_cellwise_op(chain, operands)
 
     def scalar_op(
         self, op: str, source: DistributedMatrix, value: float

@@ -65,6 +65,9 @@ class ExecutionResult:
     num_stages: int
     peak_memory_bytes: int  # largest per-worker model-byte peak
     wall_seconds: float  # real elapsed time of the in-process run
+    #: Block pairs this run dispatched through the engines' batched BLAS
+    #: path (0 when batching is off or no stage had a regular dense grid).
+    batched_pairs: int = 0
     trace: list[StepTrace] | None = None  # per-step records (trace=True)
     stage_timings: list[StageTiming] | None = None  # simulated stage schedule
     critical_path: tuple[int, ...] = ()  # stage-graph nodes charged to the clock
@@ -147,6 +150,14 @@ class ExecutionState:
     def traces_in_plan_order(self) -> list[StepTrace]:
         with self._lock:
             return [self._traces[i] for i in sorted(self._traces)]
+
+
+def _batched_pairs_total(backend) -> int:
+    """Cumulative batched-BLAS pair count across the backend's engines."""
+    return sum(
+        getattr(stats, "batched_pairs", 0)
+        for stats in backend.flop_sources().values()
+    )
 
 
 class PlanExecutor:
@@ -279,6 +290,7 @@ class PlanExecutor:
         }
 
         bytes_before = backend.ledger.snapshot()
+        batched_before = _batched_pairs_total(backend)
         records_before = len(backend.ledger.records()) if tracer is not None else 0
         clock_window = backend.clock.begin_window() if tracer is not None else None
         wall_start = time.perf_counter()
@@ -332,6 +344,7 @@ class PlanExecutor:
             matrices=matrices,
             scalars={name: scalars[name] for name in plan.program.scalar_outputs},
             comm_bytes=backend.ledger.snapshot() - bytes_before,
+            batched_pairs=_batched_pairs_total(backend) - batched_before,
             time=dataclasses.replace(report.elapsed),
             num_stages=plan.num_stages,
             peak_memory_bytes=backend.peak_memory_bytes(),
@@ -362,6 +375,8 @@ class PlanExecutor:
                 inplace=getattr(config, "inplace", True),
                 max_concurrent_stages=self.max_concurrent_stages,
                 graph=graph,
+                strassen=getattr(config, "strassen", False),
+                strassen_min_size=getattr(config, "strassen_min_size", 128),
             ).peak_bytes
         except ReproError:
             return None

@@ -30,6 +30,7 @@ from repro.core.plan import (
     AggregateStep,
     CellwiseStep,
     ExtendedStep,
+    FusedCellwiseStep,
     MatMulStep,
     MatrixInstance,
     Plan,
@@ -111,6 +112,14 @@ def _run_cellwise(step: CellwiseStep, state: "ExecutionState") -> None:
     state.resources.publish(step.output, state.backend.cellwise(step.op.op, left, right))
 
 
+def _run_fused_cellwise(step: FusedCellwiseStep, state: "ExecutionState") -> None:
+    from repro.kernels.fused import lower_chain
+
+    chain, external = lower_chain(step)
+    operands = tuple(state.resources.get(instance) for instance in external)
+    state.resources.publish(step.output, state.backend.fused_cellwise(chain, operands))
+
+
 def _run_scalar_matrix(step: ScalarMatrixStep, state: "ExecutionState") -> None:
     source = state.resources.get(step.source)
     scalar = step.op.scalar
@@ -176,6 +185,14 @@ def _shape_cellwise(step: CellwiseStep, shapes: dict) -> Optional[Shape]:
     return shapes.get(step.left) or shapes.get(step.right)
 
 
+def _shape_fused_cellwise(step: FusedCellwiseStep, shapes: dict) -> Optional[Shape]:
+    for instance in step.inputs():
+        shape = shapes.get(instance)
+        if shape is not None:
+            return shape
+    return None
+
+
 def _shape_from_source(step, shapes: dict) -> Optional[Shape]:
     return shapes.get(step.source)
 
@@ -231,6 +248,15 @@ _SPECS = (
         kernel=_run_cellwise,
         shape_rule=_shape_cellwise,
         edge_label=lambda step: step.op.op,
+    ),
+    OperatorSpec(
+        name="fused-cellwise",
+        step_type=FusedCellwiseStep,
+        op_types=(),  # emitted by the optimizer's fusion pass, not the planner
+        plan_hook="",
+        kernel=_run_fused_cellwise,
+        shape_rule=_shape_fused_cellwise,
+        edge_label=lambda step: "fused:" + ",".join(step.ops),
     ),
     OperatorSpec(
         name="scalar-matrix",

@@ -33,6 +33,7 @@ from repro.core.plan import (
     AggregateStep,
     CellwiseStep,
     ExtendedStep,
+    FusedCellwiseStep,
     MatMulStep,
     MatrixInstance,
     Plan,
@@ -113,6 +114,7 @@ OBLIGATIONS: Tuple[str, ...] = (
     "scalar-equivalence",
     "shape-agreement",
     "pins-produced",
+    "fusion-chain-equivalence",
 )
 
 
@@ -228,6 +230,21 @@ def value_summary(plan: Plan) -> ValueSummary:
             physical = term("@", read(step.left), read(step.right))
         elif isinstance(step, CellwiseStep):
             physical = term("cw", step.op.op, read(step.left), read(step.right))
+        elif isinstance(step, FusedCellwiseStep):
+            # Replay the fused chain symbolically: the fused step's value is
+            # *defined* as the composition of its original cellwise steps, so
+            # fusing provably cannot invent a new value.  Intermediates live
+            # only in this local environment -- like the kernel, nothing is
+            # published.
+            local: Dict[MatrixInstance, ValueKey] = {}
+            for inner in step.chain:
+                local[inner.output] = term(
+                    "cw",
+                    inner.op.op,
+                    local.get(inner.left, read(inner.left)),
+                    local.get(inner.right, read(inner.right)),
+                )
+            physical = local[step.chain[-1].output]
         elif isinstance(step, ScalarMatrixStep):
             physical = term(
                 "sm", step.op.op, scalar_term(step.op.scalar), read(step.source)
@@ -378,6 +395,18 @@ def certify(
             failures.append(
                 f"shape-agreement: output {name!r} shape fact changed: "
                 f"{shape_before} -> {shape_after}"
+            )
+
+    for step in after.steps:
+        if not isinstance(step, FusedCellwiseStep):
+            continue
+        name = step.output.name
+        key_before = summary_before.matrices.get(name)
+        key_after = summary_after.matrices.get(name)
+        if key_before is None or key_before != key_after:
+            failures.append(
+                f"fusion-chain-equivalence: fused step for {step.output} does "
+                "not replay to the pre-rewrite value of its chain"
             )
 
     produced = {

@@ -50,6 +50,7 @@ from repro.blocks.memory import (
 from repro.core.estimator import SizeEstimator
 from repro.core.plan import (
     CellwiseStep,
+    FusedCellwiseStep,
     MatMulStep,
     MatrixInstance,
     Plan,
@@ -227,6 +228,8 @@ def _transient_bytes(
     block_size: int,
     threads_per_worker: int,
     inplace: bool,
+    strassen: bool = False,
+    strassen_min_size: int = 128,
 ) -> int:
     """Tracker bytes this step holds on one worker while it runs."""
     if isinstance(step, MatMulStep):
@@ -250,13 +253,37 @@ def _transient_bytes(
             partials = min(in_flight, all_partials)
         else:  # the Buffer strategy holds every partial until the merge
             partials = all_partials
-        return operands + result + partials
+        extra = 0
+        if strassen:
+            # Strassen's recursion holds padded operand copies plus seven
+            # half-size products per in-flight block product -- physical
+            # temporaries beyond the tracker's model, charged here so the
+            # admission bound stays sound when the kernel is enabled.
+            from repro.core.strategies import choose_local_matmul
+
+            chosen = choose_local_matmul(
+                block_size,
+                block_size,
+                block_size,
+                strassen=True,
+                crossover=strassen_min_size,
+            )
+            if chosen.name == "strassen":
+                extra = threads_per_worker * chosen.temp_bytes
+        return operands + result + partials + extra
     if isinstance(step, CellwiseStep):
         return (
             sizer.share(step.left)
             + sizer.share(step.right)
             + sizer.share(step.output)
         )
+    if isinstance(step, FusedCellwiseStep):
+        # The fused kernel registers every external operand grid and the
+        # final result; chain intermediates are per-block temporaries that
+        # never reach the tracker.
+        return sum(
+            sizer.share(instance) for instance in step.inputs()
+        ) + sizer.share(step.output)
     if isinstance(step, ScalarMatrixStep):
         if _scalar_matrix_densifies(step):
             # Zero-fill: the registered operand grid carries its sparse
@@ -280,6 +307,8 @@ def predict_peak_memory(
     estimation_mode: str = "worst",
     analysis: Optional[PlanAnalysis] = None,
     graph: Optional[StageGraph] = None,
+    strassen: bool = False,
+    strassen_min_size: int = 128,
 ) -> MemoryPrediction:
     """Predict the per-worker tracker high-water mark for a plan.
 
@@ -297,7 +326,10 @@ def predict_peak_memory(
     sizer = _Sizer(plan, analysis, block_size, num_workers, estimation_mode)
 
     transients = [
-        _transient_bytes(step, sizer, block_size, threads_per_worker, inplace)
+        _transient_bytes(
+            step, sizer, block_size, threads_per_worker, inplace,
+            strassen=strassen, strassen_min_size=strassen_min_size,
+        )
         for step in plan.steps
     ]
 

@@ -1,0 +1,100 @@
+"""Behaviour of the standalone benchmark runner (``benchmarks/run_all.py``)
+and the harness's structured table sidecars it consolidates."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load_module(name, relative):
+    spec = importlib.util.spec_from_file_location(name, REPO / relative)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def run_all(tmp_path, monkeypatch):
+    module = load_module("run_all_under_test", "benchmarks/run_all.py")
+    monkeypatch.setattr(module, "RESULTS_DIR", tmp_path)
+    monkeypatch.setattr(module, "SUMMARY_PATH", tmp_path / "BENCH_summary.json")
+    return module
+
+
+class TestUnknownExperiments:
+    def test_unknown_only_errors_with_valid_names(self, run_all, capsys):
+        assert run_all.main(["--only", "nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiments: nonsense" in err
+        assert "valid names:" in err
+        for name in run_all.EXPERIMENTS:
+            assert name in err
+
+    def test_unknown_positional_errors_too(self, run_all, capsys):
+        assert run_all.main(["fig6", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_list_enumerates_experiments(self, run_all, capsys):
+        assert run_all.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fusedkernels" in out
+        assert "bench_fused_kernels.py" in out
+
+
+class TestSummary:
+    def test_write_summary_persists_entries(self, run_all):
+        entries = [
+            {
+                "experiment": "fig6",
+                "file": "bench_fig6_gnmf.py",
+                "wall_clock_seconds": 1.5,
+                "returncode": 0,
+                "tables": [{"name": "fig6_gnmf", "rows": []}],
+            }
+        ]
+        run_all.write_summary(entries)
+        summary = json.loads(run_all.SUMMARY_PATH.read_text())
+        assert summary["suite"] == "dmac-paper-reproduction"
+        assert summary["python"]
+        assert summary["experiments"] == entries
+
+    def test_refreshed_tables_reports_only_new_writes(self, run_all):
+        stale = run_all.RESULTS_DIR / "old.json"
+        stale.write_text(json.dumps({"name": "old"}))
+        before = run_all._table_stamps()
+        fresh = run_all.RESULTS_DIR / "fresh.json"
+        fresh.write_text(json.dumps({"name": "fresh"}))
+        tables = run_all._refreshed_tables(before)
+        assert [table["name"] for table in tables] == ["fresh"]
+
+    def test_refreshed_tables_skips_the_summary_itself(self, run_all):
+        run_all.write_summary([])
+        assert run_all._refreshed_tables({}) == []
+
+
+class TestHarnessSidecar:
+    def test_report_writes_structured_json(self, tmp_path, monkeypatch):
+        harness = load_module("harness_under_test", "benchmarks/harness.py")
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        harness.report(
+            "sample",
+            "Sample table",
+            ["metric", "value"],
+            [["speedup", 1.5]],
+            notes="a note",
+            seed=13,
+        )
+        structured = json.loads((tmp_path / "sample.json").read_text())
+        assert structured == {
+            "name": "sample",
+            "title": "Sample table",
+            "headers": ["metric", "value"],
+            "rows": [["speedup", "1.5"]],
+            "notes": "a note",
+            "seed": 13,
+        }
+        assert (tmp_path / "sample.txt").read_text().startswith("Sample table")
