@@ -51,6 +51,7 @@ EXPERIMENTS = {
     "verifyoverhead": "bench_verify_overhead.py",
     "compileoverhead": "bench_compile_overhead.py",
     "serve": "bench_serve_throughput.py",
+    "elastic": "bench_elastic.py",
     "fusedkernels": "bench_fused_kernels.py",
 }
 

@@ -85,6 +85,19 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--strassen-min-size", type=int, default=128,
                         help="dense-size crossover below which block products "
                              "stay on the naive BLAS kernel")
+    parser.add_argument("--backend", choices=["simulated", "elastic"],
+                        default="simulated",
+                        help="execution substrate: the static simulated "
+                             "cluster, or the elastic worker pool whose "
+                             "members may join and leave between stages")
+    parser.add_argument("--elastic", default=None, metavar="SPEC",
+                        help="membership timeline for --backend elastic, "
+                             "e.g. 'join@2:count=2; leave@5:worker=0' "
+                             "(kinds: join, leave; see repro.elastic.spec)")
+    parser.add_argument("--elastic-seed", type=int, default=0,
+                        help="seed of the elastic pool's rendezvous slot "
+                             "assignment (same seed + timeline = "
+                             "byte-identical runs)")
 
 
 def _session(args: argparse.Namespace) -> DMacSession:
@@ -96,6 +109,9 @@ def _session(args: argparse.Namespace) -> DMacSession:
             batched_matmul=getattr(args, "batched_matmul", True),
             strassen=getattr(args, "strassen", False),
             strassen_min_size=getattr(args, "strassen_min_size", 128),
+            backend=getattr(args, "backend", "simulated"),
+            elastic=getattr(args, "elastic", None),
+            elastic_seed=getattr(args, "elastic_seed", 0),
         ),
         optimize=getattr(args, "optimize", False),
     )
@@ -138,6 +154,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.compare and staged:
         print("run --compare: the SystemML-S baseline cannot execute a "
               "staged convergence loop", file=sys.stderr)
+        return EXIT_PARSE_ERROR
+    if args.compare and getattr(args, "backend", "simulated") == "elastic":
+        print("run --compare: the SystemML-S baseline runs on the static "
+              "backend; drop --backend elastic to compare", file=sys.stderr)
         return EXIT_PARSE_ERROR
     session = _session(args)
     tracer = None
@@ -184,6 +204,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if staged:
             report["staged"] = True
             report["segments"] = result.num_segments
+        if result.elastic is not None:
+            report["elastic"] = result.elastic
         if baseline is not None:
             report["baseline_comm_bytes"] = baseline.comm_bytes
             report["baseline_simulated_seconds"] = baseline.simulated_seconds
@@ -197,6 +219,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(json.dumps(report, indent=2))
         return 0
     _report(f"DMac {args.app}", result, baseline)
+    if result.elastic is not None:
+        summary = result.elastic
+        print(f"elastic: {summary['initial_members']} -> "
+              f"{summary['final_members']} members over {summary['slots']} "
+              f"slots, {summary['worker_seconds']:.3f} worker-s "
+              f"(fixed cluster: {summary['slot_seconds']:.3f}), "
+              f"{summary['rebalance_bytes'] / 1e6:.3f} MB rebalanced")
+        for event in summary["events"]:
+            print(f"  {event}")
     if staged:
         print(result.describe())
     if svd_names is not None:
@@ -478,7 +509,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     reports = [
         (label, verify_plan(
             plan,
-            num_workers=args.workers,
+            num_workers=session.config.num_workers,
             threads_per_worker=args.threads,
             block_size=args.block_size,
             target=label,
@@ -555,6 +586,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             speculation_multiplier=args.speculation,
         ),
+        backend=getattr(args, "backend", "simulated"),
+        elastic=getattr(args, "elastic", None),
+        elastic_seed=getattr(args, "elastic_seed", 0),
     )
     # Two fresh sessions: the clean reference and the faulted run share
     # nothing but the program, the inputs and the config.
@@ -675,6 +709,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     num_workers=args.workers,
                     threads_per_worker=args.threads,
                     block_size=args.block_size,
+                    backend=args.backend,
+                    elastic=args.elastic,
+                    elastic_seed=args.elastic_seed,
                 ),
                 plan_cache_entries=args.cache_entries,
                 optimize=args.optimize,
@@ -923,6 +960,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=4)
     serve.add_argument("--threads", type=int, default=4)
     serve.add_argument("--block-size", type=int, default=None)
+    serve.add_argument("--backend", choices=["simulated", "elastic"],
+                       default="simulated",
+                       help="execution substrate for scriptless mode "
+                            "(see `repro run --backend`)")
+    serve.add_argument("--elastic", default=None, metavar="SPEC",
+                       help="membership timeline for --backend elastic")
+    serve.add_argument("--elastic-seed", type=int, default=0,
+                       help="elastic pool rendezvous seed")
     serve.add_argument("--optimize", action=argparse.BooleanOptionalAction,
                        default=False)
     serve.set_defaults(func=_cmd_serve)

@@ -139,6 +139,15 @@ class ClusterConfig:
             naive kernel only to relative tolerance), hence off by default.
         strassen_min_size: dense-size crossover below which block products
             always use the naive BLAS kernel.
+        backend: execution substrate -- ``"simulated"`` (the static
+            cluster) or ``"elastic"`` (the :mod:`repro.elastic` worker
+            pool, whose members may join and leave between stages).
+        elastic: membership-timeline spec for the elastic backend (the
+            ``--elastic`` grammar, e.g. ``"join@2; leave@5"``); ``None``
+            or ``""`` runs the elastic pool with static membership.
+            Only meaningful with ``backend="elastic"``.
+        elastic_seed: seed of the pool's rendezvous slot assignment (same
+            seed + same timeline = byte-identical runs).
     """
 
     num_workers: int = 4
@@ -154,6 +163,9 @@ class ClusterConfig:
     batched_matmul: bool = True
     strassen: bool = False
     strassen_min_size: int = 128
+    backend: str = "simulated"
+    elastic: str | None = None
+    elastic_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -184,4 +196,12 @@ class ClusterConfig:
         if self.strassen_min_size < 2:
             raise ClusterError(
                 f"strassen_min_size must be >= 2, got {self.strassen_min_size}"
+            )
+        if self.backend not in ("simulated", "elastic"):
+            raise ClusterError(
+                f"backend must be 'simulated' or 'elastic', got {self.backend!r}"
+            )
+        if self.elastic and self.backend != "elastic":
+            raise ClusterError(
+                "an elastic membership timeline requires backend='elastic'"
             )

@@ -1,0 +1,41 @@
+"""repro.elastic: an elastic worker pool for the simulated cluster.
+
+Stateless workers pull block work from the static *slot* topology and may
+join or leave between (and during) stages, driven by a seeded
+deterministic membership timeline (the ``--elastic`` grammar).  See
+``docs/elastic.md`` for the membership grammar, the slot/member split,
+the elasticity policies and the determinism contract.
+"""
+
+from repro.elastic.backend import ElasticBackend
+from repro.elastic.context import ElasticClusterContext
+from repro.elastic.policies import (
+    CostCappedPolicy,
+    ElasticityPolicy,
+    FixedPolicy,
+    LoadTrackingPolicy,
+    plan_stage_flop_weights,
+    plan_stage_weights,
+    timeline_spec,
+)
+from repro.elastic.pool import ElasticPool, Transition
+from repro.elastic.spec import EVENT_KINDS, ElasticEvent, parse_elastic_spec
+from repro.errors import ElasticSpecError
+
+__all__ = [
+    "EVENT_KINDS",
+    "CostCappedPolicy",
+    "ElasticBackend",
+    "ElasticClusterContext",
+    "ElasticEvent",
+    "ElasticPool",
+    "ElasticityPolicy",
+    "FixedPolicy",
+    "LoadTrackingPolicy",
+    "Transition",
+    "parse_elastic_spec",
+    "plan_stage_flop_weights",
+    "plan_stage_weights",
+    "ElasticSpecError",
+    "timeline_spec",
+]

@@ -1,0 +1,177 @@
+"""The elastic execution backend.
+
+:class:`ElasticBackend` runs plans on an
+:class:`~repro.elastic.context.ElasticClusterContext` and applies the
+pool's membership timeline as stages execute:
+
+* before a stage-graph node runs, every timeline event due at or before
+  its (cumulative) stage is applied;
+* a **leave** loses the departed member's in-memory blocks: live
+  partitioned instances with blocks on its slots are invalidated, and the
+  first consumer recomputes them through lineage recovery (broadcast
+  replicas survive -- every member holds a full copy);
+* a **join** rendezvous-moves the joiner's fair share of slots: live
+  blocks on the moved slots are shipped to the joiner, metered as
+  ``rebalance`` traffic, and each joiner additionally fetches a replica
+  of every live broadcast matrix.
+
+Transition application is idempotent under stage retries: invalidation
+scans the *current* live set (an instance lost by a failed attempt is
+simply absent the second time), and the pool's cursor only advances once
+the side effects have completed.
+
+All of this is driven by the executor's ``begin_node`` hook; the kernels,
+the primitives and the ledger are exactly the static backend's.
+"""
+
+from __future__ import annotations
+
+from repro.elastic.context import ElasticClusterContext
+from repro.elastic.pool import ElasticPool, Transition
+from repro.matrix.distributed import DistributedMatrix
+from repro.matrix.schemes import Scheme
+from repro.rdd.sizeof import model_sizeof
+from repro.runtime.backend import SimulatedBackend
+from repro.runtime.graph import StageNode
+from repro.runtime.resources import ResourceManager
+from repro.runtime.scheduler import SchedulerReport
+
+
+class ElasticBackend(SimulatedBackend):
+    """SimulatedBackend over an elastic pool of join/leave-able members."""
+
+    context: ElasticClusterContext
+
+    def __init__(self, context: ElasticClusterContext) -> None:
+        super().__init__(context)
+        #: Cumulative rebalance traffic this backend charged (model bytes).
+        self.rebalance_bytes = 0
+
+    @property
+    def pool(self) -> ElasticPool:
+        return self.context.pool
+
+    # -- block cache accounting ---------------------------------------------
+
+    def cached_bytes(self, matrix: DistributedMatrix) -> dict[int, int]:
+        """Resident bytes aggregated onto the slots' *current owner members*
+        (a member owning several slots is charged for all of them)."""
+        out: dict[int, int] = {}
+        for slot in range(self.pool.slots):
+            nbytes = sum(
+                model_sizeof(block)
+                for block in matrix.worker_grid(slot).values()
+            )
+            if nbytes:
+                member = self.pool.member_for_slot(slot)
+                out[member] = out.get(member, 0) + nbytes
+        return out
+
+    # -- membership transitions ----------------------------------------------
+
+    def begin_node(self, node: StageNode, resources: ResourceManager) -> None:
+        """Apply every timeline event due before this node's stage.
+
+        Called by the executor at the start of each stage-graph node (the
+        elastic scheduler dispatches serially, so stages see transitions in
+        a deterministic order).  Safe to call again on a retried node: each
+        transition commits only after its side effects succeeded.
+        """
+        while True:
+            transition = self.pool.next_transition(node.stage)
+            if transition is None:
+                return
+            if transition.event.kind == "leave":
+                self._apply_leave(transition, resources)
+            else:
+                self._apply_join(transition, resources)
+            self.pool.commit(transition)
+
+    def _apply_leave(
+        self, transition: Transition, resources: ResourceManager
+    ) -> None:
+        """The departed member's in-memory blocks are gone: invalidate live
+        partitioned instances with blocks on its slots (lineage recovery
+        rebuilds them on first use).  Broadcast matrices survive -- every
+        remaining member holds a full replica."""
+        lost_slots = tuple(
+            sorted(
+                slot
+                for slot, owner in transition.moved_slots.items()
+                if owner == transition.departed
+            )
+        )
+        for instance, matrix in resources.live_items():
+            if matrix.scheme is Scheme.BROADCAST:
+                continue
+            if any(matrix.worker_grid(slot) for slot in lost_slots):
+                resources.invalidate(instance)
+                if hasattr(resources, "blocks_lost"):
+                    resources.blocks_lost += 1
+
+    def _apply_join(
+        self, transition: Transition, resources: ResourceManager
+    ) -> None:
+        """Ship live blocks on the moved slots to their new owner and give
+        each joiner a replica of every live broadcast matrix; all of it is
+        metered as ``rebalance`` traffic (and subject to injected transfer
+        faults like any other transfer)."""
+        new_owner = self.pool.assignment_for(transition.members_after)
+        moved = sorted(transition.moved_slots)
+        links: dict[tuple[int, int], int] = {}
+        moved_bytes = 0
+        replica_bytes = 0
+        for __, matrix in resources.live_items():
+            if matrix.scheme is Scheme.BROADCAST:
+                replica_bytes += matrix.model_nbytes() * len(transition.joined)
+                continue
+            for slot in moved:
+                nbytes = sum(
+                    model_sizeof(block)
+                    for block in matrix.worker_grid(slot).values()
+                )
+                if nbytes:
+                    link = (transition.moved_slots[slot], new_owner[slot])
+                    links[link] = links.get(link, 0) + nbytes
+                    moved_bytes += nbytes
+        if moved_bytes:
+            self.context.transfer("rebalance", moved_bytes, links)
+            self.rebalance_bytes += moved_bytes
+        if replica_bytes:
+            self.context.transfer("rebalance", replica_bytes)
+            self.rebalance_bytes += replica_bytes
+
+    # -- reporting -----------------------------------------------------------
+
+    def elastic_summary(
+        self,
+        report: SchedulerReport,
+        *,
+        events_from: int = 0,
+        rebalance_bytes_before: int = 0,
+    ) -> dict[str, object]:
+        """What elasticity did to one run (deterministic, simulation-only).
+
+        ``worker_seconds`` integrates each node's simulated duration over
+        the members live at its (cumulative) stage -- the "cluster cost"
+        axis the elasticity benchmarks trade against throughput;
+        ``slot_seconds`` is the same integral billed at the static slot
+        count, i.e. what a fixed peak-size cluster would have cost.
+        """
+        pool = self.pool
+        worker_seconds = 0.0
+        slot_seconds = 0.0
+        for timing in report.timings:
+            live = len(pool.members_at(pool.stage_offset + timing.stage))
+            worker_seconds += timing.duration_seconds * live
+            slot_seconds += timing.duration_seconds * pool.slots
+        return {
+            "slots": pool.slots,
+            "seed": pool.seed,
+            "initial_members": pool.initial,
+            "final_members": len(pool.members),
+            "events": list(pool.applied_log[events_from:]),
+            "worker_seconds": worker_seconds,
+            "slot_seconds": slot_seconds,
+            "rebalance_bytes": self.rebalance_bytes - rebalance_bytes_before,
+        }

@@ -1,0 +1,136 @@
+"""An elastic :class:`~repro.rdd.context.ClusterContext`.
+
+The physical primitives address workers positionally -- partition ``p``
+lives on ``context.engines[p % K]`` -- so this context keeps the *slot*
+topology static (``num_workers`` is the pool's slot count, the peak
+membership of the timeline) and resolves slots to live *members* at
+engine-lookup time.  Everything the ledger records is therefore identical
+to a static ``slots``-worker cluster; only the simulated compute time
+changes, because a member owning several slots accumulates all their
+flops on one engine and becomes the slowest worker of the phase.
+
+Accounting methods that enumerate workers (flop snapshots, peak memory)
+are overridden to run over *member* engines: the inherited versions walk
+the slot view and would count a member once per slot it owns.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.config import ClusterConfig
+from repro.elastic.pool import ElasticPool
+from repro.errors import ClusterError
+from repro.localexec.engine import LocalEngine
+from repro.rdd.context import ClusterContext
+
+if TYPE_CHECKING:
+    from repro.elastic.backend import ElasticBackend
+
+
+class _SlotEngines:
+    """Sequence view mapping slot index -> the owning member's engine.
+
+    The primitives index this exactly like the static engine list; the
+    indirection through the pool's current assignment is what makes a
+    membership change take effect without moving any partition.
+    """
+
+    def __init__(self, context: "ElasticClusterContext") -> None:
+        self._context = context
+
+    def __getitem__(self, slot: int) -> LocalEngine:
+        return self._context.engine_for_slot(slot)
+
+    def __len__(self) -> int:
+        return self._context.pool.slots
+
+    def __iter__(self) -> Iterator[LocalEngine]:
+        return (self[slot] for slot in range(len(self)))
+
+
+class ElasticClusterContext(ClusterContext):
+    """Cluster context whose workers may join and leave between stages."""
+
+    def __init__(self, config: ClusterConfig, pool: ElasticPool) -> None:
+        if config.num_workers != pool.slots:
+            raise ClusterError(
+                f"elastic context config carries {config.num_workers} workers "
+                f"but the pool has {pool.slots} slots; build the config with "
+                f"num_workers == pool.slots"
+            )
+        # Engines are created for every member the timeline will *ever*
+        # admit (statically known), so flop attribution built once at run
+        # start stays valid across joins, and a departed member's counters
+        # survive for the final books.
+        super().__init__(config)
+        self.pool = pool
+        self._member_engines: dict[int, LocalEngine] = {
+            member: LocalEngine(
+                threads=config.threads_per_worker,
+                inplace=config.inplace,
+                memory_limit_bytes=config.memory_limit_bytes,
+                batched_matmul=config.batched_matmul,
+                strassen=config.strassen,
+                strassen_min_size=config.strassen_min_size,
+            )
+            for member in pool.members_ever
+        }
+        self.engines = _SlotEngines(self)  # type: ignore[assignment]
+
+    # -- topology ------------------------------------------------------------
+
+    def workers(self) -> tuple[int, ...]:
+        """Every member id the timeline ever admits.
+
+        Accounting keyed off this set (flop sources, cache charges) uses
+        stable member ids; a departed member keeps its engine -- and its
+        books -- so charges and discharges always find the same tracker.
+        """
+        return self.pool.members_ever
+
+    def engine_for_worker(self, member: int) -> LocalEngine:
+        engine = self._member_engines.get(member)
+        if engine is None:
+            raise ClusterError(f"unknown elastic member id {member}")
+        return engine
+
+    def engine_for_slot(self, slot: int) -> LocalEngine:
+        if not 0 <= slot < self.pool.slots:
+            raise ClusterError(
+                f"slot {slot} out of range for {self.pool.slots}-slot pool"
+            )
+        return self._member_engines[self.pool.member_for_slot(slot)]
+
+    def engine_for_partition(self, partition_index: int) -> LocalEngine:
+        return self.engine_for_slot(self.worker_for_partition(partition_index))
+
+    # -- clock integration ---------------------------------------------------
+
+    def flops_snapshot(self) -> dict[int, tuple[int, int]]:
+        """Per-*member* flop counters (the slot view would double-count a
+        member once per slot it owns)."""
+        return {
+            member: (engine.stats.dense_flops, engine.stats.sparse_flops)
+            for member, engine in self._member_engines.items()
+        }
+
+    # -- reporting -----------------------------------------------------------
+
+    def peak_memory_bytes(self) -> int:
+        return max(
+            engine.tracker.peak_bytes for engine in self._member_engines.values()
+        )
+
+    def peak_memory_by_worker(self) -> list[int]:
+        return [
+            self._member_engines[member].tracker.peak_bytes
+            for member in self.pool.members_ever
+        ]
+
+    # -- execution backend ---------------------------------------------------
+
+    def make_backend(self) -> "ElasticBackend":
+        from repro.elastic.backend import ElasticBackend
+
+        return ElasticBackend(self)

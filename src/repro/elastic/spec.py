@@ -1,0 +1,127 @@
+"""The ``--elastic`` membership-timeline grammar.
+
+A timeline is a list of clauses separated by ``;`` (or ``,``); each clause
+is an event kind, ``@`` and the stage it fires before, optionally followed
+by ``:key=value`` options::
+
+    join@3                       # one worker joins before stage 3
+    join@3:count=2               # two workers join before stage 3
+    leave@5                      # the youngest member leaves before stage 5
+    leave@5:worker=1             # member 1 leaves before stage 5
+    join@2; leave@6:worker=0     # a full timeline
+
+Kinds and their options:
+
+``join``
+    ``count`` new stateless workers (default 1) enter the pool and take
+    over their rendezvous share of the logical slots; live blocks on the
+    moved slots are shipped to the joiner (metered as ``rebalance``
+    traffic).
+``leave``
+    One member departs -- ``worker=<id>`` names it, the default is the
+    youngest (highest-id) live member.  Its in-memory blocks are lost;
+    instances with blocks on its slots are invalidated and recomputed
+    through lineage on first use.
+
+Stages are the plan's stage numbers (``repro stages <app>`` lists them);
+for staged convergence programs they index the *cumulative* stage count
+across segments.  Events at a stage past the plan's end simply never fire.
+The timeline is static: membership at any stage is a pure function of this
+spec, which is what keeps same-seed elastic runs byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from repro.errors import ElasticSpecError
+
+EVENT_KINDS = ("join", "leave")
+
+_KEYS_BY_KIND: dict[str, frozenset[str]] = {
+    "join": frozenset({"count"}),
+    "leave": frozenset({"worker"}),
+}
+
+_CLAUSE_RE = re.compile(r"^(?P<kind>[a-z]+)\s*@\s*(?P<stage>-?\d+)(?P<options>(?::[^:]+)*)$")
+
+
+@dataclasses.dataclass(frozen=True)
+class ElasticEvent:
+    """One parsed membership event."""
+
+    kind: str  # "join" | "leave"
+    stage: int  # fires before the first node of this (cumulative) stage
+    count: int = 1  # join only: how many workers enter
+    worker: int | None = None  # leave only: which member departs
+
+    def describe(self) -> str:
+        parts = [f"{self.kind}@{self.stage}"]
+        if self.kind == "join" and self.count != 1:
+            parts.append(f"count={self.count}")
+        if self.kind == "leave" and self.worker is not None:
+            parts.append(f"worker={self.worker}")
+        return ":".join(parts)
+
+
+def parse_elastic_spec(spec: str) -> tuple[ElasticEvent, ...]:
+    """Parse an ``--elastic`` string into events, ordered by stage
+    (:class:`ElasticSpecError` on malformed input).
+
+    An empty string is a valid timeline with no events: the pool then
+    behaves like the static cluster, which is the determinism baseline the
+    tests compare against.
+    """
+    events: list[ElasticEvent] = []
+    for raw in re.split(r"[;,]", spec):
+        raw = raw.strip()
+        if not raw:
+            continue
+        events.append(_parse_clause(raw))
+    # Stable sort by stage: events at the same stage apply in spec order.
+    events.sort(key=lambda event: event.stage)
+    return tuple(events)
+
+
+def _parse_clause(raw: str) -> ElasticEvent:
+    match = _CLAUSE_RE.match(raw)
+    if match is None:
+        raise ElasticSpecError(
+            f"malformed elastic clause {raw!r} (expected kind@stage[:key=value...], "
+            f"e.g. 'join@3' or 'leave@5:worker=1')"
+        )
+    kind = match.group("kind")
+    if kind not in EVENT_KINDS:
+        raise ElasticSpecError(
+            f"unknown elastic event kind {kind!r} "
+            f"(expected one of {', '.join(EVENT_KINDS)})"
+        )
+    stage = int(match.group("stage"))
+    if stage < 0:
+        raise ElasticSpecError(f"stage must be >= 0, got {stage} in {raw!r}")
+    values: dict[str, int] = {}
+    for item in filter(None, match.group("options").split(":")):
+        key, sep, value = item.partition("=")
+        key, value = key.strip(), value.strip()
+        if not sep or not key or not value:
+            raise ElasticSpecError(f"malformed option {item!r} in clause {raw!r}")
+        if key not in _KEYS_BY_KIND[kind]:
+            raise ElasticSpecError(
+                f"option {key!r} is not valid for elastic event {kind!r}"
+            )
+        if key in values:
+            raise ElasticSpecError(f"duplicate option {key!r} in clause {raw!r}")
+        try:
+            values[key] = int(value)
+        except ValueError:
+            raise ElasticSpecError(
+                f"{key} must be an integer, got {value!r} in {raw!r}"
+            ) from None
+    count = values.get("count", 1)
+    if count < 1:
+        raise ElasticSpecError(f"count must be >= 1, got {count} in {raw!r}")
+    worker = values.get("worker")
+    if worker is not None and worker < 0:
+        raise ElasticSpecError(f"worker must be >= 0, got {worker} in {raw!r}")
+    return ElasticEvent(kind=kind, stage=stage, count=count, worker=worker)

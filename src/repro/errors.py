@@ -143,8 +143,20 @@ class QueueFullError(AdmissionError):
     reason = "queue-full"
 
 
+class BacklogExceededError(AdmissionError):
+    """Admitting the job would push the queue's *predicted runtime*
+    backlog past the service cap (a time bound, not a job-count bound)."""
+
+    reason = "backlog"
+
+
 class FaultSpecError(ReproError):
     """A ``--faults`` specification string could not be parsed."""
+
+
+class ElasticSpecError(ReproError):
+    """An ``--elastic`` membership-timeline string could not be parsed, or
+    the timeline is invalid (e.g. it would empty the worker pool)."""
 
 
 class FaultInjected(ExecutionError):

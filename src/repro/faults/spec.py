@@ -21,8 +21,9 @@ Kinds and their options:
     ``stage``, ``p``, ``times``.
 ``flaky``
     Raises :class:`~repro.errors.TransferFault` (retryable) from a
-    cross-worker transfer.  Options: ``at`` (transfer kind: ``shuffle`` or
-    ``broadcast``; default any), ``stage``, ``p``, ``times``.
+    cross-worker transfer.  Options: ``at`` (transfer kind: ``shuffle``,
+    ``broadcast`` or ``rebalance``; default any), ``stage``, ``p``,
+    ``times``.
 ``straggler``
     Slows a whole stage island by ``factor`` (mitigated by speculative
     re-execution when enabled).  Options: ``stage``, ``factor`` (default 4),
@@ -51,7 +52,7 @@ _KEYS_BY_KIND = {
     "flaky": _COMMON_KEYS | {"at"},
     "straggler": _COMMON_KEYS | {"factor"},
 }
-_TRANSFER_POINTS = ("shuffle", "broadcast")
+_TRANSFER_POINTS = ("shuffle", "broadcast", "rebalance")
 
 
 @dataclasses.dataclass(frozen=True)

@@ -56,6 +56,21 @@ class ClusterContext:
     def num_workers(self) -> int:
         return self.config.num_workers
 
+    def workers(self) -> tuple[int, ...]:
+        """The live worker ids.
+
+        On the static cluster these are dense ``0..K-1`` and never change;
+        an elastic context reports its *member* ids instead, which need not
+        be dense or stable across stages.  Accounting code (block-cache
+        charges, flop attribution) must key off this set rather than
+        assuming ``range(num_workers)``.
+        """
+        return tuple(range(self.num_workers))
+
+    def engine_for_worker(self, worker: int) -> LocalEngine:
+        """The engine of one live worker id (see :meth:`workers`)."""
+        return self.engines[worker]
+
     def worker_for_partition(self, partition_index: int) -> int:
         """The worker hosting a given partition index."""
         if partition_index < 0:
@@ -88,6 +103,16 @@ class ClusterContext:
         for key, value in items:
             partitions[partitioner.partition_for(key)].append((key, value))
         return RDD(self, partitions, partitioner)
+
+    # -- execution backend -----------------------------------------------------
+
+    def make_backend(self):
+        """The :class:`~repro.runtime.backend.Backend` that executes plans
+        on this context (imported lazily: the runtime sits above the rdd
+        layer).  Subclasses pick their own backend implementation."""
+        from repro.runtime.backend import SimulatedBackend
+
+        return SimulatedBackend(self)
 
     # -- fault injection -------------------------------------------------------
 

@@ -21,8 +21,9 @@ from typing import Iterator
 
 from repro.trace.emit import active_tracer, current_stage
 
-#: The kinds of cross-worker transfer the substrate can perform.
-TRANSFER_KINDS = ("shuffle", "broadcast")
+#: The kinds of cross-worker transfer the substrate can perform
+#: ("rebalance" is the elastic pool shipping live blocks to a joiner).
+TRANSFER_KINDS = ("shuffle", "broadcast", "rebalance")
 
 #: Scope stacks per ledger instance, keyed by ``id(ledger)``.  A
 #: :mod:`contextvars` variable -- not ``threading.local`` -- so that when

@@ -254,8 +254,11 @@ class SimulatedBackend:
     # -- block cache accounting ---------------------------------------------
 
     def cached_bytes(self, matrix: DistributedMatrix) -> dict[int, int]:
+        # Keyed off the context's live worker set, not range(num_workers):
+        # an elastic context's member ids are neither dense nor stable, and
+        # charge/discharge must land on the same workers' trackers.
         out: dict[int, int] = {}
-        for worker in range(self.context.num_workers):
+        for worker in self.context.workers():
             nbytes = sum(
                 model_sizeof(block)
                 for block in matrix.worker_grid(worker).values()
@@ -265,10 +268,10 @@ class SimulatedBackend:
         return out
 
     def charge_cache(self, worker: int, nbytes: int) -> None:
-        self.context.engines[worker].tracker.allocate(nbytes)
+        self.context.engine_for_worker(worker).tracker.allocate(nbytes)
 
     def discharge_cache(self, worker: int, nbytes: int) -> None:
-        self.context.engines[worker].tracker.release(nbytes)
+        self.context.engine_for_worker(worker).tracker.release(nbytes)
 
     # -- fault injection ----------------------------------------------------
 
@@ -290,7 +293,13 @@ class SimulatedBackend:
         return self.context.config.threads_per_worker
 
     def flop_sources(self) -> dict[int, object]:
-        return {w: engine.stats for w, engine in enumerate(self.context.engines)}
+        # Worker ids come from the context's live worker set: enumerate()
+        # over the engines list would assume dense stable ids, which breaks
+        # flop attribution the moment membership can change.
+        return {
+            w: self.context.engine_for_worker(w).stats
+            for w in self.context.workers()
+        }
 
     def peak_memory_bytes(self) -> int:
         return self.context.peak_memory_bytes()

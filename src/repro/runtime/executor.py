@@ -33,7 +33,7 @@ from repro.errors import ExecutionError
 from repro.matrix.distributed import DistributedMatrix
 from repro.rdd.clock import TimeBreakdown
 from repro.rdd.context import ClusterContext
-from repro.runtime.backend import Backend, SimulatedBackend
+from repro.runtime.backend import Backend
 from repro.runtime.graph import StageGraph, StageNode
 from repro.runtime.metering import StageMeter, metered
 from repro.runtime.registry import spec_for
@@ -80,6 +80,10 @@ class ExecutionResult:
     #: computed before execution under this run's exact block size and
     #: concurrency; ``None`` if the prediction was unavailable.
     predicted_peak_memory_bytes: int | None = None
+    #: Elastic-pool summary (slots, membership events, worker-seconds,
+    #: rebalance traffic) for runs on an elastic backend; ``None`` on the
+    #: static cluster.
+    elastic: dict | None = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -163,8 +167,10 @@ def _batched_pairs_total(backend) -> int:
 class PlanExecutor:
     """Executes DMac plans on a :class:`Backend` via the stage scheduler.
 
-    The default backend is :class:`SimulatedBackend` over the given
-    :class:`ClusterContext`, preserving the historical constructor.
+    The default backend comes from ``context.make_backend()`` -- the
+    static :class:`~repro.runtime.backend.SimulatedBackend` for a plain
+    :class:`ClusterContext`, the elastic backend for an elastic context --
+    preserving the historical constructor.
     """
 
     def __init__(
@@ -175,7 +181,7 @@ class PlanExecutor:
         backend: Backend | None = None,
     ) -> None:
         self.context = context
-        self.backend = backend if backend is not None else SimulatedBackend(context)
+        self.backend = backend if backend is not None else context.make_backend()
         self.block_size = (
             block_size if block_size is not None else context.config.block_size
         )
@@ -183,6 +189,11 @@ class PlanExecutor:
             max_concurrent_stages = getattr(
                 context.config, "max_concurrent_stages", None
             )
+        if getattr(self.backend, "pool", None) is not None:
+            # Elastic runs dispatch serially: membership transitions fire
+            # between stage-graph nodes in one deterministic order.  The
+            # simulated schedule still reflects dependency-bound overlap.
+            max_concurrent_stages = 1
         self.max_concurrent_stages = max_concurrent_stages
 
     def execute(
@@ -243,6 +254,15 @@ class PlanExecutor:
             cache=cache,
         )
         resources = manager
+        pool = getattr(backend, "pool", None)
+        if pool is not None and pool.events and chaos is None:
+            # A leave loses blocks that only lineage recovery can rebuild,
+            # so elastic runs with a timeline always execute under the
+            # recovery machinery; an engine with no fault clauses never
+            # fires, keeping clean elastic runs deterministic.
+            from repro.faults.chaos import ChaosEngine
+
+            chaos = ChaosEngine(pool.seed, ())
         scheduler_kwargs: dict = {}
         recovery_log = None
         checkpoints = None
@@ -291,6 +311,10 @@ class PlanExecutor:
 
         bytes_before = backend.ledger.snapshot()
         batched_before = _batched_pairs_total(backend)
+        elastic_events_before = len(pool.applied_log) if pool is not None else 0
+        rebalance_before = (
+            backend.rebalance_bytes if pool is not None else 0
+        )
         records_before = len(backend.ledger.records()) if tracer is not None else 0
         clock_window = backend.clock.begin_window() if tracer is not None else None
         wall_start = time.perf_counter()
@@ -339,6 +363,16 @@ class PlanExecutor:
                 resources=resources,
                 checkpoints=checkpoints,
             )
+        elastic = None
+        if pool is not None:
+            elastic = backend.elastic_summary(
+                report,
+                events_from=elastic_events_before,
+                rebalance_bytes_before=rebalance_before,
+            )
+            # Staged programs run segment after segment on one pool; event
+            # stages index the cumulative stage count.
+            pool.finish_segment(plan.num_stages)
         scalars = state.scalars_snapshot()
         return ExecutionResult(
             matrices=matrices,
@@ -356,6 +390,7 @@ class PlanExecutor:
             cache=cache_stats,
             tracing=tracer,
             predicted_peak_memory_bytes=predicted_peak,
+            elastic=elastic,
         )
 
     def _predict_peak(self, plan, graph, block_size, config) -> int | None:
@@ -409,12 +444,21 @@ class PlanExecutor:
                     )
                     stack.enter_context(stage_scope(node.index, node.stage))
                 stack.enter_context(metered(meter))
+                begin_node = getattr(state.backend, "begin_node", None)
                 if chaos is None:
+                    if begin_node is not None:
+                        begin_node(node, state.resources)
                     self._run_steps(node, plan, state, worker_of_stats, trace, meter)
                 else:
                     with chaos.stage_scope(node):
                         chaos.on_stage_start()  # may raise an injected crash
                         meter.slowdown_factor = chaos.slowdown_factor()
+                        if begin_node is not None:
+                            # Elastic membership transitions due before this
+                            # stage: applied under the node's meter and chaos
+                            # scope, so rebalance traffic is charged (and
+                            # fault-injectable) like any other stage work.
+                            begin_node(node, state.resources)
                         self._run_steps(
                             node, plan, state, worker_of_stats, trace, meter
                         )

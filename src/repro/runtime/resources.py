@@ -382,6 +382,13 @@ class ResourceManager:
         with self._lock:
             return list(self._live)
 
+    def live_items(self) -> list[tuple[MatrixInstance, DistributedMatrix]]:
+        """Live (instance, matrix) pairs, without touching refcounts or the
+        cache LRU (unlike :meth:`get`).  The elastic pool scans these to
+        find blocks resident on a departing member."""
+        with self._lock:
+            return list(self._live.items())
+
     @property
     def events_dropped(self) -> int:
         """How many lifecycle events fell off the bounded log."""

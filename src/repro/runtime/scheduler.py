@@ -31,7 +31,7 @@ step kinds and attempt count (the original exception is chained as
 ``__cause__``).
 
 Speculation.  With ``speculation_multiplier`` N > 0, a node whose slowed
-duration exceeds N x the median duration of its same-stage siblings is
+duration exceeds N x the median *clean* duration of its same-stage siblings is
 re-simulated as if a speculative copy had been launched at that threshold
 on a healthy worker: the node's effective duration becomes the minimum of
 its slowed duration and ``threshold + clean duration`` (first finisher
@@ -350,28 +350,33 @@ class StageScheduler:
     ) -> list[TimeBreakdown]:
         """Re-simulate straggler nodes with a speculative healthy copy.
 
-        A copy is launched once a node runs ``N x`` the median duration of
-        its same-stage siblings; the copy needs the node's *clean* (unslowed)
-        duration, and the first finisher wins.  Deterministic: pure
-        arithmetic over the measured durations, no wall-clock involved.
+        A copy is launched once a node runs ``N x`` the median *clean*
+        (unslowed) duration of its same-stage siblings; the copy needs the
+        node's own clean duration, and the first finisher wins.  The median
+        must be over clean durations: two stragglers in one stage would
+        otherwise inflate each other's threshold and mask each other.
+        Deterministic: pure arithmetic over the measured durations, no
+        wall-clock involved.
         """
         by_stage: dict[int, list[int]] = {}
         for node in graph.nodes:
             by_stage.setdefault(node.stage, []).append(node.index)
 
+        clean_durations = [
+            sum(sum(meter.breakdown()) for meter in run.meters) + run.backoff_seconds
+            for run in runs
+        ]
         adjusted = list(durations)
         for node in graph.nodes:
             siblings = [i for i in by_stage[node.stage] if i != node.index]
             if not siblings:
                 continue
             slowed = durations[node.index].total_seconds
-            clean = sum(
-                sum(meter.breakdown()) for meter in runs[node.index].meters
-            ) + runs[node.index].backoff_seconds
+            clean = clean_durations[node.index]
             if slowed <= clean:
                 continue  # not a straggler
             threshold = self.speculation_multiplier * statistics.median(
-                durations[i].total_seconds for i in siblings
+                clean_durations[i] for i in siblings
             )
             effective = min(slowed, threshold + clean)
             if effective >= slowed:

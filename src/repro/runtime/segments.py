@@ -80,6 +80,29 @@ class StagedResult:
         """The last segment's block-cache statistics."""
         return self.segments[-1].result.cache if self.segments else None
 
+    @property
+    def elastic(self) -> dict | None:
+        """Membership accounting aggregated over all segments (``None``
+        off the elastic backend): worker/slot-seconds and rebalance bytes
+        are summed, events concatenated, membership taken at the ends."""
+        summaries = [
+            record.result.elastic
+            for record in self.segments
+            if record.result.elastic is not None
+        ]
+        if not summaries:
+            return None
+        return {
+            "slots": summaries[0]["slots"],
+            "seed": summaries[0]["seed"],
+            "initial_members": summaries[0]["initial_members"],
+            "final_members": summaries[-1]["final_members"],
+            "events": [event for s in summaries for event in s["events"]],
+            "worker_seconds": sum(s["worker_seconds"] for s in summaries),
+            "slot_seconds": sum(s["slot_seconds"] for s in summaries),
+            "rebalance_bytes": sum(s["rebalance_bytes"] for s in summaries),
+        }
+
     def describe(self) -> str:
         condition = self.program.condition.describe()
         lines = [

@@ -18,6 +18,7 @@ from repro.serve.admission import (
     AdmissionPolicy,
     Decision,
     predict_flops,
+    predict_runtime_seconds,
 )
 from repro.serve.batch import parse_batch, run_batch, synthetic_batch
 from repro.serve.client import RemoteClient, ServiceClient
@@ -49,6 +50,7 @@ __all__ = [
     "handle_request",
     "parse_batch",
     "predict_flops",
+    "predict_runtime_seconds",
     "render_report",
     "run_batch",
     "serve_forever",

@@ -13,7 +13,16 @@ Check order (first violation wins):
 1. tenant memory quota vs predicted peak  -> reject (TenantQuotaExceededError)
 2. service per-job byte/flop ceilings     -> reject (JobTooLargeError)
 3. tenant / service queue backlog caps    -> reject (QueueFullError)
-4. otherwise: "run" if the cluster is idle, else "queue"
+4. predicted-runtime backlog cap          -> reject (BacklogExceededError)
+5. otherwise: "run" if the cluster is idle, else "queue"
+
+The queue-depth checks come in two flavours: the *count* caps (3) bound
+how many jobs may wait, while ``max_backlog_seconds`` (4) bounds how much
+*predicted work* may wait -- :func:`predict_runtime_seconds` turns the
+cost model's byte/flop estimates into seconds via the cluster's simulated
+clock rates, so ten tiny jobs and one huge job are told apart.  The same
+per-job prediction drives the scheduler's optional
+shortest-predicted-job-first order (``AdmissionPolicy.spjf``).
 """
 
 from __future__ import annotations
@@ -21,9 +30,11 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
+from repro.config import ClusterConfig
 from repro.core.estimator import SizeEstimator
 from repro.errors import (
     AdmissionError,
+    BacklogExceededError,
     JobTooLargeError,
     QueueFullError,
     TenantQuotaExceededError,
@@ -69,13 +80,45 @@ def predict_flops(program: MatrixProgram, estimation_mode: str = "worst") -> int
     return total
 
 
+def predict_runtime_seconds(
+    predicted_bytes: int, predicted_flops: int, cluster: ClusterConfig
+) -> float:
+    """Planning-grade runtime estimate for one job on a given cluster.
+
+    Communication at the simulated network rate plus dense compute spread
+    over every thread of every worker -- the same rates the
+    :class:`~repro.config.ClockConfig` bills measured bytes/flops at, so
+    the estimate and the eventual charge live on one scale.  Used for the
+    admission backlog bound and shortest-predicted-job-first ordering;
+    it is *not* a promise about the measured ``simulated_seconds``.
+    """
+    clock = cluster.clock
+    network = predicted_bytes / clock.network_bytes_per_sec
+    compute = predicted_flops / (
+        clock.dense_flops_per_sec
+        * cluster.threads_per_worker
+        * cluster.num_workers
+    )
+    return network + compute
+
+
 @dataclasses.dataclass(frozen=True)
 class AdmissionPolicy:
-    """Service-wide admission ceilings (None disables a check)."""
+    """Service-wide admission ceilings (None disables a check).
+
+    ``max_backlog_seconds`` bounds the queue by *predicted runtime*
+    rather than job count: a submission is rejected when the predicted
+    runtimes already queued plus its own would exceed the cap.  ``spjf``
+    additionally makes each tenant's queue dispatch shortest predicted
+    job first (within a priority level), so a long job queues behind
+    short ones instead of blocking them.
+    """
 
     max_queued_jobs: Optional[int] = None  # across all tenants
     max_job_bytes: Optional[int] = None  # predicted communication
     max_job_flops: Optional[int] = None  # predicted compute
+    max_backlog_seconds: Optional[float] = None  # predicted-runtime backlog
+    spjf: bool = False  # shortest-predicted-job-first within a tenant
 
 
 @dataclasses.dataclass(frozen=True)
@@ -105,6 +148,8 @@ class AdmissionController:
         service_queue_depth: int,
         tenant_queue_depth: int,
         idle: bool,
+        backlog_seconds: float = 0.0,
+        predicted_seconds: Optional[float] = None,
     ) -> Decision:
         quota = tenant.memory_quota_bytes
         if quota is not None and entry.predicted_peak_bytes > quota:
@@ -145,6 +190,19 @@ class AdmissionController:
                 QueueFullError.reason,
                 f"service queue holds {service_queue_depth} jobs (cap {cap})",
             )
+        horizon = self.policy.max_backlog_seconds
+        if (
+            horizon is not None
+            and predicted_seconds is not None
+            and backlog_seconds + predicted_seconds > horizon
+        ):
+            return Decision(
+                "reject",
+                BacklogExceededError.reason,
+                f"queued work predicts {backlog_seconds:.3f} s; adding "
+                f"{predicted_seconds:.3f} s would exceed the backlog "
+                f"horizon {horizon:.3f} s",
+            )
         return Decision("run" if idle else "queue")
 
     @staticmethod
@@ -154,6 +212,7 @@ class AdmissionController:
             TenantQuotaExceededError.reason: TenantQuotaExceededError,
             JobTooLargeError.reason: JobTooLargeError,
             QueueFullError.reason: QueueFullError,
+            BacklogExceededError.reason: BacklogExceededError,
         }
         cls = classes.get(decision.reason or "", AdmissionError)
         return cls(decision.detail or "job rejected", tenant=tenant)

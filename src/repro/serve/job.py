@@ -114,6 +114,7 @@ class JobRecord:
     predicted_bytes: Optional[int] = None
     predicted_flops: Optional[int] = None
     predicted_peak_bytes: Optional[int] = None
+    predicted_seconds: Optional[float] = None  # admission runtime estimate
 
     # Plan-cache outcome for this submission.
     plan_cache: Optional[str] = None  # "hit" | "miss" | "bypass"
@@ -168,6 +169,7 @@ class JobRecord:
             "predicted_bytes": self.predicted_bytes,
             "predicted_flops": self.predicted_flops,
             "predicted_peak_bytes": self.predicted_peak_bytes,
+            "predicted_seconds": self.predicted_seconds,
             "plan_cache": self.plan_cache,
             "plan_hashes": list(self.plan_hashes),
             "submitted_sim_seconds": self.submitted_sim_seconds,

@@ -12,7 +12,11 @@ submissions are or how large its individual jobs run.
 Within one tenant's queue, higher ``priority`` dispatches first and equal
 priorities run FIFO -- priority is a *tenant-local* knob and cannot starve
 other tenants, because cross-tenant ordering is decided purely by pass
-values.
+values.  With ``spjf=True`` (set from
+:attr:`~repro.serve.admission.AdmissionPolicy.spjf`) equal priorities
+instead order by the admission controller's predicted runtime, shortest
+first, so one long job queues behind the short ones it would otherwise
+delay; ties still break FIFO.
 
 A tenant that goes idle and returns would, with a stale small pass value,
 be owed a huge catch-up burst; re-anchoring its pass at the current
@@ -33,10 +37,11 @@ from repro.serve.job import JobRecord
 class StrideScheduler:
     """Deterministic weighted fair queueing across tenants."""
 
-    def __init__(self, weights: dict[str, float]) -> None:
+    def __init__(self, weights: dict[str, float], spjf: bool = False) -> None:
         if not weights:
             raise ServiceError("stride scheduler needs at least one tenant")
         self._weights = dict(weights)
+        self._spjf = spjf
         self._pass: dict[str, float] = {name: 0.0 for name in weights}
         self._queues: dict[str, collections.deque] = {
             name: collections.deque() for name in weights
@@ -63,12 +68,17 @@ class StrideScheduler:
                 self._pass[record.tenant] = max(
                     self._pass[record.tenant], min(backlogged)
                 )
-        # Sorted insert by (-priority, arrival): a deque stays cheap at the
-        # service's queue depths and keeps pops O(1).
-        item = (-record.priority, next(self._arrivals), record)
+        # Sorted insert by (-priority, cost, arrival): a deque stays cheap
+        # at the service's queue depths and keeps pops O(1).  The cost key
+        # is 0 unless SPJF is on, in which case it is the admission
+        # controller's predicted runtime (shortest first).
+        cost = 0.0
+        if self._spjf and record.predicted_seconds is not None:
+            cost = record.predicted_seconds
+        item = (-record.priority, cost, next(self._arrivals), record)
         position = len(queue)
         for index, existing in enumerate(queue):
-            if item[:2] < existing[:2]:
+            if item[:3] < existing[:3]:
                 position = index
                 break
         queue.insert(position, item)
@@ -91,7 +101,7 @@ class StrideScheduler:
         if not backlogged:
             return None
         chosen = min(backlogged, key=lambda name: (self._pass[name], name))
-        return self._queues[chosen].popleft()[2]
+        return self._queues[chosen].popleft()[-1]
 
     def charge(self, tenant: str, simulated_seconds: float) -> None:
         """Advance a tenant's pass by the job's weighted duration."""

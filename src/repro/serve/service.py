@@ -34,7 +34,12 @@ from repro.frontend.staged import StagedProgram
 from repro.lang.program import MatrixProgram
 from repro.programs.registry import WorkloadParams, build_workload
 from repro.serve.accounting import Accountant
-from repro.serve.admission import AdmissionController, AdmissionPolicy, Decision
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    Decision,
+    predict_runtime_seconds,
+)
 from repro.serve.job import JobRecord, JobSpec, TenantSpec
 from repro.serve.plancache import CacheEntry, PlanCache, plan_for_cache
 from repro.serve.scheduler import StrideScheduler
@@ -88,7 +93,8 @@ class MatrixService:
         self.plan_cache = PlanCache(config.plan_cache_entries)
         self.admission = AdmissionController(config.policy)
         self.scheduler = StrideScheduler(
-            {tenant.name: tenant.weight for tenant in config.tenants}
+            {tenant.name: tenant.weight for tenant in config.tenants},
+            spjf=config.policy.spjf,
         )
         self.accountant = Accountant(tuple(sorted(self.tenants)))
         self.records: list[JobRecord] = []
@@ -136,6 +142,9 @@ class MatrixService:
         record.predicted_bytes = entry.predicted_bytes
         record.predicted_flops = entry.predicted_flops
         record.predicted_peak_bytes = entry.predicted_peak_bytes
+        record.predicted_seconds = predict_runtime_seconds(
+            entry.predicted_bytes, entry.predicted_flops, self.config.cluster
+        )
         record.plan_hashes = entry.structural_hashes
 
         decision = self.admission.evaluate(
@@ -144,6 +153,8 @@ class MatrixService:
             service_queue_depth=self.scheduler.queue_depth(),
             tenant_queue_depth=self.scheduler.queue_depth(spec.tenant),
             idle=self.scheduler.idle,
+            backlog_seconds=self.backlog_seconds(),
+            predicted_seconds=record.predicted_seconds,
         )
         record.decision = decision.action
         if not decision.admitted:
@@ -156,6 +167,14 @@ class MatrixService:
         self._pending[record.job_id] = _PendingJob(record, program, inputs, entry)
         self.scheduler.enqueue(record)
         return record
+
+    def backlog_seconds(self) -> float:
+        """Predicted runtime of everything currently queued (the quantity
+        :attr:`AdmissionPolicy.max_backlog_seconds` bounds)."""
+        return sum(
+            pending.record.predicted_seconds or 0.0
+            for pending in self._pending.values()
+        )
 
     def rejection_error(self, record: JobRecord):
         """The typed :class:`~repro.errors.AdmissionError` for a rejected

@@ -20,6 +20,7 @@ Typical use::
 
 from __future__ import annotations
 
+import dataclasses
 import sys
 
 import numpy as np
@@ -76,7 +77,24 @@ class DMacSession:
                 f"unknown verify mode {verify!r} (choose from {VERIFY_MODES})"
             )
         self.config = config or ClusterConfig()
-        self.context = ClusterContext(self.config)
+        if self.config.backend == "elastic":
+            from repro.elastic import ElasticClusterContext, ElasticPool
+
+            pool = ElasticPool(
+                self.config.elastic or "",
+                initial=self.config.num_workers,
+                seed=self.config.elastic_seed,
+            )
+            # The static slot topology is the pool's peak membership, so
+            # planner, verifier and lint all size against the slot count.
+            self.config = dataclasses.replace(
+                self.config, num_workers=pool.slots
+            )
+            self.context: ClusterContext = ElasticClusterContext(
+                self.config, pool
+            )
+        else:
+            self.context = ClusterContext(self.config)
         self.pull_up_broadcast = pull_up_broadcast
         self.re_assignment = re_assignment
         self.estimation_mode = estimation_mode
@@ -278,5 +296,10 @@ class DMacSession:
     ) -> ExecutionResult:
         """Execute the same program under the SystemML-S baseline, on this
         session's cluster (same engines, same metered substrate)."""
+        if self.config.backend == "elastic":
+            raise ExecutionError(
+                "the SystemML-S baseline runs on the static backend; "
+                "compare against a session with backend='simulated'"
+            )
         executor = SystemMLSExecutor(self.context, self.config.block_size)
         return executor.execute(program, inputs)

@@ -1,0 +1,150 @@
+"""ElasticPool: slot topology, membership timeline, rendezvous assignment."""
+
+import pytest
+
+from repro.elastic import ElasticPool, parse_elastic_spec
+from repro.errors import ElasticSpecError
+
+
+class TestTopology:
+    def test_slots_are_the_peak_membership(self):
+        pool = ElasticPool("join@2:count=2; leave@5; leave@6", initial=4)
+        assert pool.slots == 6
+        assert pool.members_ever == (0, 1, 2, 3, 4, 5)
+
+    def test_no_events_means_static_topology(self):
+        pool = ElasticPool("", initial=3)
+        assert pool.slots == 3
+        assert pool.members == (0, 1, 2)
+
+    def test_joiners_get_fresh_ids_in_timeline_order(self):
+        pool = ElasticPool("join@1; leave@2; join@3:count=2", initial=2)
+        assert pool.members_ever == (0, 1, 2, 3, 4)
+        assert pool.members_at(1) == (0, 1, 2)
+        assert pool.members_at(2) == (0, 1)  # youngest (2) left
+        assert pool.members_at(3) == (0, 1, 3, 4)
+
+    def test_members_at_is_pure_and_cursor_independent(self):
+        pool = ElasticPool("join@2; leave@4:worker=0", initial=2)
+        before = pool.members_at(10)
+        transition = pool.next_transition(3)
+        pool.commit(transition)
+        assert pool.members_at(10) == before
+
+
+class TestTimelineValidation:
+    def test_leave_emptying_the_pool_rejected(self):
+        with pytest.raises(ElasticSpecError, match="empty the pool"):
+            ElasticPool("leave@1", initial=1)
+
+    def test_leave_of_unknown_member_rejected(self):
+        with pytest.raises(ElasticSpecError, match="not live"):
+            ElasticPool("leave@1:worker=7", initial=2)
+
+    def test_leave_of_already_departed_member_rejected(self):
+        with pytest.raises(ElasticSpecError, match="not live"):
+            ElasticPool("leave@1:worker=0; leave@2:worker=0", initial=3)
+
+    def test_initial_must_be_positive(self):
+        with pytest.raises(ElasticSpecError, match="initial"):
+            ElasticPool("", initial=0)
+
+
+class TestAssignment:
+    def test_full_membership_is_one_slot_per_member(self):
+        """At peak membership the bounded-load cap forces a perfect
+        matching, so a churn-free elastic run costs the same simulated
+        compute as the static cluster."""
+        pool = ElasticPool("", initial=5)
+        assignment = pool.assignment_for((0, 1, 2, 3, 4))
+        assert sorted(assignment) == list(range(5))
+        assert sorted(assignment.values()) == list(range(5))
+
+    def test_assignment_is_balanced_under_any_membership(self):
+        pool = ElasticPool("join@1:count=4", initial=4)  # 8 slots
+        for members in [(0, 1, 2), (0, 2, 5, 7), tuple(range(8)), (3,)]:
+            assignment = pool.assignment_for(members)
+            loads = [list(assignment.values()).count(m) for m in members]
+            assert max(loads) - min(loads) <= 1, (members, loads)
+            assert sum(loads) == pool.slots
+
+    def test_assignment_is_deterministic_in_the_seed(self):
+        a = ElasticPool("join@1", initial=4, seed=7)
+        b = ElasticPool("join@1", initial=4, seed=7)
+        c = ElasticPool("join@1", initial=4, seed=8)
+        members = (0, 1, 2, 4)
+        assert a.assignment_for(members) == b.assignment_for(members)
+        assert any(
+            a.assignment_for(members) != c.assignment_for(members)
+            for members in [(0, 1, 2, 4), (0, 1), (1, 2, 3, 4)]
+        )
+
+    def test_rendezvous_moves_few_slots_on_leave(self):
+        """Only the departed member's slots change hands."""
+        pool = ElasticPool("", initial=6)
+        full = pool.assignment_for(tuple(range(6)))
+        without = pool.assignment_for((0, 1, 2, 3, 4))
+        moved = [slot for slot in range(6) if full[slot] != without[slot]]
+        lost = [slot for slot, owner in full.items() if owner == 5]
+        assert set(lost) <= set(moved)
+        # bounded-load rebalancing may shuffle at most one extra slot per
+        # survivor beyond the departed member's own
+        assert len(moved) <= len(lost) + 5
+
+
+class TestCursor:
+    def test_transitions_fire_in_stage_order(self):
+        pool = ElasticPool("join@1; leave@3", initial=2)
+        assert pool.next_transition(0) is None
+        t1 = pool.next_transition(1)
+        assert t1.event.kind == "join" and t1.joined == (2,)
+        pool.commit(t1)
+        assert pool.members == (0, 1, 2)
+        assert pool.next_transition(2) is None
+        t2 = pool.next_transition(5)  # late stage still drains the event
+        assert t2.event.kind == "leave" and t2.departed == 2
+        pool.commit(t2)
+        assert pool.members == (0, 1)
+        assert pool.next_transition(99) is None
+
+    def test_next_transition_does_not_mutate(self):
+        pool = ElasticPool("join@1", initial=2)
+        first = pool.next_transition(1)
+        second = pool.next_transition(1)
+        assert first == second
+        assert pool.members == (0, 1)
+
+    def test_moved_slots_map_to_previous_owners(self):
+        pool = ElasticPool("join@1", initial=3)
+        before = {slot: pool.member_for_slot(slot) for slot in range(pool.slots)}
+        transition = pool.next_transition(1)
+        for slot, owner in transition.moved_slots.items():
+            assert before[slot] == owner
+        pool.commit(transition)
+        for slot in transition.moved_slots:
+            assert pool.member_for_slot(slot) != transition.moved_slots[slot]
+
+    def test_slots_of_departed_member_is_empty(self):
+        pool = ElasticPool("leave@1:worker=0", initial=3)
+        assert pool.slots_of(0)
+        pool.commit(pool.next_transition(1))
+        assert pool.slots_of(0) == ()
+
+    def test_stage_offset_spans_segments(self):
+        """Events index the cumulative stage count of a staged program."""
+        pool = ElasticPool("join@7", initial=2)
+        assert pool.next_transition(5) is None
+        pool.finish_segment(5)
+        transition = pool.next_transition(2)  # cumulative stage 7
+        assert transition is not None and transition.event.stage == 7
+
+    def test_applied_log_describes_committed_transitions(self):
+        pool = ElasticPool("join@1:count=2", initial=2)
+        pool.commit(pool.next_transition(1))
+        assert pool.applied_log == [pool.applied_log[0]]
+        assert "join@1:count=2" in pool.applied_log[0]
+        assert "2 -> 4 members" in pool.applied_log[0]
+
+    def test_accepts_pre_parsed_events(self):
+        events = parse_elastic_spec("join@1")
+        assert ElasticPool(events, initial=2).slots == 3

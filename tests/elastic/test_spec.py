@@ -1,0 +1,77 @@
+"""The ``--elastic`` membership-timeline grammar."""
+
+import pytest
+
+from repro.elastic import ElasticEvent, parse_elastic_spec
+from repro.errors import ElasticSpecError
+
+
+class TestParse:
+    def test_join_defaults(self):
+        assert parse_elastic_spec("join@3") == (
+            ElasticEvent(kind="join", stage=3, count=1),
+        )
+
+    def test_join_count(self):
+        (event,) = parse_elastic_spec("join@3:count=2")
+        assert (event.kind, event.stage, event.count) == ("join", 3, 2)
+
+    def test_leave_default_targets_youngest(self):
+        (event,) = parse_elastic_spec("leave@5")
+        assert (event.kind, event.stage, event.worker) == ("leave", 5, None)
+
+    def test_leave_named_worker(self):
+        (event,) = parse_elastic_spec("leave@5:worker=1")
+        assert event.worker == 1
+
+    def test_semicolon_and_comma_separators(self):
+        assert parse_elastic_spec("join@2; leave@5") == parse_elastic_spec(
+            "join@2, leave@5"
+        )
+
+    def test_events_sorted_by_stage_stably(self):
+        events = parse_elastic_spec("leave@5:worker=0; join@2; leave@5:worker=1")
+        assert [e.stage for e in events] == [2, 5, 5]
+        # same-stage events keep spec order
+        assert [e.worker for e in events[1:]] == [0, 1]
+
+    def test_empty_spec_is_a_valid_static_timeline(self):
+        assert parse_elastic_spec("") == ()
+        assert parse_elastic_spec(" ; ") == ()
+
+    def test_whitespace_tolerated_around_at_sign(self):
+        (event,) = parse_elastic_spec("  join @ 3:count=2 ")
+        assert (event.stage, event.count) == (3, 2)
+
+    def test_describe_round_trips(self):
+        spec = "join@2:count=3; leave@5:worker=1; leave@7"
+        events = parse_elastic_spec(spec)
+        rendered = "; ".join(event.describe() for event in events)
+        assert parse_elastic_spec(rendered) == events
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "join",  # no stage
+            "join@",  # empty stage
+            "join@x",  # non-integer stage
+            "grow@3",  # unknown kind
+            "join@-1",  # negative stage
+            "join@3:count=0",  # count below 1
+            "join@3:worker=1",  # worker is a leave option
+            "leave@3:count=2",  # count is a join option
+            "leave@3:worker=-1",  # negative member id
+            "join@3:count=2:count=2",  # duplicate option
+            "join@3:count=",  # malformed option
+            "join@3:count=two",  # non-integer option
+        ],
+    )
+    def test_malformed_clause_raises(self, spec):
+        with pytest.raises(ElasticSpecError):
+            parse_elastic_spec(spec)
+
+    def test_error_names_the_clause(self):
+        with pytest.raises(ElasticSpecError, match="grow"):
+            parse_elastic_spec("join@1; grow@3")

@@ -300,6 +300,32 @@ class TestSpeculation:
         assert report.timings[2].duration_seconds == pytest.approx(2.0)
         assert events == []
 
+    def test_two_stragglers_do_not_mask_each_other(self):
+        """Regression: the threshold must come from the *clean* sibling
+        durations.  A median over observed (slowed) durations lets two
+        stragglers in one stage inflate each other's threshold -- median
+        of {2s, 20s} is 11s, threshold 22s -- and neither ever speculates.
+        """
+        graph = synthetic_graph({0: (), 1: (), 2: ()})
+
+        def run(node: StageNode) -> StageMeter:
+            meter = StageMeter()
+            meter.add_compute(2.0)
+            if node.index in (1, 2):
+                meter.slowdown_factor = 10.0
+            return meter
+
+        events: list[dict] = []
+        scheduler = StageScheduler(
+            speculation_multiplier=2.0, event_sink=events.append
+        )
+        report = scheduler.run(graph, run)
+        # Each straggler: slowed 20s; its copy launches at 2 x the clean
+        # sibling median (2s) = 4s and runs its own clean 2s -> 6s.
+        assert report.timings[1].duration_seconds == pytest.approx(6.0)
+        assert report.timings[2].duration_seconds == pytest.approx(6.0)
+        assert [e["event"] for e in events] == ["speculation", "speculation"]
+
 
 class TestEndToEnd:
     def test_clock_charges_critical_path_not_serial_sum(self, rng):

@@ -5,6 +5,7 @@ import pytest
 from repro import ClusterConfig, DMacSession
 from repro.errors import (
     AdmissionError,
+    BacklogExceededError,
     JobTooLargeError,
     QueueFullError,
     TenantQuotaExceededError,
@@ -19,6 +20,7 @@ from repro.serve import (
     ServiceConfig,
     TenantSpec,
     predict_flops,
+    predict_runtime_seconds,
 )
 from repro.serve.plancache import plan_for_cache
 
@@ -95,6 +97,34 @@ class TestDecisions:
         assert error.tenant == "t"
         assert error.reason == "job-too-large"
 
+    def test_backlog_horizon_rejects_on_predicted_runtime(self):
+        decision = evaluate(
+            policy=AdmissionPolicy(max_backlog_seconds=1.0),
+            backlog_seconds=0.8,
+            predicted_seconds=0.5,
+        )
+        assert decision.action == "reject"
+        assert decision.reason == BacklogExceededError.reason
+        error = AdmissionController.error_for(decision, "t")
+        assert isinstance(error, BacklogExceededError)
+
+    def test_backlog_horizon_admits_under_the_cap(self):
+        decision = evaluate(
+            policy=AdmissionPolicy(max_backlog_seconds=1.0),
+            backlog_seconds=0.3,
+            predicted_seconds=0.5,
+            idle=False,
+        )
+        assert decision.action == "queue"
+
+    def test_backlog_check_is_inert_without_a_prediction(self):
+        decision = evaluate(
+            policy=AdmissionPolicy(max_backlog_seconds=0.0001),
+            backlog_seconds=100.0,
+            predicted_seconds=None,
+        )
+        assert decision.admitted
+
 
 class TestPredictFlops:
     def test_positive_and_deterministic(self):
@@ -110,6 +140,106 @@ class TestPredictFlops:
             "pagerank", WorkloadParams(scale=2e-3, iterations=2)
         ).program
         assert predict_flops(large) > predict_flops(small)
+
+
+class TestPredictRuntimeSeconds:
+    def test_combines_network_and_compute_terms(self):
+        cluster = ClusterConfig(num_workers=2, threads_per_worker=2)
+        clock = cluster.clock
+        seconds = predict_runtime_seconds(1_000_000, 8_000_000, cluster)
+        expected = 1_000_000 / clock.network_bytes_per_sec + 8_000_000 / (
+            clock.dense_flops_per_sec * 4
+        )
+        assert seconds == pytest.approx(expected)
+
+    def test_more_workers_predict_faster_compute(self):
+        small = ClusterConfig(num_workers=2)
+        large = ClusterConfig(num_workers=8)
+        assert predict_runtime_seconds(0, 10**9, large) < predict_runtime_seconds(
+            0, 10**9, small
+        )
+
+
+class TestBacklogAndSpjfIntegration:
+    SHORT = {"scale": 5e-4, "iterations": 2}
+    LONG = {"scale": 4e-3, "iterations": 4}
+
+    def test_long_job_queues_behind_short_ones_under_spjf(self):
+        """The satellite scenario: with SPJF on, a long job submitted
+        *first* still dispatches after the short jobs it would delay."""
+        service = MatrixService(
+            ServiceConfig(
+                tenants=(TenantSpec("t"),), policy=AdmissionPolicy(spjf=True)
+            )
+        )
+        service.submit(
+            JobSpec(tenant="t", app="gnmf", params=self.LONG, label="long")
+        )
+        service.submit(
+            JobSpec(tenant="t", app="pagerank", params=self.SHORT, label="short")
+        )
+        records = service.drain()
+        assert [r.app for r in records] == ["short", "long"]
+        long_record = records[-1]
+        short_record = records[0]
+        assert long_record.predicted_seconds > short_record.predicted_seconds
+
+    def test_fifo_order_without_spjf(self):
+        service = MatrixService(ServiceConfig(tenants=(TenantSpec("t"),)))
+        service.submit(
+            JobSpec(tenant="t", app="gnmf", params=self.LONG, label="long")
+        )
+        service.submit(
+            JobSpec(tenant="t", app="pagerank", params=self.SHORT, label="short")
+        )
+        assert [r.app for r in service.drain()] == ["long", "short"]
+
+    def test_priority_still_outranks_predicted_runtime(self):
+        service = MatrixService(
+            ServiceConfig(
+                tenants=(TenantSpec("t"),), policy=AdmissionPolicy(spjf=True)
+            )
+        )
+        service.submit(
+            JobSpec(
+                tenant="t", app="gnmf", params=self.LONG,
+                priority=5, label="urgent-long",
+            )
+        )
+        service.submit(
+            JobSpec(tenant="t", app="pagerank", params=self.SHORT, label="short")
+        )
+        assert [r.app for r in service.drain()] == ["urgent-long", "short"]
+
+    def test_service_rejects_past_the_backlog_horizon(self):
+        service = MatrixService(
+            ServiceConfig(
+                tenants=(TenantSpec("t"),),
+                policy=AdmissionPolicy(max_backlog_seconds=0.0015),
+            )
+        )
+        first = service.submit(
+            JobSpec(tenant="t", app="pagerank", params=self.SHORT)
+        )
+        second = service.submit(JobSpec(tenant="t", app="gnmf", params=self.LONG))
+        assert first.decision in ("run", "queue")
+        assert second.state == "rejected"
+        assert second.reject_reason == "backlog"
+        assert "backlog" in repr(service.rejection_error(second).reason)
+
+    def test_records_publish_the_predicted_seconds(self):
+        service = MatrixService(ServiceConfig(tenants=(TenantSpec("t"),)))
+        record = service.submit(
+            JobSpec(tenant="t", app="pagerank", params=self.SHORT)
+        )
+        assert record.predicted_seconds == pytest.approx(
+            predict_runtime_seconds(
+                record.predicted_bytes,
+                record.predicted_flops,
+                service.config.cluster,
+            )
+        )
+        assert record.to_json_dict()["predicted_seconds"] == record.predicted_seconds
 
 
 class TestServiceIntegration:
